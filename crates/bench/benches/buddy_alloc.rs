@@ -1,0 +1,50 @@
+//! Microbenchmarks of the disk substrate: buddy allocation, page
+//! packing, SLM schedules and the LRU buffer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spatialdb::disk::{
+    slm_schedule, BuddyAllocator, BuddyConfig, Disk, LruBuffer, PageId, RegionId,
+};
+use std::hint::black_box;
+
+fn bench_buddy(c: &mut Criterion) {
+    c.bench_function("buddy_alloc_free_cycle", |b| {
+        let disk = Disk::with_defaults();
+        let region = disk.create_region("bench");
+        b.iter(|| {
+            let mut alloc = BuddyAllocator::new(region, BuddyConfig::restricted(20));
+            let mut live = Vec::new();
+            for i in 0..512u64 {
+                let unit = alloc.alloc_for(1 + i % 20).expect("fits");
+                live.push(unit);
+                if i % 3 == 0 {
+                    alloc.free(live.swap_remove((i as usize / 3) % live.len()));
+                }
+            }
+            black_box(alloc.occupied_pages())
+        })
+    });
+}
+
+fn bench_slm(c: &mut Criterion) {
+    let offsets: Vec<u64> = (0..500u64).filter(|o| o % 7 != 3 && o % 11 != 5).collect();
+    c.bench_function("slm_schedule_500", |b| {
+        b.iter(|| black_box(slm_schedule(&offsets, 5).len()))
+    });
+}
+
+fn bench_lru(c: &mut Criterion) {
+    c.bench_function("lru_buffer_churn", |b| {
+        b.iter(|| {
+            let mut buf = LruBuffer::new(256);
+            let r = RegionId(0);
+            for i in 0..4096u64 {
+                buf.insert(PageId::new(r, (i * 2654435761) % 1024), i % 5 == 0);
+            }
+            black_box(buf.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_buddy, bench_slm, bench_lru);
+criterion_main!(benches);

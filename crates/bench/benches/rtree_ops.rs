@@ -1,0 +1,70 @@
+//! Microbenchmarks of the R*-tree: insertion, window and point queries,
+//! with and without leaf-level forced reinsert.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spatialdb::disk::Disk;
+use spatialdb::geom::{Point, Rect};
+use spatialdb::rtree::{LeafEntry, NoIo, ObjectId, RStarTree, RTreeConfig};
+use std::hint::black_box;
+
+fn grid_rects(n: usize) -> Vec<Rect> {
+    (0..n)
+        .map(|i| {
+            let x = ((i * 7919) % 1000) as f64 / 1000.0;
+            let y = ((i * 104729) % 1000) as f64 / 1000.0;
+            Rect::new(x, y, x + 0.004, y + 0.004)
+        })
+        .collect()
+}
+
+fn build(rects: &[Rect], leaf_reinsert: bool) -> RStarTree {
+    let disk = Disk::with_defaults();
+    let mut t = RStarTree::new(
+        RTreeConfig {
+            leaf_reinsert_enabled: leaf_reinsert,
+            ..RTreeConfig::paper_default(4096)
+        },
+        disk.create_region("t"),
+    );
+    for (i, r) in rects.iter().enumerate() {
+        t.insert(LeafEntry::new(*r, ObjectId(i as u64), 0), &mut NoIo);
+    }
+    t
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtree_insert");
+    g.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let rects = grid_rects(n);
+        g.bench_with_input(BenchmarkId::new("with_reinsert", n), &rects, |b, rects| {
+            b.iter(|| black_box(build(rects, true).len()))
+        });
+        g.bench_with_input(BenchmarkId::new("no_leaf_reinsert", n), &rects, |b, rects| {
+            b.iter(|| black_box(build(rects, false).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let rects = grid_rects(20_000);
+    let tree = build(&rects, true);
+    let mut g = c.benchmark_group("rtree_query");
+    g.bench_function("window_1pct", |b| {
+        let w = Rect::new(0.4, 0.4, 0.5, 0.5);
+        b.iter(|| black_box(tree.window_entries(&w, &mut NoIo).len()))
+    });
+    g.bench_function("window_selective", |b| {
+        let w = Rect::new(0.42, 0.42, 0.425, 0.425);
+        b.iter(|| black_box(tree.window_entries(&w, &mut NoIo).len()))
+    });
+    g.bench_function("point", |b| {
+        let p = Point::new(0.5, 0.5);
+        b.iter(|| black_box(tree.point_entries(&p, &mut NoIo).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Benchmarks of the spatial-join pipeline (the workloads behind
+//! Figures 14 / 16 / 17).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spatialdb::data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
+use spatialdb::disk::Disk;
+use spatialdb::experiments::{build_organization_on, records_of, ClusterSizing};
+use spatialdb::join::SpatialJoin;
+use spatialdb::storage::{
+    new_shared_pool, Organization, OrganizationKind, OrganizationModel, TransferTechnique,
+};
+use std::hint::black_box;
+
+fn build_pair(kind: OrganizationKind) -> (Organization, Organization) {
+    let m1 = SpatialMap::generate(
+        DataSet { series: SeriesId::A, map: MapId::Map1 },
+        0.02,
+        GeometryMode::MbrOnly,
+        42,
+    );
+    let m2 = SpatialMap::generate(
+        DataSet { series: SeriesId::A, map: MapId::Map2 },
+        0.02,
+        GeometryMode::MbrOnly,
+        42,
+    );
+    let disk = Disk::with_defaults();
+    let pool = new_shared_pool(disk.clone(), 640);
+    let (r, _) = build_organization_on(
+        kind,
+        &records_of(&m1.objects),
+        80 * 1024,
+        ClusterSizing::Plain,
+        disk.clone(),
+        pool.clone(),
+    );
+    let (s, _) = build_organization_on(
+        kind,
+        &records_of(&m2.objects),
+        80 * 1024,
+        ClusterSizing::Plain,
+        disk,
+        pool,
+    );
+    (r, s)
+}
+
+fn bench_join_orgs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spatial_join_orgs");
+    g.sample_size(10);
+    for kind in [OrganizationKind::Secondary, OrganizationKind::Cluster] {
+        let (mut r, mut s) = build_pair(kind);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.to_string()), &(), |b, _| {
+            b.iter(|| {
+                r.pool().borrow_mut().reset(640);
+                r.disk().reset_stats();
+                let stats =
+                    SpatialJoin::new(&mut r, &mut s).run_io_only(TransferTechnique::Complete);
+                black_box(stats.mbr_pairs)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_join_techniques(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spatial_join_techniques");
+    g.sample_size(10);
+    let (mut r, mut s) = build_pair(OrganizationKind::Cluster);
+    for (name, tech) in [
+        ("complete", TransferTechnique::Complete),
+        ("vector_read", TransferTechnique::VectorRead),
+        ("read", TransferTechnique::Read),
+        ("optimum", TransferTechnique::Optimum),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                r.pool().borrow_mut().reset(640);
+                r.disk().reset_stats();
+                let stats = SpatialJoin::new(&mut r, &mut s).run_io_only(tech);
+                black_box(stats.mbr_pairs)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_join_orgs, bench_join_techniques);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benchmarks of window-query processing per organization model and per
+//! cluster-organization technique (the workloads behind Figures 8 / 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spatialdb::data::workload::WindowQuerySet;
+use spatialdb::data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
+use spatialdb::experiments::{build_organization, records_of, ClusterSizing};
+use spatialdb::storage::{OrganizationKind, OrganizationModel, WindowTechnique};
+use std::hint::black_box;
+
+fn setup() -> (SpatialMap, Vec<spatialdb::storage::ObjectRecord>) {
+    let ds = DataSet { series: SeriesId::A, map: MapId::Map1 };
+    let map = SpatialMap::generate(ds, 0.02, GeometryMode::MbrOnly, 42);
+    let records = records_of(&map.objects);
+    (map, records)
+}
+
+fn bench_orgs(c: &mut Criterion) {
+    let (map, records) = setup();
+    let queries = WindowQuerySet::generate(&map, 1e-3, 32, 7);
+    let mut g = c.benchmark_group("window_query_orgs");
+    g.sample_size(10);
+    for kind in [
+        OrganizationKind::Secondary,
+        OrganizationKind::Primary,
+        OrganizationKind::Cluster,
+    ] {
+        let (mut org, _) =
+            build_organization(kind, &records, 80 * 1024, ClusterSizing::Plain, 256);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.to_string()), &(), |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for w in &queries.windows {
+                    org.begin_query();
+                    total += org.window_query(w, WindowTechnique::Complete).candidates;
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_techniques(c: &mut Criterion) {
+    let (map, records) = setup();
+    let queries = WindowQuerySet::generate(&map, 1e-4, 32, 7);
+    let (mut org, _) = build_organization(
+        OrganizationKind::Cluster,
+        &records,
+        80 * 1024,
+        ClusterSizing::Plain,
+        256,
+    );
+    let mut g = c.benchmark_group("window_query_techniques");
+    g.sample_size(10);
+    for (name, tech) in [
+        ("complete", WindowTechnique::Complete),
+        ("threshold", WindowTechnique::Threshold),
+        ("slm", WindowTechnique::Slm),
+        ("optimum", WindowTechnique::Optimum),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut ms = 0.0;
+                for w in &queries.windows {
+                    org.begin_query();
+                    ms += org.window_query(w, tech).io_ms;
+                }
+                black_box(ms)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_orgs, bench_techniques);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 5: I/O cost for constructing the organization models.
+
+use spatialdb::data::DataSet;
+use spatialdb::experiments::construction_suite;
+use spatialdb::report::{f, Table};
+use spatialdb_bench::{banner, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Figure 5: I/O-Cost for Constructing the Organization Models", &scale);
+    let mut t = Table::new(vec!["series", "sec. org. (s)", "prim. org. (s)", "cluster org. (s)"]);
+    for row in construction_suite(&scale, &DataSet::all()) {
+        t.row(vec![
+            row.dataset.to_string(),
+            f(row.io_seconds[0], 0),
+            f(row.io_seconds[1], 0),
+            f(row.io_seconds[2], 0),
+        ]);
+    }
+    println!("{t}");
+    println!("expected shape: cluster < secondary < primary; primary grows with");
+    println!("object size; secondary/cluster nearly independent of it (§5.2).");
+}

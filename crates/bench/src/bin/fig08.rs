@@ -1,0 +1,42 @@
+//! Figure 8: window queries across the organization models.
+
+use spatialdb::data::{DataSet, MapId, SeriesId};
+use spatialdb::experiments::window_query_orgs;
+use spatialdb::report::{f, speedup, Table};
+use spatialdb_bench::{banner, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "Figure 8: Comparison of the Different Organization Models for Window Queries",
+        &scale,
+    );
+    let sets = [
+        DataSet { series: SeriesId::A, map: MapId::Map1 },
+        DataSet { series: SeriesId::C, map: MapId::Map1 },
+    ];
+    let mut t = Table::new(vec![
+        "series",
+        "window area (%)",
+        "avg answers",
+        "sec. org. (ms/4KB)",
+        "prim. org. (ms/4KB)",
+        "cluster org. (ms/4KB)",
+        "speedup vs sec.",
+    ]);
+    for row in window_query_orgs(&scale, &sets) {
+        t.row(vec![
+            row.dataset.to_string(),
+            format!("{}", row.area * 100.0),
+            f(row.avg_candidates, 1),
+            f(row.ms_per_4kb[0], 1),
+            f(row.ms_per_4kb[1], 1),
+            f(row.ms_per_4kb[2], 1),
+            speedup(row.ms_per_4kb[0], row.ms_per_4kb[2]),
+        ]);
+    }
+    println!("{t}");
+    println!("expected shape: the larger the window, the better the cluster");
+    println!("organization; speedups vs the secondary organization up to ≈20x");
+    println!("(A-1) / ≈12.5x (C-1) at the 10% window (§5.4).");
+}

@@ -1,0 +1,38 @@
+//! Figure 12: point queries across the organization models.
+
+use spatialdb::data::{DataSet, MapId, SeriesId};
+use spatialdb::experiments::point_queries;
+use spatialdb::report::{f, Table};
+use spatialdb_bench::{banner, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "Figure 12: Comparison of the Different Organization Models for Point Queries",
+        &scale,
+    );
+    let sets: Vec<DataSet> = [SeriesId::A, SeriesId::B, SeriesId::C]
+        .into_iter()
+        .map(|series| DataSet { series, map: MapId::Map1 })
+        .collect();
+    let mut t = Table::new(vec![
+        "series",
+        "avg answers",
+        "sec. org. (ms/4KB)",
+        "prim. org. (ms/4KB)",
+        "cluster org. (ms/4KB)",
+    ]);
+    for row in point_queries(&scale, &sets) {
+        t.row(vec![
+            row.dataset.to_string(),
+            f(row.avg_candidates, 2),
+            f(row.ms_per_4kb[0], 1),
+            f(row.ms_per_4kb[1], 1),
+            f(row.ms_per_4kb[2], 1),
+        ]);
+    }
+    println!("{t}");
+    println!("expected shape: almost no difference between the secondary and");
+    println!("the cluster organization; the primary organization is best for");
+    println!("the smallest objects and loses its edge as objects grow (§5.5).");
+}

@@ -1,0 +1,31 @@
+//! Table 1: the maps and the test series.
+
+use spatialdb::experiments::table1;
+use spatialdb::report::{f, Table};
+use spatialdb_bench::{banner, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Table 1: The Maps and the Test Series", &scale);
+    let mut t = Table::new(vec![
+        "test series - map",
+        "number of objects",
+        "avg object size (B)",
+        "paper avg (B)",
+        "total size (MB)",
+        "paper total (MB)",
+        "Smax (KB)",
+    ]);
+    for row in table1(&scale) {
+        t.row(vec![
+            row.dataset.to_string(),
+            row.num_objects.to_string(),
+            f(row.avg_object_bytes, 0),
+            row.paper_avg_bytes.to_string(),
+            f(row.total_mb, 1),
+            f(row.paper_total_mb, 1),
+            row.smax_kb.to_string(),
+        ]);
+    }
+    println!("{t}");
+}

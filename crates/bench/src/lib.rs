@@ -1,0 +1,40 @@
+//! Experiment harness support for the `spatialdb-bench` binaries.
+//!
+//! Each binary regenerates one table or figure of Brinkhoff & Kriegel,
+//! VLDB 1994. Binaries accept an optional `--scale <fraction>` argument
+//! (default 1.0 = paper scale) so a quick run is possible on small data.
+
+use spatialdb::experiments::Scale;
+
+/// Parse `--scale <f>` from the command line, returning the experiment
+/// scale (paper scale by default).
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale::paper();
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        let f: f64 = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("--scale needs a fraction in (0, 1]"));
+        assert!(f > 0.0 && f <= 1.0, "--scale must be in (0, 1]");
+        scale.data_scale = f;
+        if f < 0.5 {
+            // Shrink query counts and join buffers proportionally so
+            // quick runs stay quick and buffers stay meaningful relative
+            // to the data volume.
+            scale.num_queries = ((678.0 * f * 4.0) as usize).clamp(40, 678);
+            scale.join_buffers = vec![160, 320, 640, 1280];
+        }
+    }
+    scale
+}
+
+/// Standard experiment banner.
+pub fn banner(what: &str, scale: &Scale) {
+    println!("== {what} ==");
+    println!(
+        "   (data scale {:.2}, {} queries per set, seed {})",
+        scale.data_scale, scale.num_queries, scale.seed
+    );
+    println!();
+}

@@ -1,0 +1,385 @@
+//! The user-facing database API.
+//!
+//! A [`Workspace`] models one machine (simulated disk + shared buffer
+//! pool); databases created in the same workspace can be joined against
+//! each other. [`SpatialDatabase`] wraps an organization model and keeps
+//! the exact geometry in memory for the *refinement* step, so queries
+//! return exact answers while all I/O is charged to the simulated disk
+//! exactly as the paper's cost model prescribes.
+
+use spatialdb_disk::{Disk, DiskHandle, DiskParams, IoStats, PAGE_SIZE};
+use spatialdb_geom::{DecomposedPolyline, HasMbr, Point, Polyline, Rect};
+use spatialdb_join::{JoinConfig, JoinStats, SpatialJoin};
+use spatialdb_rtree::ObjectId;
+use spatialdb_storage::{
+    new_shared_pool, ClusterConfig, ClusterOrganization, ObjectRecord, Organization,
+    OrganizationKind, OrganizationModel, PrimaryOrganization, QueryStats, SecondaryOrganization,
+    SharedPool, WindowTechnique,
+};
+use std::collections::HashMap;
+
+/// Options for creating a [`SpatialDatabase`].
+#[derive(Clone, Debug)]
+pub struct DbOptions {
+    /// Which organization model stores the objects.
+    pub organization: OrganizationKind,
+    /// `Smax` in bytes (cluster organization only). Default 80 KB, the
+    /// paper's series-A value.
+    pub smax_bytes: u64,
+    /// Use the restricted buddy system (§5.3.1) instead of full-`Smax`
+    /// units (cluster organization only).
+    pub restricted_buddy: bool,
+    /// Window-query technique (cluster organization only).
+    pub technique: WindowTechnique,
+}
+
+impl DbOptions {
+    /// Defaults for the given organization model.
+    pub fn new(organization: OrganizationKind) -> Self {
+        DbOptions {
+            organization,
+            smax_bytes: 80 * 1024,
+            restricted_buddy: false,
+            technique: WindowTechnique::Slm,
+        }
+    }
+
+    /// Set `Smax`.
+    pub fn smax_bytes(mut self, bytes: u64) -> Self {
+        self.smax_bytes = bytes;
+        self
+    }
+
+    /// Enable the restricted buddy system.
+    pub fn restricted_buddy(mut self, on: bool) -> Self {
+        self.restricted_buddy = on;
+        self
+    }
+
+    /// Set the window-query technique.
+    pub fn technique(mut self, t: WindowTechnique) -> Self {
+        self.technique = t;
+        self
+    }
+}
+
+/// One simulated machine: a disk and a shared buffer pool.
+pub struct Workspace {
+    disk: DiskHandle,
+    pool: SharedPool,
+}
+
+impl Workspace {
+    /// Create a workspace with the paper's disk parameters and a buffer
+    /// of `buffer_pages` pages.
+    pub fn new(buffer_pages: usize) -> Self {
+        Self::with_params(DiskParams::default(), buffer_pages)
+    }
+
+    /// Create a workspace with explicit disk parameters.
+    pub fn with_params(params: DiskParams, buffer_pages: usize) -> Self {
+        let disk = Disk::new(params);
+        let pool = new_shared_pool(disk.clone(), buffer_pages);
+        Workspace { disk, pool }
+    }
+
+    /// The simulated disk.
+    pub fn disk(&self) -> DiskHandle {
+        self.disk.clone()
+    }
+
+    /// The shared buffer pool.
+    pub fn pool(&self) -> SharedPool {
+        self.pool.clone()
+    }
+
+    /// Create a database in this workspace.
+    pub fn create_database(&self, options: DbOptions) -> SpatialDatabase {
+        let org = match options.organization {
+            OrganizationKind::Secondary => Organization::Secondary(SecondaryOrganization::new(
+                self.disk.clone(),
+                self.pool.clone(),
+            )),
+            OrganizationKind::Primary => Organization::Primary(PrimaryOrganization::new(
+                self.disk.clone(),
+                self.pool.clone(),
+            )),
+            OrganizationKind::Cluster => {
+                let config = if options.restricted_buddy {
+                    ClusterConfig::restricted_buddy(options.smax_bytes)
+                } else {
+                    ClusterConfig::plain(options.smax_bytes)
+                };
+                Organization::Cluster(ClusterOrganization::new(
+                    self.disk.clone(),
+                    self.pool.clone(),
+                    config,
+                ))
+            }
+        };
+        SpatialDatabase {
+            org,
+            technique: options.technique,
+            geometry: HashMap::new(),
+        }
+    }
+}
+
+/// A spatial database: an organization model plus the exact geometry used
+/// for query refinement.
+pub struct SpatialDatabase {
+    org: Organization,
+    technique: WindowTechnique,
+    geometry: HashMap<u64, DecomposedPolyline>,
+}
+
+impl SpatialDatabase {
+    /// Insert a polyline object under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already present.
+    pub fn insert_polyline(&mut self, id: u64, line: Polyline) {
+        assert!(
+            !self.geometry.contains_key(&id),
+            "object {id} already stored"
+        );
+        let rec = ObjectRecord::new(ObjectId(id), line.mbr(), line.serialized_size() as u32);
+        self.org.insert(&rec);
+        self.geometry.insert(id, DecomposedPolyline::new(line));
+    }
+
+    /// Delete an object. Returns `false` when `id` was not stored.
+    /// Insertions and deletions can be intermixed with queries without
+    /// any global reorganization (§4.1 of the paper).
+    pub fn remove(&mut self, id: u64) -> bool {
+        let removed = self.org.delete(ObjectId(id));
+        if removed {
+            self.geometry.remove(&id);
+        }
+        removed
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.org.num_objects()
+    }
+
+    /// `true` if the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Window query with exact refinement: ids of all objects sharing a
+    /// point with `window`, sorted ascending.
+    pub fn window_query(&mut self, window: &Rect) -> Vec<u64> {
+        let technique = self.technique;
+        // Filter step + object transfer, charged to the simulated disk.
+        self.org.window_query(window, technique);
+        // Refinement on the candidates (the transfer above brought their
+        // exact representations into memory; CPU cost is not modelled for
+        // interactive use).
+        let candidates = self
+            .org
+            .tree()
+            .window_entries(window, &mut spatialdb_rtree::NoIo);
+        let mut hits: Vec<u64> = candidates
+            .iter()
+            .filter(|e| self.geometry[&e.oid.0].intersects_rect(window))
+            .map(|e| e.oid.0)
+            .collect();
+        hits.sort_unstable();
+        hits
+    }
+
+    /// Window query returning only the I/O statistics (no refinement) —
+    /// the measurement mode of the paper's experiments.
+    pub fn window_query_stats(&mut self, window: &Rect) -> QueryStats {
+        let technique = self.technique;
+        self.org.window_query(window, technique)
+    }
+
+    /// Point query with exact refinement: ids of all objects containing
+    /// `point`, sorted ascending.
+    pub fn point_query(&mut self, point: &Point) -> Vec<u64> {
+        self.org.point_query(point);
+        let candidates = self
+            .org
+            .tree()
+            .point_entries(point, &mut spatialdb_rtree::NoIo);
+        let mut hits: Vec<u64> = candidates
+            .iter()
+            .filter(|e| self.geometry[&e.oid.0].polyline().contains_point(point))
+            .map(|e| e.oid.0)
+            .collect();
+        hits.sort_unstable();
+        hits
+    }
+
+    /// Accumulated I/O statistics of the workspace disk.
+    pub fn io_stats(&self) -> IoStats {
+        self.org.disk().stats()
+    }
+
+    /// Total pages occupied on the simulated disk.
+    pub fn occupied_pages(&self) -> u64 {
+        self.org.occupied_pages()
+    }
+
+    /// Occupied storage in megabytes.
+    pub fn occupied_mb(&self) -> f64 {
+        (self.occupied_pages() * PAGE_SIZE as u64) as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Write back dirty pages and prepare for cold queries.
+    pub fn finish_loading(&mut self) {
+        self.org.flush();
+        self.org.begin_query();
+    }
+
+    /// Direct access to the organization model (experiments,
+    /// diagnostics).
+    pub fn organization_mut(&mut self) -> &mut Organization {
+        &mut self.org
+    }
+
+    /// Which organization model this database uses.
+    pub fn kind(&self) -> OrganizationKind {
+        self.org.kind()
+    }
+
+    /// The exact geometry of an object, if stored.
+    pub fn geometry(&self, id: u64) -> Option<&DecomposedPolyline> {
+        self.geometry.get(&id)
+    }
+}
+
+/// Complete intersection join of two databases of the same workspace:
+/// returns the exact intersecting pairs plus the cost breakdown of §6.3.
+pub fn spatial_join(
+    left: &mut SpatialDatabase,
+    right: &mut SpatialDatabase,
+    config: JoinConfig,
+) -> (Vec<(u64, u64)>, JoinStats) {
+    let (pairs, stats) = SpatialJoin::new(&mut left.org, &mut right.org).run_with_pairs(config);
+    // Exact refinement of the candidate pairs on the decomposed
+    // representations.
+    let mut result: Vec<(u64, u64)> = pairs
+        .iter()
+        .filter(|(a, b)| left.geometry[&a.0].intersects(&right.geometry[&b.0]))
+        .map(|(a, b)| (a.0, b.0))
+        .collect();
+    result.sort_unstable();
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn street(x: f64, y: f64) -> Polyline {
+        Polyline::new(vec![
+            Point::new(x, y),
+            Point::new(x + 0.01, y + 0.005),
+            Point::new(x + 0.02, y),
+        ])
+    }
+
+    #[test]
+    fn insert_and_query_all_kinds() {
+        for kind in [
+            OrganizationKind::Secondary,
+            OrganizationKind::Primary,
+            OrganizationKind::Cluster,
+        ] {
+            let ws = Workspace::new(256);
+            let mut db = ws.create_database(DbOptions::new(kind));
+            for i in 0..50u64 {
+                db.insert_polyline(i, street((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0));
+            }
+            db.finish_loading();
+            assert_eq!(db.len(), 50);
+            let hits = db.window_query(&Rect::new(0.0, 0.0, 0.25, 0.25));
+            assert!(!hits.is_empty(), "{kind:?}");
+            // Exact refinement: every reported object really intersects.
+            for id in &hits {
+                assert!(db
+                    .geometry(*id)
+                    .unwrap()
+                    .intersects_rect(&Rect::new(0.0, 0.0, 0.25, 0.25)));
+            }
+        }
+    }
+
+    #[test]
+    fn point_query_exact() {
+        let ws = Workspace::new(256);
+        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+        db.insert_polyline(7, street(0.5, 0.5));
+        db.finish_loading();
+        // On the first vertex.
+        assert_eq!(db.point_query(&Point::new(0.5, 0.5)), vec![7]);
+        // Inside the MBR but off the line.
+        assert!(db.point_query(&Point::new(0.505, 0.0049)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already stored")]
+    fn duplicate_id_rejected() {
+        let ws = Workspace::new(64);
+        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Secondary));
+        db.insert_polyline(1, street(0.1, 0.1));
+        db.insert_polyline(1, street(0.2, 0.2));
+    }
+
+    #[test]
+    fn join_of_two_databases() {
+        let ws = Workspace::new(512);
+        let mut a = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+        let mut b = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+        for i in 0..30u64 {
+            a.insert_polyline(i, street((i % 6) as f64 / 6.0, (i / 6) as f64 / 6.0));
+            // Same layout shifted slightly: many crossings.
+            b.insert_polyline(i, street((i % 6) as f64 / 6.0 + 0.005, (i / 6) as f64 / 6.0));
+        }
+        a.finish_loading();
+        b.finish_loading();
+        let (pairs, stats) = spatial_join(&mut a, &mut b, JoinConfig::default());
+        assert!(stats.mbr_pairs > 0);
+        assert!(!pairs.is_empty());
+        assert!(pairs.len() as u64 <= stats.mbr_pairs, "refinement filters");
+    }
+
+    #[test]
+    fn remove_intermixed_with_queries() {
+        let ws = Workspace::new(256);
+        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+        for i in 0..60u64 {
+            db.insert_polyline(i, street((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0));
+        }
+        db.finish_loading();
+        assert!(db.remove(5));
+        assert!(!db.remove(5));
+        let all = Rect::new(-1.0, -1.0, 2.0, 2.0);
+        let hits = db.window_query(&all);
+        assert_eq!(hits.len(), 59);
+        assert!(!hits.contains(&5));
+        // Re-insert under the same id after removal.
+        db.insert_polyline(5, street(0.9, 0.9));
+        assert_eq!(db.window_query(&all).len(), 60);
+    }
+
+    #[test]
+    fn io_accounting_visible() {
+        let ws = Workspace::new(64);
+        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Secondary));
+        for i in 0..20u64 {
+            db.insert_polyline(i, street((i % 5) as f64 / 5.0, (i / 5) as f64 / 5.0));
+        }
+        db.finish_loading();
+        let s = db.io_stats();
+        assert!(s.write_requests > 0);
+        assert!(db.occupied_pages() > 0);
+        assert!(db.occupied_mb() > 0.0);
+    }
+}

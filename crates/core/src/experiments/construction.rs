@@ -1,0 +1,106 @@
+//! Table 1 and the construction / storage-utilization experiments
+//! (Figures 5, 6, 7 — §5.1 to §5.3 of the paper).
+
+use super::{build_organization, records_of, ClusterSizing, Scale, ALL_KINDS};
+use spatialdb_data::DataSet;
+use spatialdb_storage::{OrganizationKind, OrganizationModel};
+
+/// One row of Table 1, as generated.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Series–map combination.
+    pub dataset: DataSet,
+    /// Generated object count.
+    pub num_objects: usize,
+    /// Generated average object size in bytes.
+    pub avg_object_bytes: f64,
+    /// Generated total size in MB.
+    pub total_mb: f64,
+    /// `Smax` in KB.
+    pub smax_kb: usize,
+    /// The paper's values for comparison.
+    pub paper_avg_bytes: usize,
+    /// The paper's total MB.
+    pub paper_total_mb: f64,
+}
+
+/// Generate all six data sets and report their Table 1 statistics.
+pub fn table1(scale: &Scale) -> Vec<Table1Row> {
+    DataSet::all()
+        .iter()
+        .map(|ds| {
+            let spec = ds.spec();
+            let map = scale.map(*ds);
+            Table1Row {
+                dataset: *ds,
+                num_objects: map.len(),
+                avg_object_bytes: map.avg_object_bytes(),
+                total_mb: map.total_bytes() as f64 / (1024.0 * 1024.0),
+                smax_kb: spec.smax_bytes / 1024,
+                paper_avg_bytes: spec.avg_object_bytes,
+                paper_total_mb: spec.total_mb(),
+            }
+        })
+        .collect()
+}
+
+/// Construction cost and storage utilization of one data set under all
+/// organization models (Figures 5–7).
+#[derive(Clone, Debug)]
+pub struct ConstructionRow {
+    /// Series–map combination.
+    pub dataset: DataSet,
+    /// Construction I/O seconds per organization model
+    /// (secondary, primary, cluster — Figure 5).
+    pub io_seconds: [f64; 3],
+    /// Occupied pages per organization model (Figure 6).
+    pub occupied_pages: [u64; 3],
+    /// Construction I/O seconds of the cluster organization with the
+    /// restricted buddy system (Figure 7, right chart).
+    pub buddy_io_seconds: f64,
+    /// Occupied pages with the restricted buddy system (Figure 7, left
+    /// chart).
+    pub buddy_pages: u64,
+}
+
+/// Build every organization model for the given data sets, reporting the
+/// data behind Figures 5, 6 and 7.
+pub fn construction_suite(scale: &Scale, datasets: &[DataSet]) -> Vec<ConstructionRow> {
+    datasets
+        .iter()
+        .map(|ds| {
+            let spec = ds.spec();
+            let map = scale.map(*ds);
+            let records = records_of(&map.objects);
+            let mut io_seconds = [0.0f64; 3];
+            let mut occupied_pages = [0u64; 3];
+            for (i, kind) in ALL_KINDS.iter().enumerate() {
+                let (org, stats) = build_organization(
+                    *kind,
+                    &records,
+                    spec.smax_bytes as u64,
+                    ClusterSizing::Plain,
+                    scale.construction_buffer,
+                );
+                io_seconds[i] = stats.io_seconds();
+                occupied_pages[i] = org.occupied_pages();
+            }
+            // Figure 7: the cluster organization with the restricted
+            // buddy system.
+            let (buddy_org, buddy_stats) = build_organization(
+                OrganizationKind::Cluster,
+                &records,
+                spec.smax_bytes as u64,
+                ClusterSizing::RestrictedBuddy,
+                scale.construction_buffer,
+            );
+            ConstructionRow {
+                dataset: *ds,
+                io_seconds,
+                occupied_pages,
+                buddy_io_seconds: buddy_stats.io_seconds(),
+                buddy_pages: buddy_org.occupied_pages(),
+            }
+        })
+        .collect()
+}

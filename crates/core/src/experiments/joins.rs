@@ -1,0 +1,271 @@
+//! Spatial-join experiments (Figures 14, 16, 17 — §6 of the paper).
+
+use super::{build_organization_on, records_of, ClusterSizing, Scale, ALL_KINDS};
+use spatialdb_data::workload::{calibrate_inflation, inflate_mbrs, pairs_per_mbr};
+use spatialdb_data::{DataSet, MapId, SeriesId};
+use spatialdb_disk::Disk;
+use spatialdb_join::{JoinConfig, SpatialJoin};
+use spatialdb_storage::{
+    new_shared_pool, ObjectRecord, Organization, OrganizationKind, OrganizationModel,
+    TransferTechnique,
+};
+
+/// One calibrated join version (§6.1: version *a* ≈ 0.65 intersections
+/// per MBR, version *b* ≈ 9).
+#[derive(Clone, Debug)]
+pub struct JoinVersionSpec {
+    /// "a" or "b".
+    pub name: &'static str,
+    /// MBR inflation factor applied to both maps.
+    pub inflation: f64,
+    /// Achieved intersections per MBR.
+    pub pairs_per_mbr: f64,
+}
+
+/// Calibrate the MBR inflation factors for join versions *a* and *b* on
+/// the given series.
+pub fn calibrate_versions(scale: &Scale, series: SeriesId) -> (JoinVersionSpec, JoinVersionSpec) {
+    let m1 = scale.map(DataSet {
+        series,
+        map: MapId::Map1,
+    });
+    let m2 = scale.map(DataSet {
+        series,
+        map: MapId::Map2,
+    });
+    let a_mbrs = m1.mbrs();
+    let b_mbrs = m2.mbrs();
+    let make = |name: &'static str, target: f64| {
+        let inflation = calibrate_inflation(&a_mbrs, &b_mbrs, target, 0.05);
+        let achieved = pairs_per_mbr(
+            &inflate_mbrs(&a_mbrs, inflation),
+            &inflate_mbrs(&b_mbrs, inflation),
+        );
+        JoinVersionSpec {
+            name,
+            inflation,
+            pairs_per_mbr: achieved,
+        }
+    };
+    (make("a", 0.65), make("b", 9.0))
+}
+
+/// Records of a map with MBRs inflated by the version's factor.
+fn inflated_records(
+    scale: &Scale,
+    dataset: DataSet,
+    inflation: f64,
+) -> Vec<ObjectRecord> {
+    let map = scale.map(dataset);
+    let mut records = records_of(&map.objects);
+    for r in &mut records {
+        r.mbr = r.mbr.scale(inflation);
+    }
+    records
+}
+
+/// Build the two maps of one join experiment on a single machine
+/// (shared disk + pool).
+fn build_join_pair(
+    scale: &Scale,
+    series: SeriesId,
+    inflation: f64,
+    kind: OrganizationKind,
+) -> (Organization, Organization) {
+    let spec_r = DataSet {
+        series,
+        map: MapId::Map1,
+    }
+    .spec();
+    let disk = Disk::with_defaults();
+    let pool = new_shared_pool(disk.clone(), scale.construction_buffer);
+    let recs_r = inflated_records(
+        scale,
+        DataSet {
+            series,
+            map: MapId::Map1,
+        },
+        inflation,
+    );
+    let recs_s = inflated_records(
+        scale,
+        DataSet {
+            series,
+            map: MapId::Map2,
+        },
+        inflation,
+    );
+    let (mut r, _) = build_organization_on(
+        kind,
+        &recs_r,
+        spec_r.smax_bytes as u64,
+        ClusterSizing::Plain,
+        disk.clone(),
+        pool.clone(),
+    );
+    let (mut s, _) = build_organization_on(
+        kind,
+        &recs_s,
+        spec_r.smax_bytes as u64,
+        ClusterSizing::Plain,
+        disk,
+        pool,
+    );
+    r.flush();
+    s.flush();
+    (r, s)
+}
+
+/// One Figure 14 cell: join I/O cost per organization model at one
+/// buffer size.
+#[derive(Clone, Debug)]
+pub struct JoinOrgRow {
+    /// Join version ("a" or "b").
+    pub version: &'static str,
+    /// Buffer size in pages.
+    pub buffer_pages: usize,
+    /// Candidate pairs of the MBR join.
+    pub mbr_pairs: u64,
+    /// I/O seconds per organization model (secondary, primary, cluster).
+    pub io_seconds: [f64; 3],
+}
+
+/// Figure 14 (§6.1): the spatial join `series-1 ⋈ series-2` under the
+/// three organization models, sweeping the buffer size. The cluster
+/// organization always reads complete cluster units.
+pub fn join_orgs(scale: &Scale, series: SeriesId) -> Vec<JoinOrgRow> {
+    let (va, vb) = calibrate_versions(scale, series);
+    let mut rows = Vec::new();
+    for version in [va, vb] {
+        // Build once per organization kind, sweep the buffer.
+        let mut per_kind: Vec<(Organization, Organization)> = ALL_KINDS
+            .iter()
+            .map(|kind| build_join_pair(scale, series, version.inflation, *kind))
+            .collect();
+        for &buffer in &scale.join_buffers {
+            let mut io_seconds = [0.0f64; 3];
+            let mut mbr_pairs = 0u64;
+            for (i, (r, s)) in per_kind.iter_mut().enumerate() {
+                let disk = r.disk();
+                r.pool().borrow_mut().reset(buffer);
+                disk.reset_stats();
+                let stats =
+                    SpatialJoin::new(r, s).run_io_only(TransferTechnique::Complete);
+                io_seconds[i] = stats.io_seconds();
+                mbr_pairs = stats.mbr_pairs;
+            }
+            rows.push(JoinOrgRow {
+                version: version.name,
+                buffer_pages: buffer,
+                mbr_pairs,
+                io_seconds,
+            });
+        }
+    }
+    rows
+}
+
+/// One Figure 16 cell: join I/O cost of the cluster organization per
+/// transfer technique.
+#[derive(Clone, Debug)]
+pub struct JoinTechRow {
+    /// Join version ("a" or "b").
+    pub version: &'static str,
+    /// Buffer size in pages.
+    pub buffer_pages: usize,
+    /// I/O seconds for complete / vector read / read / optimum.
+    pub io_seconds: [f64; 4],
+}
+
+/// The four transfer techniques of Figure 16, in reporting order.
+pub const FIG16_TECHNIQUES: [TransferTechnique; 4] = [
+    TransferTechnique::Complete,
+    TransferTechnique::VectorRead,
+    TransferTechnique::Read,
+    TransferTechnique::Optimum,
+];
+
+/// Figure 16 (§6.2): transfer techniques for the cluster organization
+/// during join processing, over the buffer-size sweep.
+pub fn join_techniques(scale: &Scale, series: SeriesId) -> Vec<JoinTechRow> {
+    let (va, vb) = calibrate_versions(scale, series);
+    let mut rows = Vec::new();
+    for version in [va, vb] {
+        let (mut r, mut s) =
+            build_join_pair(scale, series, version.inflation, OrganizationKind::Cluster);
+        for &buffer in &scale.join_buffers {
+            let mut io_seconds = [0.0f64; 4];
+            for (i, tech) in FIG16_TECHNIQUES.iter().enumerate() {
+                let disk = r.disk();
+                r.pool().borrow_mut().reset(buffer);
+                disk.reset_stats();
+                let stats = SpatialJoin::new(&mut r, &mut s).run_io_only(*tech);
+                io_seconds[i] = stats.io_seconds();
+            }
+            rows.push(JoinTechRow {
+                version: version.name,
+                buffer_pages: buffer,
+                io_seconds,
+            });
+        }
+    }
+    rows
+}
+
+/// One Figure 17 bar: the cost breakdown of a complete intersection
+/// join.
+#[derive(Clone, Debug)]
+pub struct JoinBreakdownRow {
+    /// Join version ("a" or "b").
+    pub version: &'static str,
+    /// Organization model ("sec. org." or "cluster org.").
+    pub organization: &'static str,
+    /// Candidate pairs.
+    pub mbr_pairs: u64,
+    /// MBR-join I/O seconds.
+    pub mbr_join_s: f64,
+    /// Object-transfer I/O seconds.
+    pub transfer_s: f64,
+    /// Exact geometry test CPU seconds (0.75 msec per pair).
+    pub exact_test_s: f64,
+}
+
+impl JoinBreakdownRow {
+    /// Total seconds.
+    pub fn total_s(&self) -> f64 {
+        self.mbr_join_s + self.transfer_s + self.exact_test_s
+    }
+}
+
+/// Figure 17 (§6.3): complete intersection join C-1 ⋈ C-2 with a
+/// 1,600-page buffer, secondary vs cluster organization, versions a and
+/// b.
+pub fn join_breakdown(scale: &Scale, buffer_pages: usize) -> Vec<JoinBreakdownRow> {
+    let series = SeriesId::C;
+    let (va, vb) = calibrate_versions(scale, series);
+    let mut rows = Vec::new();
+    for version in [va, vb] {
+        for kind in [OrganizationKind::Secondary, OrganizationKind::Cluster] {
+            let (mut r, mut s) = build_join_pair(scale, series, version.inflation, kind);
+            let disk = r.disk();
+            r.pool().borrow_mut().reset(buffer_pages);
+            disk.reset_stats();
+            let stats = SpatialJoin::new(&mut r, &mut s).run(JoinConfig {
+                transfer: TransferTechnique::Complete,
+                exact_test_ms: 0.75,
+            });
+            rows.push(JoinBreakdownRow {
+                version: version.name,
+                organization: match kind {
+                    OrganizationKind::Secondary => "sec. org.",
+                    _ => "cluster org.",
+                },
+                mbr_pairs: stats.mbr_pairs,
+                mbr_join_s: stats.mbr_join_ms / 1000.0,
+                transfer_s: stats.transfer_ms / 1000.0,
+                exact_test_s: stats.exact_test_ms / 1000.0,
+            });
+        }
+    }
+    rows
+}

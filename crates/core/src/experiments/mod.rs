@@ -1,0 +1,191 @@
+//! Experiment drivers regenerating every table and figure of the paper's
+//! evaluation (§5 and §6).
+//!
+//! Each driver is parameterized by a [`Scale`] so the identical code runs
+//! at paper scale (the `spatialdb-bench` binaries) and at smoke-test
+//! scale (the integration tests, which assert the *shape* of each
+//! result: who wins, by roughly what factor, where crossovers fall).
+//!
+//! | driver | paper artifact |
+//! |---|---|
+//! | [`construction::table1`] | Table 1 — maps and test series |
+//! | [`construction::construction_suite`] | Fig. 5 (build I/O), Fig. 6 (occupied pages), Fig. 7 (restricted buddy) |
+//! | [`windows::window_query_orgs`] | Fig. 8 — window queries across organization models |
+//! | [`windows::window_query_techniques`] | Fig. 10 — complete / threshold / SLM / optimum |
+//! | [`windows::cluster_size_adaptation`] | Fig. 11 — adapting the cluster size |
+//! | [`windows::point_queries`] | Fig. 12 — point queries |
+//! | [`joins::join_orgs`] | Fig. 14 — join across organization models |
+//! | [`joins::join_techniques`] | Fig. 16 — join transfer techniques |
+//! | [`joins::join_breakdown`] | Fig. 17 — complete join cost breakdown |
+
+pub mod construction;
+pub mod joins;
+pub mod windows;
+
+use spatialdb_data::{GeometryMode, MapObject, SpatialMap};
+use spatialdb_disk::{Disk, DiskHandle, IoStats};
+use spatialdb_storage::{
+    new_shared_pool, ClusterConfig, ClusterOrganization, ObjectRecord, Organization,
+    OrganizationKind, OrganizationModel, PrimaryOrganization, SecondaryOrganization,
+};
+
+pub use construction::{construction_suite, table1, ConstructionRow, Table1Row};
+pub use joins::{
+    calibrate_versions, join_breakdown, join_orgs, join_techniques, JoinBreakdownRow,
+    JoinOrgRow, JoinTechRow, JoinVersionSpec,
+};
+pub use windows::{
+    cluster_size_adaptation, point_queries, window_query_orgs, window_query_techniques,
+    AdaptationRow, PointRow, TechniqueRow, WindowOrgRow,
+};
+
+/// Experiment size parameters.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Fraction of the full Table 1 object counts.
+    pub data_scale: f64,
+    /// Queries per window/point query set (paper: 678).
+    pub num_queries: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Buffer pages during construction.
+    pub construction_buffer: usize,
+    /// Buffer pages during window/point query processing.
+    pub query_buffer: usize,
+    /// Buffer sizes swept by the join experiments (paper: 200–6,400).
+    pub join_buffers: Vec<usize>,
+}
+
+impl Scale {
+    /// Paper-scale parameters (full object counts, 678 queries, buffer
+    /// sweep 200–6,400 pages).
+    pub fn paper() -> Self {
+        Scale {
+            data_scale: 1.0,
+            num_queries: 678,
+            seed: 1994,
+            construction_buffer: 512,
+            query_buffer: 512,
+            join_buffers: vec![200, 400, 800, 1600, 3200, 6400],
+        }
+    }
+
+    /// Small-scale parameters for tests (~1 % of the data; buffer sweep
+    /// scaled to the shrunken data set).
+    pub fn smoke() -> Self {
+        Scale {
+            data_scale: 0.01,
+            num_queries: 60,
+            seed: 1994,
+            construction_buffer: 128,
+            query_buffer: 128,
+            join_buffers: vec![16, 32, 64, 128],
+        }
+    }
+
+    /// Generate a map at this scale (MBR-only geometry: the experiments
+    /// are I/O-cost driven).
+    pub fn map(&self, dataset: spatialdb_data::DataSet) -> SpatialMap {
+        SpatialMap::generate(dataset, self.data_scale, GeometryMode::MbrOnly, self.seed)
+    }
+}
+
+/// Convert generated map objects to storage records.
+pub fn records_of(objects: &[MapObject]) -> Vec<ObjectRecord> {
+    objects
+        .iter()
+        .map(|o| ObjectRecord::new(spatialdb_rtree::ObjectId(o.id), o.mbr, o.size_bytes))
+        .collect()
+}
+
+/// Which cluster-unit sizing to use when building a cluster organization.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClusterSizing {
+    /// Full-`Smax` units (no buddy system).
+    Plain,
+    /// Restricted buddy system with three sizes (Figure 7).
+    RestrictedBuddy,
+}
+
+/// Build an organization model over its own fresh disk, inserting
+/// `records` in order (unsorted input, §5.2) and flushing at the end.
+///
+/// Returns the organization together with the construction I/O
+/// statistics.
+pub fn build_organization(
+    kind: OrganizationKind,
+    records: &[ObjectRecord],
+    smax_bytes: u64,
+    sizing: ClusterSizing,
+    buffer_pages: usize,
+) -> (Organization, IoStats) {
+    let disk = Disk::with_defaults();
+    let pool = new_shared_pool(disk.clone(), buffer_pages);
+    let org = make_org(kind, disk.clone(), pool, smax_bytes, sizing);
+    build_into(org, records, disk)
+}
+
+/// Build an organization on an existing disk + pool (join experiments
+/// put both maps on one machine).
+pub fn build_organization_on(
+    kind: OrganizationKind,
+    records: &[ObjectRecord],
+    smax_bytes: u64,
+    sizing: ClusterSizing,
+    disk: DiskHandle,
+    pool: spatialdb_storage::SharedPool,
+) -> (Organization, IoStats) {
+    let org = make_org(kind, disk.clone(), pool, smax_bytes, sizing);
+    build_into(org, records, disk)
+}
+
+fn make_org(
+    kind: OrganizationKind,
+    disk: DiskHandle,
+    pool: spatialdb_storage::SharedPool,
+    smax_bytes: u64,
+    sizing: ClusterSizing,
+) -> Organization {
+    match kind {
+        OrganizationKind::Secondary => {
+            Organization::Secondary(SecondaryOrganization::new(disk, pool))
+        }
+        OrganizationKind::Primary => Organization::Primary(PrimaryOrganization::new(disk, pool)),
+        OrganizationKind::Cluster => {
+            let config = match sizing {
+                ClusterSizing::Plain => ClusterConfig::plain(smax_bytes),
+                ClusterSizing::RestrictedBuddy => ClusterConfig::restricted_buddy(smax_bytes),
+            };
+            Organization::Cluster(ClusterOrganization::new(disk, pool, config))
+        }
+    }
+}
+
+fn build_into(
+    mut org: Organization,
+    records: &[ObjectRecord],
+    disk: DiskHandle,
+) -> (Organization, IoStats) {
+    let before = disk.stats();
+    // Construction runs with write-through page updates — the update
+    // discipline of the systems the paper measured. This is what makes
+    // the secondary organization's leaf-level forced reinserts expensive
+    // (every relocated entry rewrites a data page) and lets the cluster
+    // organization win Figure 5 despite copying objects on cluster
+    // splits.
+    org.pool().borrow_mut().set_write_through(true);
+    for rec in records {
+        org.insert(rec);
+    }
+    org.flush();
+    org.pool().borrow_mut().set_write_through(false);
+    let stats = disk.stats().since(&before);
+    (org, stats)
+}
+
+/// The three organization kinds in the paper's reporting order.
+pub const ALL_KINDS: [OrganizationKind; 3] = [
+    OrganizationKind::Secondary,
+    OrganizationKind::Primary,
+    OrganizationKind::Cluster,
+];

@@ -1,0 +1,290 @@
+//! Window-query and point-query experiments
+//! (Figures 8, 10, 11, 12 — §5.4 and §5.5 of the paper).
+
+use super::{build_organization, records_of, ClusterSizing, Scale, ALL_KINDS};
+use spatialdb_data::workload::{WindowQuerySet, PAPER_WINDOW_AREAS};
+use spatialdb_data::{DataSet, MapId, SeriesId, SpatialMap};
+use spatialdb_storage::{
+    Organization, OrganizationKind, OrganizationModel, QueryStats, WindowTechnique,
+};
+
+/// Figure 8: one (data set, window area) cell.
+#[derive(Clone, Debug)]
+pub struct WindowOrgRow {
+    /// Series–map combination.
+    pub dataset: DataSet,
+    /// Window area as a fraction of the data space.
+    pub area: f64,
+    /// Average answers per query (the paper reports 5.3 … 22,569).
+    pub avg_candidates: f64,
+    /// Normalized I/O cost in msec per 4 KB of queried data, per
+    /// organization model (secondary, primary, cluster).
+    pub ms_per_4kb: [f64; 3],
+}
+
+/// Run one query set against an organization, cold per query, and return
+/// the aggregated stats.
+fn run_window_set(
+    org: &mut Organization,
+    queries: &WindowQuerySet,
+    technique: WindowTechnique,
+) -> QueryStats {
+    let mut total = QueryStats::default();
+    for w in &queries.windows {
+        org.begin_query();
+        let q = org.window_query(w, technique);
+        total.accumulate(&q);
+    }
+    total
+}
+
+/// Figure 8: window queries of five area classes under the three
+/// organization models. The cluster organization uses the paper's
+/// *simplest* technique — the complete cluster unit is transferred as
+/// soon as one object qualifies.
+pub fn window_query_orgs(scale: &Scale, datasets: &[DataSet]) -> Vec<WindowOrgRow> {
+    let mut rows = Vec::new();
+    for ds in datasets {
+        let spec = ds.spec();
+        let map = scale.map(*ds);
+        let records = records_of(&map.objects);
+        let mut orgs: Vec<Organization> = ALL_KINDS
+            .iter()
+            .map(|kind| {
+                build_organization(
+                    *kind,
+                    &records,
+                    spec.smax_bytes as u64,
+                    ClusterSizing::Plain,
+                    scale.query_buffer,
+                )
+                .0
+            })
+            .collect();
+        for &area in &PAPER_WINDOW_AREAS {
+            let queries = WindowQuerySet::generate(&map, area, scale.num_queries, scale.seed);
+            let mut ms = [0.0f64; 3];
+            let mut candidates = 0usize;
+            for (i, org) in orgs.iter_mut().enumerate() {
+                let total = run_window_set(org, &queries, WindowTechnique::Complete);
+                ms[i] = total.ms_per_4kb().unwrap_or(0.0);
+                candidates = total.candidates;
+            }
+            rows.push(WindowOrgRow {
+                dataset: *ds,
+                area,
+                avg_candidates: candidates as f64 / queries.windows.len() as f64,
+                ms_per_4kb: ms,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 10: one (data set, window area) cell comparing the cluster
+/// organization's query techniques.
+#[derive(Clone, Debug)]
+pub struct TechniqueRow {
+    /// Series–map combination.
+    pub dataset: DataSet,
+    /// Window area fraction.
+    pub area: f64,
+    /// msec per 4 KB for complete / threshold / SLM / optimum.
+    pub ms_per_4kb: [f64; 4],
+}
+
+/// The four techniques of Figure 10, in reporting order.
+pub const FIG10_TECHNIQUES: [WindowTechnique; 4] = [
+    WindowTechnique::Complete,
+    WindowTechnique::Threshold,
+    WindowTechnique::Slm,
+    WindowTechnique::Optimum,
+];
+
+/// Figure 10: window-query techniques on the cluster organization.
+pub fn window_query_techniques(scale: &Scale, datasets: &[DataSet]) -> Vec<TechniqueRow> {
+    let mut rows = Vec::new();
+    for ds in datasets {
+        let spec = ds.spec();
+        let map = scale.map(*ds);
+        let records = records_of(&map.objects);
+        let (mut org, _) = build_organization(
+            OrganizationKind::Cluster,
+            &records,
+            spec.smax_bytes as u64,
+            ClusterSizing::Plain,
+            scale.query_buffer,
+        );
+        for &area in &PAPER_WINDOW_AREAS {
+            let queries = WindowQuerySet::generate(&map, area, scale.num_queries, scale.seed);
+            let mut ms = [0.0f64; 4];
+            for (i, tech) in FIG10_TECHNIQUES.iter().enumerate() {
+                let total = run_window_set(&mut org, &queries, *tech);
+                ms[i] = total.ms_per_4kb().unwrap_or(0.0);
+            }
+            rows.push(TechniqueRow {
+                dataset: *ds,
+                area,
+                ms_per_4kb: ms,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 11: average performance gain (%) obtainable by adapting the
+/// cluster size to the query size, per technique.
+#[derive(Clone, Debug)]
+pub struct AdaptationRow {
+    /// Technique the gains apply to.
+    pub technique: WindowTechnique,
+    /// Gain when the window area changes by a factor of 10.
+    pub gain_factor10_pct: f64,
+    /// Gain when the window area changes by a factor of 100.
+    pub gain_factor100_pct: f64,
+    /// Gain for the paper's highlighted 0.001 % → 0.1 % case.
+    pub gain_0001_to_01_pct: f64,
+}
+
+/// Candidate cluster sizes (in pages) swept by the adaptation study.
+pub const ADAPTATION_CLUSTER_PAGES: [u64; 5] = [5, 10, 20, 40, 80];
+
+/// Figure 11 (§5.4.4, after \[DS93\]): measure the best cluster size per
+/// window size, then quantify how much is lost by keeping the cluster
+/// size tuned for a window area that is off by 10× / 100×.
+pub fn cluster_size_adaptation(scale: &Scale) -> Vec<AdaptationRow> {
+    let ds = DataSet {
+        series: SeriesId::B,
+        map: MapId::Map1,
+    };
+    let map = scale.map(ds);
+    let records = records_of(&map.objects);
+    let techniques = [
+        WindowTechnique::Complete,
+        WindowTechnique::Threshold,
+        WindowTechnique::Slm,
+    ];
+    // cost[t][a][s]: avg ms/4KB for technique t, area index a, size s.
+    let areas = PAPER_WINDOW_AREAS;
+    let mut cost = vec![vec![vec![f64::INFINITY; ADAPTATION_CLUSTER_PAGES.len()]; areas.len()]; 3];
+    for (si, &pages) in ADAPTATION_CLUSTER_PAGES.iter().enumerate() {
+        let smax = pages * spatialdb_disk::PAGE_SIZE as u64;
+        let (mut org, _) = build_organization(
+            OrganizationKind::Cluster,
+            &records,
+            smax,
+            ClusterSizing::Plain,
+            scale.query_buffer,
+        );
+        for (ai, &area) in areas.iter().enumerate() {
+            let queries = WindowQuerySet::generate(&map, area, scale.num_queries, scale.seed);
+            for (ti, tech) in techniques.iter().enumerate() {
+                let total = run_window_set(&mut org, &queries, *tech);
+                cost[ti][ai][si] = total.ms_per_4kb().unwrap_or(f64::INFINITY);
+            }
+        }
+    }
+    let argmin = |v: &[f64]| {
+        v.iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    };
+    techniques
+        .iter()
+        .enumerate()
+        .map(|(ti, tech)| {
+            // Average gain over all area pairs differing by the factor.
+            let gain_for_shift = |shift: usize| {
+                let mut gains = Vec::new();
+                for a in 0..areas.len() {
+                    for b in [a.checked_sub(shift), Some(a + shift)].into_iter().flatten() {
+                        if b >= areas.len() {
+                            continue;
+                        }
+                        // Tuned for area a, but running area b.
+                        let tuned_for_a = argmin(&cost[ti][a]);
+                        let tuned_for_b = argmin(&cost[ti][b]);
+                        let stale = cost[ti][b][tuned_for_a];
+                        let fresh = cost[ti][b][tuned_for_b];
+                        if stale.is_finite() && fresh.is_finite() && stale > 0.0 {
+                            gains.push((stale - fresh) / stale * 100.0);
+                        }
+                    }
+                }
+                if gains.is_empty() {
+                    0.0
+                } else {
+                    gains.iter().sum::<f64>() / gains.len() as f64
+                }
+            };
+            // 0.001% is index 0, 0.1% is index 2.
+            let s_small = argmin(&cost[ti][0]);
+            let s_right = argmin(&cost[ti][2]);
+            let stale = cost[ti][2][s_small];
+            let fresh = cost[ti][2][s_right];
+            let special = if stale.is_finite() && stale > 0.0 {
+                (stale - fresh) / stale * 100.0
+            } else {
+                0.0
+            };
+            AdaptationRow {
+                technique: *tech,
+                gain_factor10_pct: gain_for_shift(1),
+                gain_factor100_pct: gain_for_shift(2),
+                gain_0001_to_01_pct: special,
+            }
+        })
+        .collect()
+}
+
+/// Figure 12: one data set's point-query costs.
+#[derive(Clone, Debug)]
+pub struct PointRow {
+    /// Series–map combination.
+    pub dataset: DataSet,
+    /// Average candidates per point query.
+    pub avg_candidates: f64,
+    /// msec per 4 KB per organization model.
+    pub ms_per_4kb: [f64; 3],
+}
+
+/// Figure 12 (§5.5): 678 point queries at the centres of the window
+/// queries, under the three organization models.
+pub fn point_queries(scale: &Scale, datasets: &[DataSet]) -> Vec<PointRow> {
+    datasets
+        .iter()
+        .map(|ds| {
+            let spec = ds.spec();
+            let map: SpatialMap = scale.map(*ds);
+            let records = records_of(&map.objects);
+            // The paper's points: centres of the §5.4 windows.
+            let windows = WindowQuerySet::generate(&map, 1e-4, scale.num_queries, scale.seed);
+            let points = windows.centers();
+            let mut ms = [0.0f64; 3];
+            let mut candidates = 0usize;
+            for (i, kind) in ALL_KINDS.iter().enumerate() {
+                let (mut org, _) = build_organization(
+                    *kind,
+                    &records,
+                    spec.smax_bytes as u64,
+                    ClusterSizing::Plain,
+                    scale.query_buffer,
+                );
+                let mut total = QueryStats::default();
+                for p in &points.points {
+                    org.begin_query();
+                    total.accumulate(&org.point_query(p));
+                }
+                ms[i] = total.ms_per_4kb().unwrap_or(0.0);
+                candidates = total.candidates;
+            }
+            PointRow {
+                dataset: *ds,
+                avg_candidates: candidates as f64 / points.points.len() as f64,
+                ms_per_4kb: ms,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,72 @@
+//! # spatialdb
+//!
+//! A from-scratch reproduction of Brinkhoff & Kriegel, *"The Impact of
+//! Global Clustering on Spatial Database Systems"*, VLDB 1994 — a spatial
+//! database storage engine built around the paper's **cluster
+//! organization** for global clustering, together with the secondary and
+//! primary organization baselines, an R\*-tree, a magnetic-disk I/O cost
+//! simulator, the window-query techniques (complete / geometric threshold
+//! / SLM / optimum), the R\*-tree spatial join, and a TIGER-like data
+//! generator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spatialdb::{DbOptions, OrganizationKind, Workspace};
+//! use spatialdb::geom::{Point, Polyline, Rect};
+//!
+//! // A workspace is one simulated machine: disk + buffer pool.
+//! let ws = Workspace::new(512);
+//! let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+//!
+//! // Store a street as a polyline.
+//! db.insert_polyline(1, Polyline::new(vec![
+//!     Point::new(0.10, 0.20),
+//!     Point::new(0.12, 0.21),
+//!     Point::new(0.15, 0.20),
+//! ]));
+//!
+//! // Window query with exact refinement.
+//! let hits = db.window_query(&Rect::new(0.0, 0.0, 0.2, 0.3));
+//! assert_eq!(hits, vec![1]);
+//!
+//! // Every access was charged to the simulated disk.
+//! assert!(db.io_stats().io_ms > 0.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`geom`] | geometry kernel (points, MBRs, polylines, polygons) |
+//! | [`disk`] | disk cost model, buffer pool, buddy system, SLM schedules |
+//! | [`rtree`] | the R\*-tree |
+//! | [`storage`] | the three organization models & query techniques |
+//! | [`join`] | the spatial join pipeline |
+//! | [`data`] | synthetic TIGER-like maps & workloads (Table 1) |
+//! | [`experiments`] | drivers regenerating every table/figure of the paper |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod experiments;
+pub mod report;
+
+pub use db::{DbOptions, SpatialDatabase, Workspace};
+
+pub use spatialdb_data as data;
+pub use spatialdb_disk as disk;
+pub use spatialdb_geom as geom;
+pub use spatialdb_join as join;
+pub use spatialdb_rtree as rtree;
+pub use spatialdb_storage as storage;
+
+pub use spatialdb_data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
+pub use spatialdb_disk::{Disk, DiskHandle, DiskParams, IoStats};
+pub use spatialdb_join::{JoinConfig, JoinStats, SpatialJoin};
+pub use spatialdb_rtree::ObjectId;
+pub use spatialdb_storage::{
+    ClusterConfig, Organization, OrganizationKind, OrganizationModel, QueryStats,
+    TransferTechnique, WindowTechnique,
+};

@@ -1,0 +1,193 @@
+//! The maps and test series of Table 1.
+
+use std::fmt;
+
+/// Which of the paper's two maps.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MapId {
+    /// Map 1: 131,461 streets.
+    Map1,
+    /// Map 2: 128,971 administrative boundaries, rivers, railway tracks.
+    Map2,
+}
+
+impl MapId {
+    /// Number of objects in the full map (Table 1).
+    pub fn num_objects(&self) -> usize {
+        match self {
+            MapId::Map1 => 131_461,
+            MapId::Map2 => 128_971,
+        }
+    }
+}
+
+impl fmt::Display for MapId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapId::Map1 => write!(f, "1"),
+            MapId::Map2 => write!(f, "2"),
+        }
+    }
+}
+
+/// Which of the paper's three object-size test series.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SeriesId {
+    /// Series A: smallest objects.
+    A,
+    /// Series B: medium objects (2× A).
+    B,
+    /// Series C: largest objects (4× A).
+    C,
+}
+
+impl fmt::Display for SeriesId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeriesId::A => write!(f, "A"),
+            SeriesId::B => write!(f, "B"),
+            SeriesId::C => write!(f, "C"),
+        }
+    }
+}
+
+/// A combination of test series and map, e.g. `A-1` (Table 1 rows).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DataSet {
+    /// The object-size series.
+    pub series: SeriesId,
+    /// The map.
+    pub map: MapId,
+}
+
+impl fmt::Display for DataSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} - {}", self.series, self.map)
+    }
+}
+
+impl DataSet {
+    /// All six rows of Table 1, in the paper's order.
+    pub fn all() -> [DataSet; 6] {
+        [
+            DataSet { series: SeriesId::A, map: MapId::Map1 },
+            DataSet { series: SeriesId::B, map: MapId::Map1 },
+            DataSet { series: SeriesId::C, map: MapId::Map1 },
+            DataSet { series: SeriesId::A, map: MapId::Map2 },
+            DataSet { series: SeriesId::B, map: MapId::Map2 },
+            DataSet { series: SeriesId::C, map: MapId::Map2 },
+        ]
+    }
+
+    /// The specification (Table 1 row) for this data set.
+    pub fn spec(&self) -> SeriesSpec {
+        let avg_object_bytes = match (self.series, self.map) {
+            (SeriesId::A, MapId::Map1) => 625,
+            (SeriesId::B, MapId::Map1) => 1_247,
+            (SeriesId::C, MapId::Map1) => 2_490,
+            (SeriesId::A, MapId::Map2) => 781,
+            (SeriesId::B, MapId::Map2) => 1_558,
+            (SeriesId::C, MapId::Map2) => 3_113,
+        };
+        let smax_kb = match self.series {
+            SeriesId::A => 80,
+            SeriesId::B => 160,
+            SeriesId::C => 320,
+        };
+        SeriesSpec {
+            dataset: *self,
+            num_objects: self.map.num_objects(),
+            avg_object_bytes,
+            smax_bytes: smax_kb * 1024,
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SeriesSpec {
+    /// Which series-map combination this describes.
+    pub dataset: DataSet,
+    /// Number of objects.
+    pub num_objects: usize,
+    /// Average object size in bytes.
+    pub avg_object_bytes: usize,
+    /// Maximum size of a cluster unit `Smax` in bytes.
+    pub smax_bytes: usize,
+}
+
+impl SeriesSpec {
+    /// Total data volume in megabytes (`num_objects · avg_object_bytes`).
+    pub fn total_mb(&self) -> f64 {
+        (self.num_objects * self.avg_object_bytes) as f64 / (1024.0 * 1024.0)
+    }
+
+    /// `Smax` in 4 KB pages.
+    pub fn smax_pages(&self) -> u64 {
+        (self.smax_bytes as u64).div_ceil(spatialdb_disk::PAGE_SIZE as u64)
+    }
+
+    /// The paper's `Smax ≈ 1.5 · M · S_obj` rule of §4.2, for checking the
+    /// Table 1 values.
+    pub fn smax_rule(&self, max_entries: usize) -> f64 {
+        1.5 * max_entries as f64 * self.avg_object_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_object_counts() {
+        assert_eq!(MapId::Map1.num_objects(), 131_461);
+        assert_eq!(MapId::Map2.num_objects(), 128_971);
+    }
+
+    #[test]
+    fn table1_total_sizes_match_paper() {
+        // Paper: A-1 = 78.4 MB, B-1 = 156.3, C-1 = 312.1,
+        //        A-2 = 96.1, B-2 = 191.7, C-2 = 382.9.
+        let expect = [78.4, 156.3, 312.1, 96.1, 191.7, 382.9];
+        for (ds, want) in DataSet::all().iter().zip(expect) {
+            let got = ds.spec().total_mb();
+            assert!(
+                (got - want).abs() < 1.0,
+                "{ds}: computed {got:.1} MB, paper says {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn smax_pages() {
+        let a1 = DataSet { series: SeriesId::A, map: MapId::Map1 }.spec();
+        assert_eq!(a1.smax_pages(), 20);
+        let c2 = DataSet { series: SeriesId::C, map: MapId::Map2 }.spec();
+        assert_eq!(c2.smax_pages(), 80);
+    }
+
+    #[test]
+    fn smax_rule_approximates_table1() {
+        // §4.2: Smax ≈ 1.5 · M · S_obj with M = 89.
+        // For A-1: 1.5 · 89 · 625 = 83,437 B ≈ 80 KB. The paper rounds to
+        // the series' power-of-two-ish KB values.
+        let a1 = DataSet { series: SeriesId::A, map: MapId::Map1 }.spec();
+        let rule = a1.smax_rule(89);
+        let table = a1.smax_bytes as f64;
+        assert!((rule - table).abs() / table < 0.10, "rule {rule} vs {table}");
+    }
+
+    #[test]
+    fn display_format_matches_paper() {
+        let ds = DataSet { series: SeriesId::C, map: MapId::Map1 };
+        assert_eq!(ds.to_string(), "C - 1");
+    }
+
+    #[test]
+    fn all_covers_six_rows() {
+        let all = DataSet::all();
+        assert_eq!(all.len(), 6);
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), 6);
+    }
+}

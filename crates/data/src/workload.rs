@@ -1,0 +1,289 @@
+//! Query workloads and join calibration (§5.4, §5.5, §6.1).
+
+use crate::maps::SpatialMap;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spatialdb_geom::{Point, Rect};
+
+/// Number of queries per experiment in the paper (§5.4: *"For each test,
+/// 678 queries were started"*).
+pub const PAPER_QUERY_COUNT: usize = 678;
+
+/// The window-area fractions of the data space used in Figures 8 and 10:
+/// 0.001 %, 0.01 %, 0.1 %, 1 %, 10 %.
+pub const PAPER_WINDOW_AREAS: [f64; 5] = [1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
+
+/// A set of window queries of one area class.
+#[derive(Clone, Debug)]
+pub struct WindowQuerySet {
+    /// Fraction of the data-space area each window covers.
+    pub area_fraction: f64,
+    /// The query windows.
+    pub windows: Vec<Rect>,
+}
+
+impl WindowQuerySet {
+    /// Generate `count` square windows of the given area fraction whose
+    /// centres follow the MBR distribution: *"each window center was
+    /// contained in the MBR of a stored object"* (§5.4) — a random point
+    /// inside the MBR of a randomly chosen object.
+    pub fn generate(map: &SpatialMap, area_fraction: f64, count: usize, seed: u64) -> Self {
+        assert!(area_fraction > 0.0 && area_fraction <= 1.0);
+        assert!(!map.is_empty(), "cannot place queries on an empty map");
+        let side = area_fraction.sqrt(); // data space is the unit square
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5ca1ab1e);
+        let mut windows = Vec::with_capacity(count);
+        for _ in 0..count {
+            let obj = &map.objects[rng.gen_range(0..map.objects.len())];
+            let m = obj.mbr;
+            let cx = if m.width() > 0.0 {
+                rng.gen_range(m.xmin..=m.xmax)
+            } else {
+                m.xmin
+            };
+            let cy = if m.height() > 0.0 {
+                rng.gen_range(m.ymin..=m.ymax)
+            } else {
+                m.ymin
+            };
+            windows.push(Rect::centered(Point::new(cx, cy), side, side));
+        }
+        WindowQuerySet {
+            area_fraction,
+            windows,
+        }
+    }
+
+    /// The paper-standard set: 678 windows.
+    pub fn paper_standard(map: &SpatialMap, area_fraction: f64, seed: u64) -> Self {
+        Self::generate(map, area_fraction, PAPER_QUERY_COUNT, seed)
+    }
+
+    /// The centres of the windows (the paper's point-query workload,
+    /// §5.5: *"the query points being the centers of the window
+    /// queries"*).
+    pub fn centers(&self) -> PointQuerySet {
+        PointQuerySet {
+            points: self.windows.iter().map(|w| w.center()).collect(),
+        }
+    }
+}
+
+/// A set of point queries.
+#[derive(Clone, Debug)]
+pub struct PointQuerySet {
+    /// The query points.
+    pub points: Vec<Point>,
+}
+
+/// Scale every MBR around its centre by `factor` (§6.1: the join versions
+/// *a* and *b* are *"derived … by using MBRs with different extensions"*).
+pub fn inflate_mbrs(mbrs: &[Rect], factor: f64) -> Vec<Rect> {
+    mbrs.iter().map(|r| r.scale(factor)).collect()
+}
+
+/// Average number of rectangles of `b` each rectangle of `a` intersects,
+/// computed with a uniform grid in `O(n + k)`.
+///
+/// This is the join selectivity measure of §6.1 (version a: ≈ 0.65
+/// intersections per MBR; version b: ≈ 9).
+pub fn pairs_per_mbr(a: &[Rect], b: &[Rect]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let pairs = count_intersections(a, b);
+    pairs as f64 / a.len() as f64
+}
+
+/// Count intersecting pairs between two rectangle sets with a uniform
+/// grid; each pair is counted exactly once (reported only in the grid
+/// cell containing the top-left corner of the pair's intersection).
+pub fn count_intersections(a: &[Rect], b: &[Rect]) -> u64 {
+    let n = (a.len() + b.len()).max(1);
+    let cells_per_side = ((n as f64).sqrt().ceil() as usize).clamp(1, 2048);
+    let cell = 1.0 / cells_per_side as f64;
+    let clamp_idx = |v: f64| -> usize {
+        ((v / cell).floor() as isize).clamp(0, cells_per_side as isize - 1) as usize
+    };
+    // Bucket the rectangles of b by every cell they overlap.
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, r) in b.iter().enumerate() {
+        let (x0, x1) = (clamp_idx(r.xmin), clamp_idx(r.xmax));
+        let (y0, y1) = (clamp_idx(r.ymin), clamp_idx(r.ymax));
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                grid[y * cells_per_side + x].push(i as u32);
+            }
+        }
+    }
+    let mut count = 0u64;
+    for ra in a {
+        let (x0, x1) = (clamp_idx(ra.xmin), clamp_idx(ra.xmax));
+        let (y0, y1) = (clamp_idx(ra.ymin), clamp_idx(ra.ymax));
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                for &bi in &grid[y * cells_per_side + x] {
+                    let rb = &b[bi as usize];
+                    if !ra.intersects(rb) {
+                        continue;
+                    }
+                    // Home-cell test: count only where the intersection's
+                    // lower-left corner lives.
+                    let ix = ra.xmin.max(rb.xmin);
+                    let iy = ra.ymin.max(rb.ymin);
+                    if clamp_idx(ix) == x && clamp_idx(iy) == y {
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Find the MBR inflation factor that makes `pairs_per_mbr` hit `target`
+/// within `tol` (relative), by bisection over `[lo, hi]`.
+///
+/// Both maps' MBRs are inflated by the same factor, matching the paper's
+/// setup of deriving both join versions from the same geometry.
+pub fn calibrate_inflation(a: &[Rect], b: &[Rect], target: f64, tol: f64) -> f64 {
+    let (mut lo, mut hi) = (0.05f64, 64.0f64);
+    let selectivity = |f: f64| {
+        let ia = inflate_mbrs(a, f);
+        let ib = inflate_mbrs(b, f);
+        pairs_per_mbr(&ia, &ib)
+    };
+    for _ in 0..48 {
+        let mid = (lo * hi).sqrt(); // geometric bisection: scale-free
+        let s = selectivity(mid);
+        if (s - target).abs() / target < tol {
+            return mid;
+        }
+        if s < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo * hi).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maps::GeometryMode;
+    use crate::series::{DataSet, MapId, SeriesId};
+
+    fn small_map() -> SpatialMap {
+        SpatialMap::generate(
+            DataSet {
+                series: SeriesId::A,
+                map: MapId::Map1,
+            },
+            0.01,
+            GeometryMode::MbrOnly,
+            42,
+        )
+    }
+
+    #[test]
+    fn windows_have_requested_area() {
+        let map = small_map();
+        let ws = WindowQuerySet::generate(&map, 1e-3, 50, 7);
+        for w in &ws.windows {
+            assert!((w.area() - 1e-3).abs() < 1e-12);
+            assert!((w.width() - w.height()).abs() < 1e-12, "square windows");
+        }
+    }
+
+    #[test]
+    fn window_centers_inside_some_mbr() {
+        let map = small_map();
+        let ws = WindowQuerySet::generate(&map, 1e-4, 100, 3);
+        for w in &ws.windows {
+            let c = w.center();
+            assert!(
+                map.objects.iter().any(|o| o.mbr.contains_point(&c)),
+                "window centre {c} outside every MBR"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_standard_count() {
+        let map = small_map();
+        let ws = WindowQuerySet::paper_standard(&map, 1e-5, 1);
+        assert_eq!(ws.windows.len(), PAPER_QUERY_COUNT);
+    }
+
+    #[test]
+    fn centers_are_window_centers() {
+        let map = small_map();
+        let ws = WindowQuerySet::generate(&map, 1e-3, 20, 9);
+        let ps = ws.centers();
+        assert_eq!(ps.points.len(), 20);
+        for (p, w) in ps.points.iter().zip(&ws.windows) {
+            assert_eq!(*p, w.center());
+        }
+    }
+
+    #[test]
+    fn workload_deterministic() {
+        let map = small_map();
+        let w1 = WindowQuerySet::generate(&map, 1e-3, 30, 5);
+        let w2 = WindowQuerySet::generate(&map, 1e-3, 30, 5);
+        assert_eq!(w1.windows, w2.windows);
+    }
+
+    #[test]
+    fn count_intersections_matches_brute_force() {
+        let map = small_map();
+        let a: Vec<Rect> = map.mbrs().into_iter().take(300).collect();
+        let b: Vec<Rect> = map.mbrs().into_iter().skip(300).take(300).collect();
+        let brute = a
+            .iter()
+            .map(|ra| b.iter().filter(|rb| ra.intersects(rb)).count() as u64)
+            .sum::<u64>();
+        assert_eq!(count_intersections(&a, &b), brute);
+    }
+
+    #[test]
+    fn inflate_preserves_center_scales_area() {
+        let r = Rect::new(0.2, 0.2, 0.4, 0.6);
+        let out = inflate_mbrs(&[r], 2.0);
+        assert_eq!(out[0].center(), r.center());
+        assert!((out[0].area() - 4.0 * r.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inflation_increases_selectivity() {
+        let map = small_map();
+        let a = map.mbrs();
+        let small = pairs_per_mbr(&inflate_mbrs(&a, 0.5), &inflate_mbrs(&a, 0.5));
+        let large = pairs_per_mbr(&inflate_mbrs(&a, 4.0), &inflate_mbrs(&a, 4.0));
+        assert!(large > small);
+    }
+
+    #[test]
+    fn calibration_hits_target() {
+        let m1 = small_map();
+        let m2 = SpatialMap::generate(
+            DataSet {
+                series: SeriesId::A,
+                map: MapId::Map2,
+            },
+            0.01,
+            GeometryMode::MbrOnly,
+            42,
+        );
+        let a = m1.mbrs();
+        let b = m2.mbrs();
+        let target = 2.0;
+        let f = calibrate_inflation(&a, &b, target, 0.05);
+        let got = pairs_per_mbr(&inflate_mbrs(&a, f), &inflate_mbrs(&b, f));
+        assert!(
+            (got - target).abs() / target < 0.15,
+            "calibrated {f}: selectivity {got} target {target}"
+        );
+    }
+}

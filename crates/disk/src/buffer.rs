@@ -1,0 +1,796 @@
+//! LRU page buffer and the buffered I/O front-end.
+//!
+//! Every experiment of the paper runs with an LRU buffer in front of the
+//! disk (§6.1 sweeps buffer sizes from 200 to 6,400 pages for the spatial
+//! join). The buffer determines which page accesses become disk requests;
+//! Figure 15 distinguishes the *read* operation (all transferred pages are
+//! allocated in the buffer, including bridged non-requested pages) from
+//! the *vector read* (only requested pages are kept).
+
+use crate::disk::DiskHandle;
+use crate::model::{runs_of, PageId, PageRun};
+use crate::schedule::{slm_schedule, ScheduledRun};
+use crate::stats::IoKind;
+use std::collections::HashMap;
+
+/// How transferred pages enter the buffer (Figure 15).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReadMode {
+    /// Normal read: every transferred page — requested or bridged — is
+    /// allocated in the buffer.
+    Normal,
+    /// Vector read: only requested pages are stored; bridged pages are
+    /// transferred but dropped.
+    Vector,
+}
+
+/// Seek accounting for multi-request reads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SeekPolicy {
+    /// Every request pays a seek: the target runs are scattered across the
+    /// disk (e.g. candidate objects in the secondary organization's
+    /// sequential file).
+    PerRequest,
+    /// All requests stay within one cluster unit (§5.4.3): only the first
+    /// pays a seek — and not even that one if `initial_seek` is false
+    /// because an earlier access already positioned the arm on the unit.
+    WithinCluster {
+        /// Whether the first issued request pays the seek.
+        initial_seek: bool,
+    },
+}
+
+impl SeekPolicy {
+    fn skip_seek(&self, request_index: u64) -> bool {
+        match self {
+            SeekPolicy::PerRequest => false,
+            SeekPolicy::WithinCluster { initial_seek } => {
+                !(*initial_seek && request_index == 0)
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    page: PageId,
+    dirty: bool,
+    pinned: bool,
+    prev: Option<usize>,
+    next: Option<usize>,
+}
+
+/// A page-granular LRU buffer with dirty flags and pinning.
+///
+/// Pure replacement logic — it never talks to the disk. [`BufferPool`]
+/// pairs it with a [`DiskHandle`] and charges the misses and dirty
+/// evictions.
+#[derive(Debug)]
+pub struct LruBuffer {
+    capacity: usize,
+    map: HashMap<PageId, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    /// Most recently used node.
+    head: Option<usize>,
+    /// Least recently used node.
+    tail: Option<usize>,
+}
+
+impl LruBuffer {
+    /// Create a buffer holding at most `capacity` pages.
+    ///
+    /// A capacity of zero disables buffering: every access misses and
+    /// nothing is retained.
+    pub fn new(capacity: usize) -> Self {
+        LruBuffer {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: None,
+            tail: None,
+        }
+    }
+
+    /// Buffer capacity in pages.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of buffered pages.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if no page is buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `true` if `page` is buffered.
+    #[inline]
+    pub fn contains(&self, page: &PageId) -> bool {
+        self.map.contains_key(page)
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        match prev {
+            Some(p) => self.nodes[p].next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.nodes[n].prev = prev,
+            None => self.tail = prev,
+        }
+        self.nodes[idx].prev = None;
+        self.nodes[idx].next = None;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = None;
+        self.nodes[idx].next = self.head;
+        if let Some(h) = self.head {
+            self.nodes[h].prev = Some(idx);
+        }
+        self.head = Some(idx);
+        if self.tail.is_none() {
+            self.tail = Some(idx);
+        }
+    }
+
+    /// Touch `page` (move to MRU). Returns `true` if it was buffered.
+    pub fn touch(&mut self, page: &PageId) -> bool {
+        if let Some(&idx) = self.map.get(page) {
+            self.unlink(idx);
+            self.push_front(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Insert `page` (as MRU) with the given dirty flag, evicting LRU
+    /// pages as needed. If the page is already buffered it is touched and
+    /// its dirty flag is OR-ed. Returns the evicted `(page, was_dirty)`
+    /// pairs (empty for capacity-0 buffers, where nothing is retained and
+    /// nothing evicted).
+    pub fn insert(&mut self, page: PageId, dirty: bool) -> Vec<(PageId, bool)> {
+        if self.capacity == 0 {
+            return Vec::new();
+        }
+        if let Some(&idx) = self.map.get(&page) {
+            self.unlink(idx);
+            self.push_front(idx);
+            self.nodes[idx].dirty |= dirty;
+            return Vec::new();
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node {
+                    page,
+                    dirty,
+                    pinned: false,
+                    prev: None,
+                    next: None,
+                };
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    page,
+                    dirty,
+                    pinned: false,
+                    prev: None,
+                    next: None,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(page, idx);
+        self.push_front(idx);
+        let mut evicted = Vec::new();
+        while self.map.len() > self.capacity {
+            match self.evict_one() {
+                Some(e) => evicted.push(e),
+                None => break, // everything pinned; allow temporary overflow
+            }
+        }
+        evicted
+    }
+
+    fn evict_one(&mut self) -> Option<(PageId, bool)> {
+        let mut cur = self.tail;
+        while let Some(idx) = cur {
+            if self.nodes[idx].pinned {
+                cur = self.nodes[idx].prev;
+                continue;
+            }
+            let node = self.nodes[idx];
+            self.unlink(idx);
+            self.map.remove(&node.page);
+            self.free.push(idx);
+            return Some((node.page, node.dirty));
+        }
+        None
+    }
+
+    /// Mark a buffered page dirty. Returns `true` if the page was present.
+    pub fn mark_dirty(&mut self, page: &PageId) -> bool {
+        if let Some(&idx) = self.map.get(page) {
+            self.nodes[idx].dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pin a buffered page (exempt from eviction). Returns `true` if
+    /// present.
+    pub fn pin(&mut self, page: &PageId) -> bool {
+        if let Some(&idx) = self.map.get(page) {
+            self.nodes[idx].pinned = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Unpin a buffered page. Returns `true` if present.
+    pub fn unpin(&mut self, page: &PageId) -> bool {
+        if let Some(&idx) = self.map.get(page) {
+            self.nodes[idx].pinned = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove a page from the buffer, returning its dirty flag.
+    pub fn remove(&mut self, page: &PageId) -> Option<bool> {
+        let idx = self.map.remove(page)?;
+        let dirty = self.nodes[idx].dirty;
+        self.unlink(idx);
+        self.free.push(idx);
+        Some(dirty)
+    }
+
+    /// Iterate over all buffered pages (arbitrary order).
+    pub fn pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// All dirty pages, sorted by address (ready for run formation).
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        let mut v: Vec<_> = self
+            .map
+            .iter()
+            .filter(|(_, &i)| self.nodes[i].dirty)
+            .map(|(p, _)| *p)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Clear the dirty flag of a page (after it was written back).
+    pub fn clear_dirty(&mut self, page: &PageId) {
+        if let Some(&idx) = self.map.get(page) {
+            self.nodes[idx].dirty = false;
+        }
+    }
+}
+
+/// Outcome of a buffered multi-page read.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Number of disk requests issued.
+    pub requests: u64,
+    /// Pages transferred from disk (misses, incl. bridged pages).
+    pub pages_transferred: u64,
+    /// Pages served from the buffer.
+    pub buffer_hits: u64,
+}
+
+impl ReadOutcome {
+    /// `true` if at least one disk request was issued.
+    #[inline]
+    pub fn issued_io(&self) -> bool {
+        self.requests > 0
+    }
+}
+
+/// LRU buffer bound to a disk: the component every organization model
+/// reads and writes through.
+#[derive(Debug)]
+pub struct BufferPool {
+    disk: DiskHandle,
+    buf: LruBuffer,
+    write_through: bool,
+}
+
+impl BufferPool {
+    /// Create a pool with `capacity` pages over `disk`.
+    pub fn new(disk: DiskHandle, capacity: usize) -> Self {
+        BufferPool {
+            disk,
+            buf: LruBuffer::new(capacity),
+            write_through: false,
+        }
+    }
+
+    /// Switch between write-back (default) and write-through page
+    /// updates.
+    ///
+    /// In write-through mode every [`BufferPool::write_page`] /
+    /// [`BufferPool::update_page`] charges its write request immediately
+    /// and the buffered copy stays clean — the update discipline of the
+    /// systems the paper measured, and the mode the construction
+    /// experiments (Figure 5) run under. Write-back defers the write to
+    /// eviction or [`BufferPool::flush`].
+    pub fn set_write_through(&mut self, on: bool) {
+        self.write_through = on;
+    }
+
+    /// Whether write-through mode is active.
+    pub fn write_through(&self) -> bool {
+        self.write_through
+    }
+
+    /// The underlying disk handle.
+    #[inline]
+    pub fn disk(&self) -> &DiskHandle {
+        &self.disk
+    }
+
+    /// Direct access to the replacement state (tests, pin management).
+    #[inline]
+    pub fn buffer_mut(&mut self) -> &mut LruBuffer {
+        &mut self.buf
+    }
+
+    /// Immutable access to the replacement state.
+    #[inline]
+    pub fn buffer(&self) -> &LruBuffer {
+        &self.buf
+    }
+
+    fn charge_evictions(&mut self, evicted: Vec<(PageId, bool)>) {
+        for (page, dirty) in evicted {
+            if dirty {
+                self.disk
+                    .charge(IoKind::Write, PageRun::new(page, 1), false);
+            }
+        }
+    }
+
+    /// Read a single page. Returns `true` on a buffer hit.
+    pub fn read_page(&mut self, page: PageId) -> bool {
+        if self.buf.touch(&page) {
+            return true;
+        }
+        self.disk.charge(IoKind::Read, PageRun::new(page, 1), false);
+        let ev = self.buf.insert(page, false);
+        self.charge_evictions(ev);
+        false
+    }
+
+    /// Blind single-page write: the page is (re)written without being
+    /// read first — e.g. appending records to a fresh page. In
+    /// write-back mode the page is buffered dirty and the physical write
+    /// happens on eviction or flush; in write-through mode the write is
+    /// charged immediately.
+    pub fn write_page(&mut self, page: PageId) {
+        if self.buf.capacity() == 0 || self.write_through {
+            self.disk
+                .charge(IoKind::Write, PageRun::new(page, 1), false);
+            if self.buf.capacity() > 0 {
+                let ev = self.buf.insert(page, false);
+                self.charge_evictions(ev);
+            }
+            return;
+        }
+        let ev = self.buf.insert(page, true);
+        self.charge_evictions(ev);
+    }
+
+    /// Read-modify-write of a single page: charged read on miss, then
+    /// marked dirty (write-back) or written immediately (write-through).
+    pub fn update_page(&mut self, page: PageId) -> bool {
+        if self.buf.capacity() == 0 {
+            self.disk.charge(IoKind::Read, PageRun::new(page, 1), false);
+            self.disk
+                .charge(IoKind::Write, PageRun::new(page, 1), false);
+            return false;
+        }
+        let hit = self.buf.touch(&page);
+        if !hit {
+            self.disk.charge(IoKind::Read, PageRun::new(page, 1), false);
+            let ev = self.buf.insert(page, false);
+            self.charge_evictions(ev);
+        }
+        if self.write_through {
+            self.disk
+                .charge(IoKind::Write, PageRun::new(page, 1), false);
+        } else {
+            self.buf.mark_dirty(&page);
+        }
+        hit
+    }
+
+    /// Read a set of pages (sorted, deduplicated). Missing pages are
+    /// grouped into maximal consecutive runs, each one request, charged
+    /// according to the [`SeekPolicy`].
+    pub fn read_set(&mut self, pages: &[PageId], seek: SeekPolicy) -> ReadOutcome {
+        debug_assert!(pages.windows(2).all(|w| w[0] < w[1]), "pages must be sorted");
+        let mut out = ReadOutcome::default();
+        let mut missing = Vec::new();
+        for p in pages {
+            if self.buf.touch(p) {
+                out.buffer_hits += 1;
+            } else {
+                missing.push(*p);
+            }
+        }
+        for run in runs_of(&missing) {
+            self.disk
+                .charge(IoKind::Read, run, seek.skip_seek(out.requests));
+            out.requests += 1;
+            out.pages_transferred += run.len;
+        }
+        for p in missing {
+            let ev = self.buf.insert(p, false);
+            self.charge_evictions(ev);
+        }
+        out
+    }
+
+    /// Insert pages into the buffer without charging any I/O, pinning
+    /// them against eviction.
+    ///
+    /// Models the standard assumption that the index directory is
+    /// memory-resident during query processing; the experiments warm the
+    /// directory pages this way so that only data-page and object I/O is
+    /// measured, as the paper does.
+    pub fn warm_pinned(&mut self, pages: impl IntoIterator<Item = PageId>) {
+        for p in pages {
+            let ev = self.buf.insert(p, false);
+            self.charge_evictions(ev);
+            self.buf.pin(&p);
+        }
+    }
+
+    /// Drop all buffered pages of the given regions without writing
+    /// anything (per-query cold-start for object pages while the tree
+    /// stays warm). Pinned pages are dropped too.
+    pub fn invalidate_regions(&mut self, regions: &[crate::model::RegionId]) {
+        let victims: Vec<PageId> = self
+            .buf
+            .pages()
+            .filter(|p| regions.contains(&p.region))
+            .collect();
+        for p in victims {
+            self.buf.remove(&p);
+        }
+    }
+
+    /// Read a complete extent (cluster unit) with one request, regardless
+    /// of how many of its pages are already buffered — the *complete*
+    /// technique of §5.4. All pages enter the buffer.
+    ///
+    /// The caller should skip the call entirely when every *needed* page
+    /// is buffered; once any disk access is required, the whole unit is
+    /// transferred in one request.
+    pub fn read_full_extent(&mut self, extent: PageRun) -> ReadOutcome {
+        self.disk.charge(IoKind::Read, extent, false);
+        let mut out = ReadOutcome {
+            requests: 1,
+            pages_transferred: extent.len,
+            buffer_hits: 0,
+        };
+        if self.buf.capacity() == 0 {
+            return out;
+        }
+        for p in extent.pages() {
+            if self.buf.contains(&p) {
+                out.buffer_hits += 1;
+                self.buf.touch(&p);
+            } else {
+                let ev = self.buf.insert(p, false);
+                self.charge_evictions(ev);
+            }
+        }
+        out
+    }
+
+    /// Read the requested page offsets of `extent` with an SLM schedule
+    /// bridging gaps of up to `max_gap` pages (§5.4.2). Already-buffered
+    /// pages are excluded from the schedule. `mode` decides whether
+    /// bridged pages enter the buffer (Figure 15). The first issued
+    /// request pays the seek iff `initial_seek`.
+    pub fn read_extent_slm(
+        &mut self,
+        extent: PageRun,
+        requested_offsets: &[u64],
+        max_gap: u64,
+        mode: ReadMode,
+        initial_seek: bool,
+    ) -> ReadOutcome {
+        let mut out = ReadOutcome::default();
+        let mut missing = Vec::with_capacity(requested_offsets.len());
+        for &o in requested_offsets {
+            debug_assert!(o < extent.len, "offset {o} outside extent");
+            let p = extent.page(o);
+            if self.buf.touch(&p) {
+                out.buffer_hits += 1;
+            } else {
+                missing.push(o);
+            }
+        }
+        let schedule: Vec<ScheduledRun> = slm_schedule(&missing, max_gap);
+        for (i, run) in schedule.iter().enumerate() {
+            let skip = !(initial_seek && i == 0);
+            let page_run = PageRun::new(extent.page(run.start), run.len);
+            self.disk.charge(IoKind::Read, page_run, skip);
+            out.requests += 1;
+            out.pages_transferred += run.len;
+            if self.buf.capacity() == 0 {
+                continue;
+            }
+            for off in run.start..run.start + run.len {
+                let requested = missing.binary_search(&off).is_ok();
+                if mode == ReadMode::Vector && !requested {
+                    continue;
+                }
+                let p = extent.page(off);
+                if !self.buf.contains(&p) {
+                    let ev = self.buf.insert(p, false);
+                    self.charge_evictions(ev);
+                } else {
+                    self.buf.touch(&p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Bulk sequential write of a fresh extent (e.g. a cluster split
+    /// writing a new cluster unit): one request, bypassing the buffer.
+    pub fn write_extent(&mut self, extent: PageRun) {
+        self.disk.charge(IoKind::Write, extent, false);
+        // Pages written this way replace any stale buffered copies.
+        for p in extent.pages() {
+            if self.buf.contains(&p) {
+                self.buf.clear_dirty(&p);
+            }
+        }
+    }
+
+    /// Write back all dirty pages, grouped into maximal consecutive runs.
+    pub fn flush(&mut self) {
+        let dirty = self.buf.dirty_pages();
+        for run in runs_of(&dirty) {
+            self.disk.charge(IoKind::Write, run, false);
+        }
+        for p in dirty {
+            self.buf.clear_dirty(&p);
+        }
+    }
+
+    /// Drop every buffered page without writing anything (experiment
+    /// boundary where the buffer must start cold).
+    pub fn invalidate_all(&mut self) {
+        let cap = self.buf.capacity();
+        self.buf = LruBuffer::new(cap);
+    }
+
+    /// Replace the buffer with an empty one of `capacity` pages (the
+    /// buffer-size sweeps of Figures 14 and 16 resize between runs).
+    pub fn reset(&mut self, capacity: usize) {
+        self.buf = LruBuffer::new(capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::Disk;
+    use crate::model::RegionId;
+
+    fn pool(cap: usize) -> (DiskHandle, BufferPool, RegionId) {
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("data");
+        let pool = BufferPool::new(disk.clone(), cap);
+        (disk, pool, r)
+    }
+
+    fn pg(r: RegionId, o: u64) -> PageId {
+        PageId::new(r, o)
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut b = LruBuffer::new(2);
+        let r = RegionId(0);
+        assert!(b.insert(pg(r, 1), false).is_empty());
+        assert!(b.insert(pg(r, 2), false).is_empty());
+        let ev = b.insert(pg(r, 3), false);
+        assert_eq!(ev, vec![(pg(r, 1), false)]);
+        // Touch 2, insert 4 → 3 evicted.
+        assert!(b.touch(&pg(r, 2)));
+        let ev = b.insert(pg(r, 4), false);
+        assert_eq!(ev, vec![(pg(r, 3), false)]);
+    }
+
+    #[test]
+    fn lru_pinned_pages_survive() {
+        let mut b = LruBuffer::new(2);
+        let r = RegionId(0);
+        b.insert(pg(r, 1), false);
+        b.pin(&pg(r, 1));
+        b.insert(pg(r, 2), false);
+        let ev = b.insert(pg(r, 3), false);
+        // Page 1 is pinned; page 2 is evicted instead.
+        assert_eq!(ev, vec![(pg(r, 2), false)]);
+        assert!(b.contains(&pg(r, 1)));
+        b.unpin(&pg(r, 1));
+        let ev = b.insert(pg(r, 4), false);
+        assert_eq!(ev, vec![(pg(r, 1), false)]);
+    }
+
+    #[test]
+    fn lru_dirty_flag_propagates() {
+        let mut b = LruBuffer::new(1);
+        let r = RegionId(0);
+        b.insert(pg(r, 1), false);
+        b.mark_dirty(&pg(r, 1));
+        let ev = b.insert(pg(r, 2), false);
+        assert_eq!(ev, vec![(pg(r, 1), true)]);
+    }
+
+    #[test]
+    fn lru_zero_capacity_retains_nothing() {
+        let mut b = LruBuffer::new(0);
+        let r = RegionId(0);
+        assert!(b.insert(pg(r, 1), true).is_empty());
+        assert!(!b.contains(&pg(r, 1)));
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn read_page_hit_and_miss() {
+        let (disk, mut pool, r) = pool(4);
+        assert!(!pool.read_page(pg(r, 0))); // miss: 16 ms
+        assert!(pool.read_page(pg(r, 0))); // hit: free
+        let s = disk.stats();
+        assert_eq!(s.read_requests, 1);
+        assert_eq!(s.io_ms, 16.0);
+    }
+
+    #[test]
+    fn dirty_eviction_charges_write() {
+        let (disk, mut pool, r) = pool(1);
+        pool.write_page(pg(r, 0)); // buffered dirty, no I/O yet
+        assert_eq!(disk.stats().requests(), 0);
+        pool.read_page(pg(r, 1)); // evicts dirty page 0 → 1 write + 1 read
+        let s = disk.stats();
+        assert_eq!(s.write_requests, 1);
+        assert_eq!(s.read_requests, 1);
+    }
+
+    #[test]
+    fn read_set_groups_runs() {
+        let (disk, mut pool, r) = pool(16);
+        let pages = vec![pg(r, 0), pg(r, 1), pg(r, 2), pg(r, 8)];
+        let out = pool.read_set(&pages, SeekPolicy::WithinCluster { initial_seek: true });
+        assert_eq!(out.requests, 2);
+        assert_eq!(out.pages_transferred, 4);
+        // First request seeks (9+6+3), second one skips the seek (6+1).
+        assert_eq!(disk.stats().io_ms, 18.0 + 7.0);
+        assert_eq!(disk.stats().seeks, 1);
+    }
+
+    #[test]
+    fn read_set_hits_reduce_transfers() {
+        let (disk, mut pool, r) = pool(16);
+        pool.read_page(pg(r, 1));
+        disk.reset_stats();
+        let out = pool.read_set(&[pg(r, 0), pg(r, 1), pg(r, 2)], SeekPolicy::WithinCluster { initial_seek: true });
+        assert_eq!(out.buffer_hits, 1);
+        assert_eq!(out.requests, 2); // runs [0] and [2]
+        assert_eq!(out.pages_transferred, 2);
+    }
+
+    #[test]
+    fn full_extent_read_is_one_request() {
+        let (disk, mut pool, r) = pool(64);
+        let extent = PageRun::new(pg(r, 100), 20);
+        let out = pool.read_full_extent(extent);
+        assert_eq!(out.requests, 1);
+        assert_eq!(out.pages_transferred, 20);
+        assert_eq!(disk.stats().io_ms, 35.0); // 9 + 6 + 20
+        assert!(pool.buffer().contains(&pg(r, 119)));
+    }
+
+    #[test]
+    fn slm_read_bridges_gaps_and_modes_differ() {
+        let (disk, mut pool, r) = pool(64);
+        let extent = PageRun::new(pg(r, 0), 12);
+        // Requested offsets 0, 2, 3 with gap 1 bridged.
+        let out = pool.read_extent_slm(extent, &[0, 2, 3], 1, ReadMode::Normal, true);
+        assert_eq!(out.requests, 1);
+        assert_eq!(out.pages_transferred, 4);
+        assert!(pool.buffer().contains(&pg(r, 1))); // bridged page kept
+        pool.invalidate_all();
+        disk.reset_stats();
+        let out = pool.read_extent_slm(extent, &[0, 2, 3], 1, ReadMode::Vector, true);
+        assert_eq!(out.pages_transferred, 4);
+        assert!(!pool.buffer().contains(&pg(r, 1))); // bridged page dropped
+        assert!(pool.buffer().contains(&pg(r, 3)));
+    }
+
+    #[test]
+    fn slm_read_excludes_buffered_pages() {
+        let (disk, mut pool, r) = pool(64);
+        let extent = PageRun::new(pg(r, 0), 12);
+        pool.read_page(pg(r, 2));
+        disk.reset_stats();
+        let out = pool.read_extent_slm(extent, &[0, 2, 4], 1, ReadMode::Normal, true);
+        assert_eq!(out.buffer_hits, 1);
+        // Missing offsets 0 and 4: gap of 3 > 1 → two requests.
+        assert_eq!(out.requests, 2);
+        assert_eq!(out.pages_transferred, 2);
+    }
+
+    #[test]
+    fn flush_groups_consecutive_dirty_pages() {
+        let (disk, mut pool, r) = pool(16);
+        pool.write_page(pg(r, 0));
+        pool.write_page(pg(r, 1));
+        pool.write_page(pg(r, 5));
+        pool.flush();
+        let s = disk.stats();
+        assert_eq!(s.write_requests, 2); // runs [0,1] and [5]
+        assert_eq!(s.pages_written, 3);
+        // Second flush writes nothing.
+        disk.reset_stats();
+        pool.flush();
+        assert_eq!(disk.stats().requests(), 0);
+    }
+
+    #[test]
+    fn write_extent_bypasses_buffer() {
+        let (disk, mut pool, r) = pool(4);
+        let extent = PageRun::new(pg(r, 0), 10);
+        pool.write_extent(extent);
+        let s = disk.stats();
+        assert_eq!(s.write_requests, 1);
+        assert_eq!(s.pages_written, 10);
+        assert_eq!(s.io_ms, 25.0); // 9 + 6 + 10
+        assert_eq!(pool.buffer().len(), 0);
+    }
+
+    #[test]
+    fn update_page_charges_read_once() {
+        let (disk, mut pool, r) = pool(4);
+        assert!(!pool.update_page(pg(r, 0)));
+        assert!(pool.update_page(pg(r, 0)));
+        assert_eq!(disk.stats().read_requests, 1);
+        // The page is dirty: evicting it later writes it.
+        assert_eq!(pool.buffer().dirty_pages(), vec![pg(r, 0)]);
+    }
+
+    #[test]
+    fn zero_capacity_pool_write_through() {
+        let (disk, mut pool, r) = pool(0);
+        pool.write_page(pg(r, 0));
+        assert_eq!(disk.stats().write_requests, 1);
+        pool.update_page(pg(r, 1));
+        let s = disk.stats();
+        assert_eq!(s.read_requests, 1);
+        assert_eq!(s.write_requests, 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! The shared disk accounting object.
+
+use crate::model::{DiskParams, PageRun, RegionId};
+use crate::stats::{IoKind, IoStats};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A shared handle to a [`Disk`].
+///
+/// All components of one experiment (organization models, buffers,
+/// allocators, the join) share a single disk so that the reported I/O time
+/// is the total the paper reports. `Rc` because the simulator is
+/// deliberately single-threaded (determinism — see the crate docs).
+pub type DiskHandle = Rc<Disk>;
+
+/// The simulated disk: cost parameters plus accumulated statistics.
+///
+/// The disk does not store page *contents* — all experiments are driven by
+/// I/O cost, and the storage layer keeps its own in-memory state. What the
+/// disk provides is (a) region id allocation and (b) request cost
+/// accounting via [`Disk::charge`].
+#[derive(Debug)]
+pub struct Disk {
+    params: DiskParams,
+    state: RefCell<DiskState>,
+}
+
+#[derive(Debug, Default)]
+struct DiskState {
+    stats: IoStats,
+    next_region: u16,
+    region_names: Vec<String>,
+}
+
+impl Disk {
+    /// Create a disk with the given parameters.
+    pub fn new(params: DiskParams) -> DiskHandle {
+        Rc::new(Disk {
+            params,
+            state: RefCell::new(DiskState::default()),
+        })
+    }
+
+    /// Create a disk with the paper's default parameters
+    /// (`t_s` = 9 ms, `t_l` = 6 ms, `t_t` = 1 ms / 4 KB page).
+    pub fn with_defaults() -> DiskHandle {
+        Self::new(DiskParams::default())
+    }
+
+    /// The cost parameters.
+    #[inline]
+    pub fn params(&self) -> DiskParams {
+        self.params
+    }
+
+    /// Allocate a fresh region (an independent file / storage area).
+    pub fn create_region(&self, name: &str) -> RegionId {
+        let mut st = self.state.borrow_mut();
+        let id = RegionId(st.next_region);
+        st.next_region = st
+            .next_region
+            .checked_add(1)
+            .expect("region id space exhausted");
+        st.region_names.push(name.to_string());
+        id
+    }
+
+    /// Name a region was created with (for diagnostics).
+    pub fn region_name(&self, region: RegionId) -> String {
+        self.state.borrow().region_names[region.0 as usize].clone()
+    }
+
+    /// Charge one request transferring the `run`, paying seek + latency +
+    /// per-page transfer; `skip_seek` drops the seek component (subsequent
+    /// requests within one cluster unit, §5.4.3). Returns the cost in
+    /// milliseconds. Empty runs are free and not recorded.
+    pub fn charge(&self, kind: IoKind, run: PageRun, skip_seek: bool) -> f64 {
+        if run.is_empty() {
+            return 0.0;
+        }
+        let cost = self.params.request_ms(run.len, skip_seek);
+        self.state
+            .borrow_mut()
+            .stats
+            .record(kind, run.len, cost, !skip_seek);
+        cost
+    }
+
+    /// Charge an already-computed cost for a request of `pages` pages.
+    ///
+    /// Used by the *optimum* baselines of Figures 10 and 16, which charge
+    /// exactly one seek and one latency per cluster unit plus the minimum
+    /// number of transfers — a cost that does not correspond to a real
+    /// run of consecutive pages.
+    pub fn charge_raw(&self, kind: IoKind, pages: u64, cost_ms: f64, seeked: bool) {
+        self.state
+            .borrow_mut()
+            .stats
+            .record(kind, pages, cost_ms, seeked);
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn stats(&self) -> IoStats {
+        self.state.borrow().stats
+    }
+
+    /// Reset the statistics to zero (region allocations are kept).
+    pub fn reset_stats(&self) {
+        self.state.borrow_mut().stats = IoStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PageId;
+
+    #[test]
+    fn charge_records_cost() {
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("tree");
+        let run = PageRun::new(PageId::new(r, 0), 20);
+        let c = disk.charge(IoKind::Read, run, false);
+        assert_eq!(c, 35.0);
+        let s = disk.stats();
+        assert_eq!(s.read_requests, 1);
+        assert_eq!(s.pages_read, 20);
+        assert_eq!(s.io_ms, 35.0);
+    }
+
+    #[test]
+    fn skip_seek_drops_seek_component() {
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("cluster");
+        let run = PageRun::new(PageId::new(r, 5), 4);
+        let c = disk.charge(IoKind::Read, run, true);
+        assert_eq!(c, 10.0); // 6 + 4*1
+        assert_eq!(disk.stats().seeks, 0);
+        assert_eq!(disk.stats().latencies, 1);
+    }
+
+    #[test]
+    fn empty_run_free() {
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("x");
+        let c = disk.charge(IoKind::Write, PageRun::empty(PageId::new(r, 0)), false);
+        assert_eq!(c, 0.0);
+        assert_eq!(disk.stats().requests(), 0);
+    }
+
+    #[test]
+    fn regions_are_distinct_and_named() {
+        let disk = Disk::with_defaults();
+        let a = disk.create_region("tree");
+        let b = disk.create_region("objects");
+        assert_ne!(a, b);
+        assert_eq!(disk.region_name(a), "tree");
+        assert_eq!(disk.region_name(b), "objects");
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("x");
+        disk.charge(IoKind::Read, PageRun::new(PageId::new(r, 0), 1), false);
+        disk.reset_stats();
+        assert_eq!(disk.stats(), IoStats::new());
+    }
+
+    #[test]
+    fn charge_raw_for_optimum_baselines() {
+        let disk = Disk::with_defaults();
+        disk.charge_raw(IoKind::Read, 7, 9.0 + 6.0 + 7.0, true);
+        let s = disk.stats();
+        assert_eq!(s.pages_read, 7);
+        assert_eq!(s.io_ms, 22.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # spatialdb-disk
+//!
+//! Magnetic-disk I/O cost simulator for the reproduction of Brinkhoff &
+//! Kriegel, VLDB 1994.
+//!
+//! The paper evaluates every organization model with an analytical disk
+//! cost model (§3.1, §5.1): the access time of a request decomposes into
+//! *seek time* `t_s` (9 ms), *latency / rotational delay* `t_l` (6 ms) and
+//! *transfer time* `t_t` (1 ms per 4 KB page); physically consecutive pages
+//! can be read with a single request that pays the seek and latency once.
+//! This crate implements that model together with everything the storage
+//! layer needs to talk to it:
+//!
+//! * [`model`] — pages, page runs, regions, and the [`model::DiskParams`]
+//!   cost constants;
+//! * [`disk::Disk`] — the shared accounting object every request is
+//!   charged against, with per-category [`stats::IoStats`];
+//! * [`alloc`] — sequential (append-only) and extent (free-list) page
+//!   allocators; pages of different *regions* are never physically
+//!   consecutive, modelling separate files on the disk;
+//! * [`buddy`] — the buddy system of §5.3.1, including the *restricted*
+//!   variant with three buddy sizes used in Figure 7;
+//! * [`buffer`] — an LRU page buffer with write-back semantics and the
+//!   *vector read* / *normal read* distinction of Figure 15;
+//! * [`schedule`] — the SLM read schedules of \[SLM93\] (§5.4.2): one read
+//!   request bridges gaps of non-requested pages shorter than
+//!   `l = t_l/t_t − 1/2`.
+//!
+//! The simulator is deterministic and single-threaded: identical inputs
+//! produce identical I/O counts, which is what makes the reproduced
+//! figures meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod buddy;
+pub mod buffer;
+pub mod disk;
+pub mod model;
+pub mod schedule;
+pub mod stats;
+
+pub use alloc::{ExtentAllocator, SequentialAllocator};
+pub use buddy::{BuddyAllocator, BuddyConfig};
+pub use buffer::{BufferPool, LruBuffer, ReadMode, SeekPolicy};
+pub use disk::{Disk, DiskHandle};
+pub use model::{DiskParams, PageId, PageRun, RegionId, PAGE_SIZE};
+pub use schedule::{slm_gap_limit, slm_schedule, ScheduledRun};
+pub use stats::{IoKind, IoStats};

@@ -1,0 +1,170 @@
+//! I/O statistics accounting.
+
+use std::fmt;
+
+/// Kind of a disk request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IoKind {
+    /// A read request.
+    Read,
+    /// A write request.
+    Write,
+}
+
+/// Accumulated I/O statistics of a [`crate::Disk`].
+///
+/// The experiments report *I/O time* — the sum of seek, latency and
+/// transfer components over all requests — exactly as the paper does.
+#[derive(Clone, Copy, Default, Debug, PartialEq)]
+pub struct IoStats {
+    /// Number of read requests issued.
+    pub read_requests: u64,
+    /// Total pages transferred by read requests.
+    pub pages_read: u64,
+    /// Number of write requests issued.
+    pub write_requests: u64,
+    /// Total pages transferred by write requests.
+    pub pages_written: u64,
+    /// Number of seek operations performed.
+    pub seeks: u64,
+    /// Number of rotational delays paid.
+    pub latencies: u64,
+    /// Total simulated I/O time in milliseconds.
+    pub io_ms: f64,
+}
+
+impl IoStats {
+    /// A fresh, all-zero statistics record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one request of `pages` pages costing `cost_ms`,
+    /// with `seeked` seeks (0 or 1) and one rotational delay.
+    pub fn record(&mut self, kind: IoKind, pages: u64, cost_ms: f64, seeked: bool) {
+        match kind {
+            IoKind::Read => {
+                self.read_requests += 1;
+                self.pages_read += pages;
+            }
+            IoKind::Write => {
+                self.write_requests += 1;
+                self.pages_written += pages;
+            }
+        }
+        if seeked {
+            self.seeks += 1;
+        }
+        self.latencies += 1;
+        self.io_ms += cost_ms;
+    }
+
+    /// Total number of requests of both kinds.
+    #[inline]
+    pub fn requests(&self) -> u64 {
+        self.read_requests + self.write_requests
+    }
+
+    /// Total pages transferred in both directions.
+    #[inline]
+    pub fn pages(&self) -> u64 {
+        self.pages_read + self.pages_written
+    }
+
+    /// Total simulated I/O time in seconds.
+    #[inline]
+    pub fn io_seconds(&self) -> f64 {
+        self.io_ms / 1000.0
+    }
+
+    /// Difference `self - earlier`: the I/O performed since `earlier` was
+    /// captured. All counters of `earlier` must be ≤ those of `self`.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            read_requests: self.read_requests - earlier.read_requests,
+            pages_read: self.pages_read - earlier.pages_read,
+            write_requests: self.write_requests - earlier.write_requests,
+            pages_written: self.pages_written - earlier.pages_written,
+            seeks: self.seeks - earlier.seeks,
+            latencies: self.latencies - earlier.latencies,
+            io_ms: self.io_ms - earlier.io_ms,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &IoStats) -> IoStats {
+        IoStats {
+            read_requests: self.read_requests + other.read_requests,
+            pages_read: self.pages_read + other.pages_read,
+            write_requests: self.write_requests + other.write_requests,
+            pages_written: self.pages_written + other.pages_written,
+            seeks: self.seeks + other.seeks,
+            latencies: self.latencies + other.latencies,
+            io_ms: self.io_ms + other.io_ms,
+        }
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reads ({} pages), {} writes ({} pages), {} seeks, {:.1} ms",
+            self.read_requests, self.pages_read, self.write_requests, self.pages_written,
+            self.seeks, self.io_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = IoStats::new();
+        s.record(IoKind::Read, 20, 35.0, true);
+        s.record(IoKind::Read, 5, 11.0, false);
+        s.record(IoKind::Write, 1, 16.0, true);
+        assert_eq!(s.read_requests, 2);
+        assert_eq!(s.pages_read, 25);
+        assert_eq!(s.write_requests, 1);
+        assert_eq!(s.pages_written, 1);
+        assert_eq!(s.seeks, 2);
+        assert_eq!(s.latencies, 3);
+        assert_eq!(s.io_ms, 62.0);
+        assert_eq!(s.requests(), 3);
+        assert_eq!(s.pages(), 26);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut s = IoStats::new();
+        s.record(IoKind::Read, 10, 25.0, true);
+        let snapshot = s;
+        s.record(IoKind::Write, 2, 17.0, true);
+        let d = s.since(&snapshot);
+        assert_eq!(d.read_requests, 0);
+        assert_eq!(d.write_requests, 1);
+        assert_eq!(d.pages_written, 2);
+        assert_eq!(d.io_ms, 17.0);
+    }
+
+    #[test]
+    fn plus_adds() {
+        let mut a = IoStats::new();
+        a.record(IoKind::Read, 1, 16.0, true);
+        let mut b = IoStats::new();
+        b.record(IoKind::Write, 3, 18.0, true);
+        let c = a.plus(&b);
+        assert_eq!(c.requests(), 2);
+        assert_eq!(c.io_ms, 34.0);
+    }
+
+    #[test]
+    fn io_seconds_scales() {
+        let mut s = IoStats::new();
+        s.record(IoKind::Read, 1, 1500.0, true);
+        assert_eq!(s.io_seconds(), 1.5);
+    }
+}

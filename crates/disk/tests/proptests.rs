@@ -1,0 +1,162 @@
+//! Property-based tests for the disk simulator invariants.
+
+use proptest::prelude::*;
+use spatialdb_disk::model::runs_of;
+use spatialdb_disk::{
+    slm_schedule, BuddyConfig, Disk, DiskParams, ExtentAllocator, LruBuffer, PageId, PageRun,
+    RegionId,
+};
+
+fn sorted_unique(v: Vec<u64>) -> Vec<u64> {
+    let mut v = v;
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+proptest! {
+    #[test]
+    fn runs_cover_exactly_the_input(offsets in prop::collection::vec(0u64..500, 0..60)) {
+        let offsets = sorted_unique(offsets);
+        let r = RegionId(3);
+        let pages: Vec<PageId> = offsets.iter().map(|&o| PageId::new(r, o)).collect();
+        let runs = runs_of(&pages);
+        let covered: Vec<PageId> = runs.iter().flat_map(|run| run.pages()).collect();
+        prop_assert_eq!(covered, pages);
+        // Runs are maximal: consecutive runs are separated by a gap.
+        for w in runs.windows(2) {
+            prop_assert!(w[0].end_offset() < w[1].start.offset);
+        }
+    }
+
+    #[test]
+    fn slm_schedule_covers_requested(offsets in prop::collection::vec(0u64..400, 0..50),
+                                     max_gap in 0u64..10) {
+        let offsets = sorted_unique(offsets);
+        let runs = slm_schedule(&offsets, max_gap);
+        // Every requested offset is inside exactly one run.
+        for &o in &offsets {
+            let n = runs.iter()
+                .filter(|r| o >= r.start && o < r.start + r.len)
+                .count();
+            prop_assert_eq!(n, 1);
+        }
+        // Requested counts sum to the number of offsets.
+        let total: u64 = runs.iter().map(|r| r.requested).sum();
+        prop_assert_eq!(total, offsets.len() as u64);
+        // First and last page of each run are requested; internal gaps ≤ max_gap.
+        for r in &runs {
+            prop_assert!(offsets.binary_search(&r.start).is_ok());
+            prop_assert!(offsets.binary_search(&(r.start + r.len - 1)).is_ok());
+        }
+        // Runs are separated by gaps > max_gap.
+        for w in runs.windows(2) {
+            let gap = w[1].start - (w[0].start + w[0].len);
+            prop_assert!(gap > max_gap);
+        }
+    }
+
+    #[test]
+    fn slm_larger_gap_never_more_requests(offsets in prop::collection::vec(0u64..400, 1..50)) {
+        let offsets = sorted_unique(offsets);
+        let mut prev = u64::MAX;
+        for gap in 0..8u64 {
+            let n = slm_schedule(&offsets, gap).len() as u64;
+            prop_assert!(n <= prev);
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn extent_allocator_never_double_allocates(ops in prop::collection::vec((1u64..20, any::<bool>()), 1..80)) {
+        let disk = Disk::with_defaults();
+        let mut alloc = ExtentAllocator::new(disk.create_region("x"));
+        let mut live: Vec<PageRun> = Vec::new();
+        for (n, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let run = live.swap_remove(0);
+                alloc.free(run);
+            } else {
+                let run = alloc.alloc(n);
+                // No overlap with any live extent.
+                for l in &live {
+                    let disjoint = run.end_offset() <= l.start.offset
+                        || l.end_offset() <= run.start.offset;
+                    prop_assert!(disjoint, "overlap {run:?} vs {l:?}");
+                }
+                live.push(run);
+            }
+            let live_pages: u64 = live.iter().map(|r| r.len).sum();
+            prop_assert_eq!(alloc.allocated_pages(), live_pages);
+        }
+    }
+
+    #[test]
+    fn buddy_class_at_least_need(smax in 1u64..200, need in 1u64..200) {
+        let c = BuddyConfig::full(smax);
+        if let Some(class) = c.class_for(need) {
+            prop_assert!(class >= need);
+            prop_assert!(c.sizes().contains(&class));
+            // Minimality: no smaller allowed size fits.
+            for &s in c.sizes() {
+                if s < class {
+                    prop_assert!(s < need);
+                }
+            }
+        } else {
+            prop_assert!(need > smax);
+        }
+    }
+
+    #[test]
+    fn lru_never_exceeds_capacity(cap in 1usize..32,
+                                  accesses in prop::collection::vec(0u64..64, 0..200)) {
+        let mut b = LruBuffer::new(cap);
+        let r = RegionId(0);
+        for o in accesses {
+            b.insert(PageId::new(r, o), o % 3 == 0);
+            prop_assert!(b.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn lru_most_recent_always_present(cap in 1usize..16,
+                                      accesses in prop::collection::vec(0u64..64, 1..100)) {
+        let mut b = LruBuffer::new(cap);
+        let r = RegionId(0);
+        for &o in &accesses {
+            b.insert(PageId::new(r, o), false);
+            prop_assert!(b.contains(&PageId::new(r, o)));
+        }
+        // The cap most recent distinct pages are exactly the buffer content.
+        let mut recent: Vec<u64> = Vec::new();
+        for &o in accesses.iter().rev() {
+            if !recent.contains(&o) {
+                recent.push(o);
+            }
+            if recent.len() == cap {
+                break;
+            }
+        }
+        for &o in &recent {
+            prop_assert!(b.contains(&PageId::new(r, o)));
+        }
+    }
+
+    #[test]
+    fn request_cost_monotone_in_pages(pages in 1u64..200) {
+        let p = DiskParams::default();
+        prop_assert!(p.request_ms(pages + 1, false) > p.request_ms(pages, false));
+        prop_assert!(p.request_ms(pages, true) < p.request_ms(pages, false));
+    }
+
+    #[test]
+    fn one_big_request_cheaper_than_two(a in 1u64..100, b in 1u64..100) {
+        let p = DiskParams::default();
+        // Merging two requests into one (same total pages + gap of g pages)
+        // is cheaper whenever g < latency/transfer.
+        let merged = p.request_ms(a + b + 3, false);
+        let split = p.request_ms(a, false) + p.request_ms(b, true);
+        prop_assert!(merged < split);
+    }
+}

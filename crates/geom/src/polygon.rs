@@ -1,0 +1,277 @@
+//! Simple polygons for region objects (administrative areas).
+//!
+//! Map 2 of the paper contains administrative boundaries; when those
+//! boundaries close into rings, point queries ("which county contains P?")
+//! need a point-in-polygon test. The polygon type below supports the three
+//! predicates used by the query layer: point containment, rectangle
+//! intersection, and polygon/polyline intersection.
+
+use crate::point::Point;
+use crate::polyline::{Polyline, BYTES_PER_VERTEX, POLYLINE_HEADER_BYTES};
+use crate::rect::Rect;
+use crate::segment::Segment;
+use crate::HasMbr;
+
+/// A simple polygon given by its outer ring (implicitly closed: the last
+/// vertex connects back to the first).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Polygon {
+    ring: Vec<Point>,
+    mbr: Rect,
+}
+
+impl Polygon {
+    /// Create a polygon from its ring vertices (not repeating the first
+    /// vertex at the end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than three vertices are supplied or any coordinate
+    /// is non-finite.
+    pub fn new(ring: Vec<Point>) -> Self {
+        assert!(
+            ring.len() >= 3,
+            "a polygon needs at least 3 vertices, got {}",
+            ring.len()
+        );
+        let mut mbr = Rect::empty();
+        for v in &ring {
+            assert!(v.is_finite(), "non-finite polygon vertex {v}");
+            mbr = mbr.union(&Rect::new(v.x, v.y, v.x, v.y));
+        }
+        Polygon { ring, mbr }
+    }
+
+    /// The ring vertices.
+    #[inline]
+    pub fn ring(&self) -> &[Point] {
+        &self.ring
+    }
+
+    /// Number of ring vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Iterate over the boundary segments (including the closing edge).
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.ring.len();
+        (0..n).map(move |i| Segment::new(self.ring[i], self.ring[(i + 1) % n]))
+    }
+
+    /// Signed area (positive for counter-clockwise rings).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.ring.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let p = self.ring[i];
+            let q = self.ring[(i + 1) % n];
+            acc += p.x * q.y - q.x * p.y;
+        }
+        acc * 0.5
+    }
+
+    /// Absolute area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Size of the serialized representation in bytes (same layout as
+    /// [`Polyline::serialized_size`]).
+    #[inline]
+    pub fn serialized_size(&self) -> usize {
+        POLYLINE_HEADER_BYTES + BYTES_PER_VERTEX * self.ring.len()
+    }
+
+    /// `true` if `p` lies in the closed polygon (boundary included).
+    ///
+    /// Even-odd ray casting with an explicit boundary test so that points
+    /// exactly on an edge are reported as contained, matching the closed
+    /// set semantics of the paper's point query.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        if !self.mbr.contains_point(p) {
+            return false;
+        }
+        if self.edges().any(|e| e.contains_point(p)) {
+            return true;
+        }
+        let mut inside = false;
+        let n = self.ring.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.ring[i];
+            let vj = self.ring[j];
+            if (vi.y > p.y) != (vj.y > p.y) {
+                let x_cross = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// `true` if the polygon (interior or boundary) shares a point with the
+    /// closed rectangle.
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        if !self.mbr.intersects(rect) {
+            return false;
+        }
+        // Any boundary edge crossing the rectangle?
+        if self.edges().any(|e| e.intersects_rect(rect)) {
+            return true;
+        }
+        // Rectangle fully inside the polygon?
+        if self.contains_point(&rect.center()) {
+            return true;
+        }
+        // Polygon fully inside the rectangle?
+        rect.contains_point(&self.ring[0])
+    }
+
+    /// `true` if the polygon intersects the polyline (boundary crossing or
+    /// polyline contained in the interior).
+    pub fn intersects_polyline(&self, line: &Polyline) -> bool {
+        if !self.mbr.intersects(&line.mbr()) {
+            return false;
+        }
+        for e in self.edges() {
+            for s in line.segments() {
+                if e.mbr().intersects(&s.mbr()) && e.intersects(&s) {
+                    return true;
+                }
+            }
+        }
+        self.contains_point(&line.vertices()[0])
+    }
+}
+
+impl HasMbr for Polygon {
+    #[inline]
+    fn mbr(&self) -> Rect {
+        self.mbr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ])
+    }
+
+    fn triangle() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 4.0),
+        ])
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 vertices")]
+    fn rejects_two_vertices() {
+        let _ = Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn signed_area_ccw_positive() {
+        assert_eq!(unit_square().signed_area(), 1.0);
+        let cw = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+        ]);
+        assert_eq!(cw.signed_area(), -1.0);
+        assert_eq!(cw.area(), 1.0);
+    }
+
+    #[test]
+    fn contains_interior_point() {
+        assert!(unit_square().contains_point(&Point::new(0.5, 0.5)));
+        assert!(triangle().contains_point(&Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn excludes_exterior_point() {
+        assert!(!unit_square().contains_point(&Point::new(1.5, 0.5)));
+        assert!(!triangle().contains_point(&Point::new(3.0, 3.0)));
+    }
+
+    #[test]
+    fn boundary_points_contained() {
+        let sq = unit_square();
+        assert!(sq.contains_point(&Point::new(0.0, 0.5)));
+        assert!(sq.contains_point(&Point::new(1.0, 1.0)));
+        assert!(sq.contains_point(&Point::new(0.5, 0.0)));
+    }
+
+    #[test]
+    fn rect_intersection_cases() {
+        let sq = unit_square();
+        // Overlapping.
+        assert!(sq.intersects_rect(&Rect::new(0.5, 0.5, 2.0, 2.0)));
+        // Rect inside polygon.
+        assert!(sq.intersects_rect(&Rect::new(0.25, 0.25, 0.75, 0.75)));
+        // Polygon inside rect.
+        assert!(sq.intersects_rect(&Rect::new(-1.0, -1.0, 2.0, 2.0)));
+        // Disjoint.
+        assert!(!sq.intersects_rect(&Rect::new(2.0, 2.0, 3.0, 3.0)));
+    }
+
+    #[test]
+    fn polyline_intersection_cases() {
+        let sq = unit_square();
+        // Crossing the boundary.
+        let crossing = Polyline::new(vec![Point::new(-1.0, 0.5), Point::new(2.0, 0.5)]);
+        assert!(sq.intersects_polyline(&crossing));
+        // Fully inside.
+        let inside = Polyline::new(vec![Point::new(0.2, 0.2), Point::new(0.8, 0.8)]);
+        assert!(sq.intersects_polyline(&inside));
+        // Fully outside.
+        let outside = Polyline::new(vec![Point::new(2.0, 2.0), Point::new(3.0, 3.0)]);
+        assert!(!sq.intersects_polyline(&outside));
+    }
+
+    #[test]
+    fn serialized_size_counts_ring() {
+        assert_eq!(
+            unit_square().serialized_size(),
+            POLYLINE_HEADER_BYTES + 4 * BYTES_PER_VERTEX
+        );
+    }
+
+    #[test]
+    fn mbr_covers_ring() {
+        assert_eq!(triangle().mbr(), Rect::new(0.0, 0.0, 4.0, 4.0));
+    }
+
+    #[test]
+    fn concave_polygon_containment() {
+        // A "U" shape: points in the notch are outside.
+        let u = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 3.0),
+            Point::new(2.0, 3.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 3.0),
+            Point::new(0.0, 3.0),
+        ]);
+        assert!(u.contains_point(&Point::new(0.5, 2.0)));
+        assert!(u.contains_point(&Point::new(2.5, 2.0)));
+        assert!(!u.contains_point(&Point::new(1.5, 2.0))); // in the notch
+        assert!(u.contains_point(&Point::new(1.5, 0.5)));
+    }
+}

@@ -1,0 +1,243 @@
+//! Polylines: the exact representation of map objects.
+//!
+//! The paper's test data (§5.1) are TIGER/Line records — streets, rivers,
+//! administrative boundaries, railway tracks — i.e. *polylines*. An object's
+//! storage footprint is dominated by its vertex list; the per-series
+//! average object sizes of Table 1 (625 B … 3,113 B) correspond to vertex
+//! counts which our data generator controls via
+//! [`Polyline::vertices_for_size`].
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::segment::Segment;
+use crate::HasMbr;
+
+/// Fixed per-object header: object id (8 B), vertex count (4 B),
+/// attribute payload reference (4 B), MBR (32 B).
+///
+/// The exact breakdown is immaterial to the experiments; what matters is
+/// that `serialized_size` grows linearly in the number of vertices with
+/// 16 B per vertex (two `f64`s), so that the generator can hit the paper's
+/// average object sizes exactly.
+pub const POLYLINE_HEADER_BYTES: usize = 48;
+
+/// Bytes per stored vertex (two little-endian `f64` coordinates).
+pub const BYTES_PER_VERTEX: usize = 16;
+
+/// A polyline — an ordered chain of at least two vertices.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Polyline {
+    vertices: Vec<Point>,
+    mbr: Rect,
+}
+
+impl Polyline {
+    /// Create a polyline from its vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two vertices are supplied or any coordinate is
+    /// non-finite.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        assert!(
+            vertices.len() >= 2,
+            "a polyline needs at least 2 vertices, got {}",
+            vertices.len()
+        );
+        let mut mbr = Rect::empty();
+        for v in &vertices {
+            assert!(v.is_finite(), "non-finite polyline vertex {v}");
+            mbr = mbr.union(&Rect::new(v.x, v.y, v.x, v.y));
+        }
+        Polyline { vertices, mbr }
+    }
+
+    /// The vertices of the polyline.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Iterate over the segments of the polyline.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.vertices
+            .windows(2)
+            .map(|w| Segment::new(w[0], w[1]))
+    }
+
+    /// Total polygonal length.
+    pub fn length(&self) -> f64 {
+        self.segments().map(|s| s.length()).sum()
+    }
+
+    /// Size of the serialized representation in bytes.
+    ///
+    /// `POLYLINE_HEADER_BYTES + 16 · num_vertices`. This is the size the
+    /// storage layer charges when placing the object into pages or cluster
+    /// units.
+    #[inline]
+    pub fn serialized_size(&self) -> usize {
+        POLYLINE_HEADER_BYTES + BYTES_PER_VERTEX * self.vertices.len()
+    }
+
+    /// Number of vertices needed so that `serialized_size` equals (or
+    /// minimally exceeds) `target_bytes`.
+    ///
+    /// Used by the data generator to match the average object sizes of
+    /// Table 1 of the paper.
+    #[inline]
+    pub fn vertices_for_size(target_bytes: usize) -> usize {
+        let payload = target_bytes.saturating_sub(POLYLINE_HEADER_BYTES);
+        (payload.div_ceil(BYTES_PER_VERTEX)).max(2)
+    }
+
+    /// `true` if the polyline shares at least one point with the closed
+    /// rectangle (exact window-query predicate).
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        if !self.mbr.intersects(rect) {
+            return false;
+        }
+        self.segments().any(|s| s.intersects_rect(rect))
+    }
+
+    /// `true` if some segment of `self` intersects some segment of `other`
+    /// (exact intersection-join predicate for line objects).
+    pub fn intersects_polyline(&self, other: &Polyline) -> bool {
+        if !self.mbr.intersects(&other.mbr) {
+            return false;
+        }
+        // Quadratic sweep with MBR prefilter per segment; object vertex
+        // counts are modest (tens to low hundreds), and the decomposed
+        // representation in `decomposed` is the fast path used by the join.
+        for s in self.segments() {
+            let smbr = s.mbr();
+            if !smbr.intersects(&other.mbr) {
+                continue;
+            }
+            for t in other.segments() {
+                if smbr.intersects(&t.mbr()) && s.intersects(&t) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// `true` if `p` lies on the polyline.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        self.mbr.contains_point(p) && self.segments().any(|s| s.contains_point(p))
+    }
+}
+
+impl HasMbr for Polyline {
+    #[inline]
+    fn mbr(&self) -> Rect {
+        self.mbr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zigzag() -> Polyline {
+        Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 1.0),
+        ])
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 vertices")]
+    fn rejects_single_vertex() {
+        let _ = Polyline::new(vec![Point::new(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn mbr_covers_all_vertices() {
+        let p = zigzag();
+        assert_eq!(p.mbr(), Rect::new(0.0, 0.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn segment_count() {
+        assert_eq!(zigzag().segments().count(), 3);
+    }
+
+    #[test]
+    fn length_sums_segments() {
+        let p = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),
+            Point::new(3.0, 10.0),
+        ]);
+        assert_eq!(p.length(), 11.0);
+    }
+
+    #[test]
+    fn serialized_size_formula() {
+        let p = zigzag();
+        assert_eq!(p.serialized_size(), POLYLINE_HEADER_BYTES + 4 * 16);
+    }
+
+    #[test]
+    fn vertices_for_size_round_trip() {
+        for target in [200usize, 625, 781, 1247, 2490, 3113] {
+            let n = Polyline::vertices_for_size(target);
+            let size = POLYLINE_HEADER_BYTES + BYTES_PER_VERTEX * n;
+            assert!(size >= target);
+            assert!(size < target + BYTES_PER_VERTEX);
+        }
+    }
+
+    #[test]
+    fn vertices_for_size_minimum_two() {
+        assert_eq!(Polyline::vertices_for_size(0), 2);
+        assert_eq!(Polyline::vertices_for_size(40), 2);
+    }
+
+    #[test]
+    fn window_intersection_exact_vs_mbr() {
+        let p = zigzag();
+        // Window overlapping the MBR but missing every segment: the zigzag
+        // dips to y=0 at x=2, so a window hovering above the dip misses it.
+        let w = Rect::new(1.8, 0.0, 2.2, 0.1);
+        assert!(p.mbr().intersects(&w));
+        assert!(p.intersects_rect(&w)); // dip point (2,0) is inside
+        let w2 = Rect::new(1.9, 0.55, 2.1, 0.65);
+        assert!(p.mbr().intersects(&w2));
+        assert!(!p.intersects_rect(&w2)); // hovers between the two slopes
+    }
+
+    #[test]
+    fn polyline_intersection() {
+        let a = zigzag();
+        let b = Polyline::new(vec![Point::new(0.0, 1.0), Point::new(3.0, 0.0)]);
+        assert!(a.intersects_polyline(&b));
+        let c = Polyline::new(vec![Point::new(0.0, 5.0), Point::new(3.0, 5.0)]);
+        assert!(!a.intersects_polyline(&c));
+    }
+
+    #[test]
+    fn polyline_intersection_symmetric() {
+        let a = zigzag();
+        let b = Polyline::new(vec![Point::new(1.0, -1.0), Point::new(1.0, 2.0)]);
+        assert_eq!(a.intersects_polyline(&b), b.intersects_polyline(&a));
+    }
+
+    #[test]
+    fn contains_point_on_vertex_and_edge() {
+        let p = zigzag();
+        assert!(p.contains_point(&Point::new(1.0, 1.0)));
+        assert!(p.contains_point(&Point::new(0.5, 0.5)));
+        assert!(!p.contains_point(&Point::new(0.5, 0.6)));
+    }
+}

@@ -1,0 +1,235 @@
+//! Line segments with robust intersection predicates.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A closed line segment between two points.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+/// Orientation of the ordered point triple `(p, q, r)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Orientation {
+    /// Counter-clockwise turn.
+    Ccw,
+    /// Clockwise turn.
+    Cw,
+    /// The three points are collinear.
+    Collinear,
+}
+
+/// Compute the orientation of the ordered triple `(p, q, r)` from the sign
+/// of the cross product `(q - p) × (r - p)`.
+#[inline]
+pub fn orientation(p: &Point, q: &Point, r: &Point) -> Orientation {
+    let v = (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x);
+    if v > 0.0 {
+        Orientation::Ccw
+    } else if v < 0.0 {
+        Orientation::Cw
+    } else {
+        Orientation::Collinear
+    }
+}
+
+impl Segment {
+    /// Create a segment between two points.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(&self.b)
+    }
+
+    /// Minimum bounding rectangle of the segment.
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        Rect::from_corners(self.a, self.b)
+    }
+
+    /// `true` if point `p` lies on the closed segment.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        if orientation(&self.a, &self.b, p) != Orientation::Collinear {
+            return false;
+        }
+        self.mbr().contains_point(p)
+    }
+
+    /// `true` if the two closed segments share at least one point.
+    ///
+    /// Uses the standard orientation test with collinear special cases;
+    /// exact for the inputs representable in `f64` that our generator
+    /// produces (no coordinate is the result of a rounded computation).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let o1 = orientation(&self.a, &self.b, &other.a);
+        let o2 = orientation(&self.a, &self.b, &other.b);
+        let o3 = orientation(&other.a, &other.b, &self.a);
+        let o4 = orientation(&other.a, &other.b, &self.b);
+
+        if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear {
+            return true;
+        }
+        // General case where an endpoint is exactly on the other segment
+        // (covers proper crossings through endpoints too).
+        if o1 == Orientation::Collinear && self.mbr().contains_point(&other.a) {
+            return true;
+        }
+        if o2 == Orientation::Collinear && self.mbr().contains_point(&other.b) {
+            return true;
+        }
+        if o3 == Orientation::Collinear && other.mbr().contains_point(&self.a) {
+            return true;
+        }
+        if o4 == Orientation::Collinear && other.mbr().contains_point(&self.b) {
+            return true;
+        }
+        // Proper crossing with no collinearity.
+        o1 != o2 && o3 != o4
+    }
+
+    /// `true` if the closed segment shares at least one point with the
+    /// closed rectangle.
+    ///
+    /// This is the predicate needed by the refinement step of window
+    /// queries on polyline objects: a polyline intersects a window iff one
+    /// of its segments does.
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        // Cheap rejection: if the segment MBR misses the rectangle there
+        // can be no intersection.
+        if !self.mbr().intersects(rect) {
+            return false;
+        }
+        // If either endpoint is inside, done.
+        if rect.contains_point(&self.a) || rect.contains_point(&self.b) {
+            return true;
+        }
+        // Otherwise the segment must cross one of the four edges.
+        let c1 = Point::new(rect.xmin, rect.ymin);
+        let c2 = Point::new(rect.xmax, rect.ymin);
+        let c3 = Point::new(rect.xmax, rect.ymax);
+        let c4 = Point::new(rect.xmin, rect.ymax);
+        self.intersects(&Segment::new(c1, c2))
+            || self.intersects(&Segment::new(c2, c3))
+            || self.intersects(&Segment::new(c3, c4))
+            || self.intersects(&Segment::new(c4, c1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn proper_crossing() {
+        assert!(s(0.0, 0.0, 2.0, 2.0).intersects(&s(0.0, 2.0, 2.0, 0.0)));
+    }
+
+    #[test]
+    fn disjoint_parallel() {
+        assert!(!s(0.0, 0.0, 1.0, 0.0).intersects(&s(0.0, 1.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn shared_endpoint() {
+        assert!(s(0.0, 0.0, 1.0, 1.0).intersects(&s(1.0, 1.0, 2.0, 0.0)));
+    }
+
+    #[test]
+    fn t_junction() {
+        // Endpoint of one segment in the interior of the other.
+        assert!(s(0.0, 0.0, 2.0, 0.0).intersects(&s(1.0, 0.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn collinear_overlapping() {
+        assert!(s(0.0, 0.0, 2.0, 0.0).intersects(&s(1.0, 0.0, 3.0, 0.0)));
+    }
+
+    #[test]
+    fn collinear_disjoint() {
+        assert!(!s(0.0, 0.0, 1.0, 0.0).intersects(&s(2.0, 0.0, 3.0, 0.0)));
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let a = s(0.0, 0.0, 2.0, 2.0);
+        let b = s(0.0, 2.0, 2.0, 0.0);
+        assert_eq!(a.intersects(&b), b.intersects(&a));
+        let c = s(5.0, 5.0, 6.0, 6.0);
+        assert_eq!(a.intersects(&c), c.intersects(&a));
+    }
+
+    #[test]
+    fn contains_point_on_segment() {
+        let seg = s(0.0, 0.0, 2.0, 2.0);
+        assert!(seg.contains_point(&Point::new(1.0, 1.0)));
+        assert!(seg.contains_point(&Point::new(0.0, 0.0)));
+        assert!(!seg.contains_point(&Point::new(1.0, 1.5)));
+        assert!(!seg.contains_point(&Point::new(3.0, 3.0)));
+    }
+
+    #[test]
+    fn rect_intersection_endpoint_inside() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert!(s(0.5, 0.5, 5.0, 5.0).intersects_rect(&r));
+    }
+
+    #[test]
+    fn rect_intersection_crossing_through() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        // Both endpoints outside, segment passes through the rectangle.
+        assert!(s(-1.0, 0.5, 2.0, 0.5).intersects_rect(&r));
+    }
+
+    #[test]
+    fn rect_intersection_touching_corner() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert!(s(1.0, 1.0, 2.0, 2.0).intersects_rect(&r));
+        // Diagonal grazing the corner point exactly.
+        assert!(s(0.0, 2.0, 2.0, 0.0).intersects_rect(&r));
+    }
+
+    #[test]
+    fn rect_no_intersection() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert!(!s(2.0, 2.0, 3.0, 3.0).intersects_rect(&r));
+        // MBRs overlap but the segment misses the rect.
+        assert!(!s(1.5, 0.0, 0.0, 1.5).intersects_rect(&Rect::new(0.0, 0.0, 0.2, 0.2)));
+    }
+
+    #[test]
+    fn orientation_cases() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(1.0, 0.0);
+        assert_eq!(orientation(&p, &q, &Point::new(1.0, 1.0)), Orientation::Ccw);
+        assert_eq!(orientation(&p, &q, &Point::new(1.0, -1.0)), Orientation::Cw);
+        assert_eq!(
+            orientation(&p, &q, &Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn mbr_covers_segment() {
+        let seg = s(2.0, -1.0, 0.0, 3.0);
+        assert_eq!(seg.mbr(), Rect::new(0.0, -1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn length() {
+        assert_eq!(s(0.0, 0.0, 3.0, 4.0).length(), 5.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the geometry kernel invariants.
+
+use proptest::prelude::*;
+use spatialdb_geom::{DecomposedPolyline, HasMbr, Point, Polyline, Rect, Segment};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::from_corners(a, b))
+}
+
+fn arb_polyline() -> impl Strategy<Value = Polyline> {
+    prop::collection::vec(arb_point(), 2..40).prop_map(Polyline::new)
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn union_contains_operands(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn union_is_associative(a in arb_rect(), b in arb_rect(), c in arb_rect()) {
+        let l = a.union(&b).union(&c);
+        let r = a.union(&b.union(&c));
+        prop_assert_eq!(l, r);
+    }
+
+    #[test]
+    fn intersection_is_commutative(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn intersection_inside_both(a in arb_rect(), b in arb_rect()) {
+        let i = a.intersection(&b);
+        if !i.is_empty() {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn intersects_iff_nonempty_intersection(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersects(&b), !a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn overlap_area_matches_intersection_area(a in arb_rect(), b in arb_rect()) {
+        let via_rect = a.intersection(&b).area();
+        prop_assert!((a.overlap_area(&b) - via_rect).abs() <= 1e-9 * (1.0 + via_rect));
+    }
+
+    #[test]
+    fn enlargement_nonnegative(a in arb_rect(), b in arb_rect()) {
+        prop_assert!(a.enlargement(&b) >= 0.0);
+        prop_assert!(b.enlargement(&a) >= 0.0);
+    }
+
+    #[test]
+    fn enlargement_zero_iff_contained(a in arb_rect(), b in arb_rect()) {
+        if a.contains_rect(&b) {
+            prop_assert_eq!(a.enlargement(&b), 0.0);
+        }
+    }
+
+    #[test]
+    fn overlap_fraction_in_unit_interval(a in arb_rect(), w in arb_rect()) {
+        let f = a.overlap_fraction(&w);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn contains_point_implies_intersects_point_rect(r in arb_rect(), p in arb_point()) {
+        if r.contains_point(&p) {
+            let pr = Rect::new(p.x, p.y, p.x, p.y);
+            prop_assert!(r.intersects(&pr));
+        }
+    }
+
+    #[test]
+    fn segment_intersection_symmetric(a in arb_point(), b in arb_point(),
+                                      c in arb_point(), d in arb_point()) {
+        let s = Segment::new(a, b);
+        let t = Segment::new(c, d);
+        prop_assert_eq!(s.intersects(&t), t.intersects(&s));
+    }
+
+    #[test]
+    fn segment_self_intersection(a in arb_point(), b in arb_point()) {
+        let s = Segment::new(a, b);
+        prop_assert!(s.intersects(&s));
+    }
+
+    #[test]
+    fn segment_shares_endpoint_intersects(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let s = Segment::new(a, b);
+        let t = Segment::new(b, c);
+        prop_assert!(s.intersects(&t));
+    }
+
+    #[test]
+    fn segment_intersect_rect_implies_mbr_overlap(a in arb_point(), b in arb_point(), r in arb_rect()) {
+        let s = Segment::new(a, b);
+        if s.intersects_rect(&r) {
+            prop_assert!(s.mbr().intersects(&r));
+        }
+    }
+
+    #[test]
+    fn polyline_mbr_contains_vertices(line in arb_polyline()) {
+        let mbr = line.mbr();
+        for v in line.vertices() {
+            prop_assert!(mbr.contains_point(v));
+        }
+    }
+
+    #[test]
+    fn polyline_rect_test_consistent_with_mbr(line in arb_polyline(), r in arb_rect()) {
+        if line.intersects_rect(&r) {
+            prop_assert!(line.mbr().intersects(&r));
+        }
+    }
+
+    #[test]
+    fn decomposed_matches_naive_rect(line in arb_polyline(), r in arb_rect()) {
+        let d = DecomposedPolyline::new(line.clone());
+        prop_assert_eq!(d.intersects_rect(&r), line.intersects_rect(&r));
+    }
+
+    #[test]
+    fn decomposed_matches_naive_pair(a in arb_polyline(), b in arb_polyline()) {
+        let da = DecomposedPolyline::new(a.clone());
+        let db = DecomposedPolyline::new(b.clone());
+        prop_assert_eq!(da.intersects(&db), a.intersects_polyline(&b));
+    }
+
+    #[test]
+    fn polyline_intersection_symmetric(a in arb_polyline(), b in arb_polyline()) {
+        prop_assert_eq!(a.intersects_polyline(&b), b.intersects_polyline(&a));
+    }
+
+    #[test]
+    fn polyline_window_hit_when_vertex_inside(line in arb_polyline(), r in arb_rect()) {
+        if line.vertices().iter().any(|v| r.contains_point(v)) {
+            prop_assert!(line.intersects_rect(&r));
+        }
+    }
+
+    #[test]
+    fn scale_preserves_center(r in arb_rect(), f in 0.01f64..4.0) {
+        if r.area() > 0.0 {
+            let s = r.scale(f);
+            let c0 = r.center();
+            let c1 = s.center();
+            prop_assert!((c0.x - c1.x).abs() < 1e-9);
+            prop_assert!((c0.y - c1.y).abs() < 1e-9);
+        }
+    }
+}

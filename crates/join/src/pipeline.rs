@@ -1,0 +1,232 @@
+//! Step 3 and the complete intersection-join pipeline (§6.3).
+
+use crate::mbr_join::mbr_join;
+use crate::transfer::transfer_objects;
+use spatialdb_storage::{Organization, OrganizationModel, TransferTechnique};
+
+/// Configuration of a complete spatial join.
+#[derive(Clone, Copy, Debug)]
+pub struct JoinConfig {
+    /// Object-transfer technique (only the cluster organization
+    /// distinguishes them).
+    pub transfer: TransferTechnique,
+    /// CPU cost of one exact geometry test in milliseconds. §6.3: with
+    /// the decomposed representation \[SK91\] *"one test needs roughly
+    /// 0.75 msec"*.
+    pub exact_test_ms: f64,
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        JoinConfig {
+            transfer: TransferTechnique::Complete,
+            exact_test_ms: 0.75,
+        }
+    }
+}
+
+/// Cost breakdown of a complete intersection join (the bars of
+/// Figure 17).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JoinStats {
+    /// Candidate pairs produced by the MBR join.
+    pub mbr_pairs: u64,
+    /// I/O time of the MBR join in milliseconds.
+    pub mbr_join_ms: f64,
+    /// I/O time of the object transfer in milliseconds.
+    pub transfer_ms: f64,
+    /// CPU time of the exact geometry tests in milliseconds.
+    pub exact_test_ms: f64,
+}
+
+impl JoinStats {
+    /// Total cost in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.mbr_join_ms + self.transfer_ms + self.exact_test_ms
+    }
+
+    /// Total cost in seconds (the unit of Figures 14, 16, 17).
+    pub fn total_seconds(&self) -> f64 {
+        self.total_ms() / 1000.0
+    }
+
+    /// I/O-only cost in seconds (Figures 14 and 16 report I/O cost).
+    pub fn io_seconds(&self) -> f64 {
+        (self.mbr_join_ms + self.transfer_ms) / 1000.0
+    }
+}
+
+/// A spatial join between two organization models sharing one disk and
+/// one buffer pool.
+pub struct SpatialJoin<'a> {
+    r: &'a mut Organization,
+    s: &'a mut Organization,
+}
+
+impl<'a> SpatialJoin<'a> {
+    /// Prepare a join. Both organizations must live on the same disk and
+    /// share the same buffer pool (the paper's joins run on one machine
+    /// with one buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the organizations do not share disk and pool.
+    pub fn new(r: &'a mut Organization, s: &'a mut Organization) -> Self {
+        assert!(
+            std::rc::Rc::ptr_eq(&r.pool(), &s.pool()),
+            "join operands must share one buffer pool"
+        );
+        assert!(
+            std::rc::Rc::ptr_eq(&r.disk(), &s.disk()),
+            "join operands must share one disk"
+        );
+        SpatialJoin { r, s }
+    }
+
+    /// Run the complete three-step intersection join.
+    pub fn run(&mut self, config: JoinConfig) -> JoinStats {
+        self.run_with_pairs(config).1
+    }
+
+    /// Run the join and also return the candidate pairs (for callers that
+    /// perform the exact refinement themselves).
+    pub fn run_with_pairs(
+        &mut self,
+        config: JoinConfig,
+    ) -> (Vec<(spatialdb_rtree::ObjectId, spatialdb_rtree::ObjectId)>, JoinStats) {
+        let disk = self.r.disk();
+        // Step 1: MBR join.
+        let before = disk.stats();
+        let pool = self.r.pool();
+        let mbr = {
+            let mut pool = pool.borrow_mut();
+            mbr_join(self.r.tree(), self.s.tree(), &mut pool)
+        };
+        let mbr_join_ms = disk.stats().since(&before).io_ms;
+        // Step 2: object transfer.
+        let transfer_ms = transfer_objects(self.r, self.s, &mbr.pairs, config.transfer);
+        // Step 3: exact geometry test, one per candidate pair.
+        let exact_test_ms = config.exact_test_ms * mbr.pairs.len() as f64;
+        let stats = JoinStats {
+            mbr_pairs: mbr.pairs.len() as u64,
+            mbr_join_ms,
+            transfer_ms,
+            exact_test_ms,
+        };
+        (mbr.pairs, stats)
+    }
+
+    /// Run only the MBR join and object transfer (the I/O part measured
+    /// by Figures 14 and 16).
+    pub fn run_io_only(&mut self, technique: TransferTechnique) -> JoinStats {
+        self.run(JoinConfig {
+            transfer: technique,
+            exact_test_ms: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatialdb_disk::Disk;
+    use spatialdb_geom::Rect;
+    use spatialdb_rtree::ObjectId;
+    use spatialdb_storage::{
+        new_shared_pool, ClusterConfig, ClusterOrganization, ObjectRecord, SecondaryOrganization,
+        SharedPool,
+    };
+
+    fn build_pair(
+        buffer: usize,
+        cluster_r: bool,
+    ) -> (Organization, Organization, SharedPool) {
+        let disk = Disk::with_defaults();
+        let pool = new_shared_pool(disk.clone(), buffer);
+        let mut r = if cluster_r {
+            Organization::Cluster(ClusterOrganization::new(
+                disk.clone(),
+                pool.clone(),
+                ClusterConfig::plain(16 * 1024),
+            ))
+        } else {
+            Organization::Secondary(SecondaryOrganization::new(disk.clone(), pool.clone()))
+        };
+        let mut s = if cluster_r {
+            Organization::Cluster(ClusterOrganization::new(
+                disk.clone(),
+                pool.clone(),
+                ClusterConfig::plain(16 * 1024),
+            ))
+        } else {
+            Organization::Secondary(SecondaryOrganization::new(disk.clone(), pool.clone()))
+        };
+        for i in 0..300u64 {
+            let x = (i % 20) as f64 / 20.0;
+            let y = (i / 20) as f64 / 20.0;
+            r.insert(&ObjectRecord::new(
+                ObjectId(i),
+                Rect::new(x, y, x + 0.04, y + 0.04),
+                700,
+            ));
+            s.insert(&ObjectRecord::new(
+                ObjectId(i),
+                Rect::new(x + 0.02, y, x + 0.06, y + 0.04),
+                700,
+            ));
+        }
+        r.flush();
+        s.flush();
+        r.begin_query();
+        s.begin_query();
+        (r, s, pool)
+    }
+
+    #[test]
+    fn pipeline_produces_pairs_and_costs() {
+        let (mut r, mut s, _) = build_pair(512, false);
+        let stats = SpatialJoin::new(&mut r, &mut s).run(JoinConfig::default());
+        assert!(stats.mbr_pairs > 0);
+        assert!(stats.mbr_join_ms > 0.0);
+        assert!(stats.transfer_ms > 0.0);
+        assert_eq!(stats.exact_test_ms, 0.75 * stats.mbr_pairs as f64);
+        assert!(stats.total_ms() > stats.transfer_ms);
+    }
+
+    #[test]
+    fn cluster_join_cheaper_than_secondary() {
+        let (mut rs, mut ss, _) = build_pair(256, false);
+        let sec = SpatialJoin::new(&mut rs, &mut ss).run_io_only(TransferTechnique::Complete);
+        let (mut rc, mut sc, _) = build_pair(256, true);
+        let clu = SpatialJoin::new(&mut rc, &mut sc).run_io_only(TransferTechnique::Complete);
+        assert_eq!(sec.mbr_pairs, clu.mbr_pairs, "same candidates");
+        assert!(
+            clu.transfer_ms < sec.transfer_ms,
+            "cluster {} vs secondary {}",
+            clu.transfer_ms,
+            sec.transfer_ms
+        );
+    }
+
+    #[test]
+    fn pair_count_independent_of_buffer_size() {
+        let (mut a, mut b, _) = build_pair(128, true);
+        let small = SpatialJoin::new(&mut a, &mut b).run_io_only(TransferTechnique::Complete);
+        let (mut c, mut d, _) = build_pair(4096, true);
+        let big = SpatialJoin::new(&mut c, &mut d).run_io_only(TransferTechnique::Complete);
+        assert_eq!(small.mbr_pairs, big.mbr_pairs);
+        assert!(big.io_seconds() <= small.io_seconds() + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one buffer pool")]
+    fn rejects_distinct_pools() {
+        let disk = Disk::with_defaults();
+        let pool_a = new_shared_pool(disk.clone(), 64);
+        let pool_b = new_shared_pool(disk.clone(), 64);
+        let mut a =
+            Organization::Secondary(SecondaryOrganization::new(disk.clone(), pool_a));
+        let mut b = Organization::Secondary(SecondaryOrganization::new(disk, pool_b));
+        let _ = SpatialJoin::new(&mut a, &mut b);
+    }
+}

@@ -1,0 +1,227 @@
+//! Point and window queries over the R\*-tree (filter step).
+//!
+//! §4.1 of the paper: *"Let S be a query rectangle of a window query. The
+//! query is performed by starting in the root and computing all entries
+//! whose rectangle intersects S. For these entries, the corresponding
+//! child nodes are read into main memory and the query process is
+//! repeated, unless the node in question is a leaf node."*
+//!
+//! The queries here implement the *filter* step (\[Ore89\]): they return
+//! candidate entries / data pages based on MBRs. The *refinement* step
+//! (exact geometry test) is the organization models' job, because it is
+//! what requires fetching the exact object representations from disk.
+
+use crate::entry::LeafEntry;
+use crate::io::NodeIo;
+use crate::node::{NodeId, NodeKind};
+use crate::tree::RStarTree;
+use spatialdb_geom::{Point, Rect};
+
+impl RStarTree {
+    /// Window query, filter step: all leaf entries whose MBR intersects
+    /// `window`. Visited node pages are charged to `io`.
+    pub fn window_entries(&self, window: &Rect, io: &mut impl NodeIo) -> Vec<LeafEntry> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            io.read(node.page);
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    out.extend(entries.iter().filter(|e| e.mbr.intersects(window)).copied());
+                }
+                NodeKind::Dir(entries) => {
+                    stack.extend(
+                        entries
+                            .iter()
+                            .filter(|e| e.mbr.intersects(window))
+                            .map(|e| e.child),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Window query over data pages: the ids of all leaves that contain at
+    /// least one entry whose MBR intersects `window`, each paired with its
+    /// matching entries.
+    ///
+    /// This is the access pattern of the cluster organization (§4.2.2):
+    /// each qualifying data page maps to one cluster unit that the query
+    /// techniques then decide how to transfer.
+    pub fn window_leaves(
+        &self,
+        window: &Rect,
+        io: &mut impl NodeIo,
+    ) -> Vec<(NodeId, Vec<LeafEntry>)> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            io.read(node.page);
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    let hits: Vec<LeafEntry> = entries
+                        .iter()
+                        .filter(|e| e.mbr.intersects(window))
+                        .copied()
+                        .collect();
+                    if !hits.is_empty() {
+                        out.push((id, hits));
+                    }
+                }
+                NodeKind::Dir(entries) => {
+                    stack.extend(
+                        entries
+                            .iter()
+                            .filter(|e| e.mbr.intersects(window))
+                            .map(|e| e.child),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Point query, filter step: all leaf entries whose MBR contains `p`.
+    pub fn point_entries(&self, p: &Point, io: &mut impl NodeIo) -> Vec<LeafEntry> {
+        let window = Rect::new(p.x, p.y, p.x, p.y);
+        self.window_entries(&window, io)
+    }
+
+    /// Number of node pages a window query would read (filter-step I/O),
+    /// without charging anything.
+    pub fn window_node_count(&self, window: &Rect) -> usize {
+        let mut count = 0usize;
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            count += 1;
+            if let NodeKind::Dir(entries) = &self.node(id).kind {
+                stack.extend(
+                    entries
+                        .iter()
+                        .filter(|e| e.mbr.intersects(window))
+                        .map(|e| e.child),
+                );
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+    use crate::entry::ObjectId;
+    use crate::io::{CountingIo, NoIo};
+    use spatialdb_disk::Disk;
+
+    fn build_grid(n: u64) -> RStarTree {
+        let disk = Disk::with_defaults();
+        let mut t = RStarTree::new(
+            RTreeConfig {
+                max_entries: 8,
+                min_fill_ratio: 0.4,
+                reinsert_fraction: 0.3,
+                leaf_reinsert_enabled: true,
+                leaf_payload_limit: None,
+            },
+            disk.create_region("t"),
+        );
+        for i in 0..n * n {
+            let x = (i % n) as f64;
+            let y = (i / n) as f64;
+            t.insert(
+                LeafEntry::new(Rect::new(x, y, x + 0.5, y + 0.5), ObjectId(i), 0),
+                &mut NoIo,
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn window_query_finds_exactly_the_overlapping_entries() {
+        let t = build_grid(10);
+        let w = Rect::new(2.0, 2.0, 4.2, 3.2);
+        let mut found: Vec<u64> = t
+            .window_entries(&w, &mut NoIo)
+            .iter()
+            .map(|e| e.oid.0)
+            .collect();
+        found.sort_unstable();
+        // Brute force reference.
+        let mut expected = Vec::new();
+        for i in 0..100u64 {
+            let x = (i % 10) as f64;
+            let y = (i / 10) as f64;
+            if Rect::new(x, y, x + 0.5, y + 0.5).intersects(&w) {
+                expected.push(i);
+            }
+        }
+        assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn point_query_contains_semantics() {
+        let t = build_grid(10);
+        // Point inside cell (3,4).
+        let hits = t.point_entries(&Point::new(3.25, 4.25), &mut NoIo);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].oid, ObjectId(43));
+        // Point in the gap between cells: no hit.
+        let miss = t.point_entries(&Point::new(3.75, 4.25), &mut NoIo);
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn empty_window_query() {
+        let t = build_grid(5);
+        let out = t.window_entries(&Rect::new(100.0, 100.0, 101.0, 101.0), &mut NoIo);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn whole_space_window_returns_everything() {
+        let t = build_grid(7);
+        let out = t.window_entries(&Rect::new(-1.0, -1.0, 100.0, 100.0), &mut NoIo);
+        assert_eq!(out.len(), 49);
+    }
+
+    #[test]
+    fn window_leaves_cover_window_entries() {
+        let t = build_grid(10);
+        let w = Rect::new(1.0, 1.0, 6.3, 5.1);
+        let per_leaf = t.window_leaves(&w, &mut NoIo);
+        let total: usize = per_leaf.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, t.window_entries(&w, &mut NoIo).len());
+        // Every reported leaf really holds its reported entries.
+        for (leaf, hits) in &per_leaf {
+            let node_entries = t.node(*leaf).leaf_entries();
+            for h in hits {
+                assert!(node_entries.iter().any(|e| e.oid == h.oid));
+            }
+        }
+    }
+
+    #[test]
+    fn selective_query_reads_fewer_nodes() {
+        let t = build_grid(20);
+        let mut io_small = CountingIo::default();
+        t.window_entries(&Rect::new(5.0, 5.0, 5.4, 5.4), &mut io_small);
+        let mut io_big = CountingIo::default();
+        t.window_entries(&Rect::new(0.0, 0.0, 20.0, 20.0), &mut io_big);
+        assert!(io_small.reads < io_big.reads);
+        assert_eq!(io_big.reads as usize, t.num_nodes());
+    }
+
+    #[test]
+    fn window_node_count_matches_charged_reads() {
+        let t = build_grid(12);
+        let w = Rect::new(2.0, 3.0, 8.0, 7.0);
+        let mut io = CountingIo::default();
+        t.window_entries(&w, &mut io);
+        assert_eq!(io.reads as usize, t.window_node_count(&w));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests: the R*-tree agrees with brute force and keeps
+//! its invariants under arbitrary insert/delete interleavings.
+
+use proptest::prelude::*;
+use spatialdb_disk::Disk;
+use spatialdb_geom::{Point, Rect};
+use spatialdb_rtree::validate::check_invariants;
+use spatialdb_rtree::{LeafEntry, NoIo, ObjectId, RStarTree, RTreeConfig};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (
+        0.0f64..100.0,
+        0.0f64..100.0,
+        0.01f64..8.0,
+        0.01f64..8.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn config(m: usize, leaf_reinsert: bool, payload_limit: Option<u64>) -> RTreeConfig {
+    RTreeConfig {
+        max_entries: m,
+        min_fill_ratio: 0.4,
+        reinsert_fraction: 0.3,
+        leaf_reinsert_enabled: leaf_reinsert,
+        leaf_payload_limit: payload_limit,
+    }
+}
+
+fn build(rects: &[Rect], cfg: RTreeConfig) -> RStarTree {
+    let disk = Disk::with_defaults();
+    let mut t = RStarTree::new(cfg, disk.create_region("t"));
+    for (i, r) in rects.iter().enumerate() {
+        t.insert(LeafEntry::new(*r, ObjectId(i as u64), 64), &mut NoIo);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn window_query_matches_brute_force(
+        rects in prop::collection::vec(arb_rect(), 1..300),
+        window in arb_rect(),
+        m in 4usize..16,
+    ) {
+        let t = build(&rects, config(m, true, None));
+        check_invariants(&t).unwrap();
+        let mut got: Vec<u64> = t.window_entries(&window, &mut NoIo)
+            .iter().map(|e| e.oid.0).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = rects.iter().enumerate()
+            .filter(|(_, r)| r.intersects(&window))
+            .map(|(i, _)| i as u64)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn point_query_matches_brute_force(
+        rects in prop::collection::vec(arb_rect(), 1..200),
+        px in 0.0f64..110.0,
+        py in 0.0f64..110.0,
+    ) {
+        let t = build(&rects, config(8, true, None));
+        let p = Point::new(px, py);
+        let mut got: Vec<u64> = t.point_entries(&p, &mut NoIo)
+            .iter().map(|e| e.oid.0).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = rects.iter().enumerate()
+            .filter(|(_, r)| r.contains_point(&p))
+            .map(|(i, _)| i as u64)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn invariants_hold_without_leaf_reinsert(
+        rects in prop::collection::vec(arb_rect(), 1..300),
+    ) {
+        let t = build(&rects, config(8, false, None));
+        check_invariants(&t).unwrap();
+        prop_assert_eq!(t.len(), rects.len());
+    }
+
+    #[test]
+    fn invariants_hold_with_payload_limit(
+        rects in prop::collection::vec(arb_rect(), 1..200),
+        limit in 128u64..1024,
+    ) {
+        let t = build(&rects, config(8, false, Some(limit)));
+        check_invariants(&t).unwrap();
+        // Every multi-entry leaf respects the limit (entries carry 64 B).
+        for (_, leaf) in t.leaves() {
+            if leaf.len() > 1 {
+                prop_assert!(leaf.payload() <= limit);
+            }
+        }
+    }
+
+    #[test]
+    fn insert_delete_roundtrip(
+        rects in prop::collection::vec(arb_rect(), 1..120),
+        delete_mask in prop::collection::vec(any::<bool>(), 1..120),
+    ) {
+        let mut t = build(&rects, config(6, true, None));
+        let mut remaining: Vec<(u64, Rect)> = rects.iter().enumerate()
+            .map(|(i, r)| (i as u64, *r)).collect();
+        for (i, &del) in delete_mask.iter().enumerate() {
+            if del && i < rects.len() {
+                let out = t.delete(ObjectId(i as u64), &rects[i], &mut NoIo);
+                prop_assert!(out.removed);
+                remaining.retain(|(id, _)| *id != i as u64);
+                check_invariants(&t).unwrap();
+            }
+        }
+        prop_assert_eq!(t.len(), remaining.len());
+        // Everything remaining is still findable.
+        let everything = Rect::new(-1.0, -1.0, 200.0, 200.0);
+        let mut got: Vec<u64> = t.window_entries(&everything, &mut NoIo)
+            .iter().map(|e| e.oid.0).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = remaining.iter().map(|(id, _)| *id).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn leaves_partition_the_objects(
+        rects in prop::collection::vec(arb_rect(), 1..300),
+    ) {
+        let t = build(&rects, config(10, true, None));
+        let mut seen = std::collections::HashSet::new();
+        for (_, leaf) in t.leaves() {
+            for e in leaf.leaf_entries() {
+                prop_assert!(seen.insert(e.oid), "duplicate {:?}", e.oid);
+            }
+        }
+        prop_assert_eq!(seen.len(), rects.len());
+    }
+
+    #[test]
+    fn height_is_logarithmic(
+        n in 50usize..400,
+    ) {
+        // A packed grid of n entries with M=8 must have height
+        // O(log_m n): no degenerate linear chains.
+        let rects: Vec<Rect> = (0..n).map(|i| {
+            let x = (i % 20) as f64;
+            let y = (i / 20) as f64;
+            Rect::new(x, y, x + 0.5, y + 0.5)
+        }).collect();
+        let t = build(&rects, config(8, true, None));
+        // ceil(log_3(n)) is a generous upper bound (min fill ≥ 3 with M=8
+        // is not guaranteed mid-build, so allow slack).
+        let bound = ((n as f64).ln() / 3.0f64.ln()).ceil() as u32 + 2;
+        prop_assert!(t.height() <= bound, "height {} n {}", t.height(), n);
+    }
+}

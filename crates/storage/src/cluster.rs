@@ -1,0 +1,949 @@
+//! The cluster organization (§4) — the paper's contribution.
+//!
+//! Three levels (Figure 4): the R\*-tree directory, the data pages
+//! holding the MBR entries, and one *cluster unit* per data page holding
+//! the exact representations of its objects on physically consecutive
+//! pages. The modified R\*-tree (§4.2.1) performs no leaf-level forced
+//! reinsert and splits a data page when its cluster unit exceeds
+//! `Smax ≈ 1.5 · M · S_obj` bytes (*cluster split*).
+//!
+//! Insertion follows §4.2.2: (1) determine the data page with the
+//! R\*-tree algorithm, (2) insert the MBR into the data page, (3) append
+//! the object to the corresponding cluster unit, (4) on overflow split
+//! the data page into exactly two cluster units along the R\*-tree split
+//! distribution. A cluster split *reads the old unit once and writes the
+//! two new units sequentially* — this is why construction stays cheap
+//! (§5.2): the copies already profit from global clustering.
+//!
+//! Cluster units live in buddies ([`spatialdb_disk::BuddyAllocator`]);
+//! with the single-size configuration every unit occupies the full
+//! `Smax`, reproducing the storage utilization of Figure 6, while the
+//! restricted buddy system of Figure 7 adapts the physical unit size.
+
+use crate::model::{
+    OrganizationModel, QueryStats, SharedPool, TransferTechnique, WindowTechnique,
+};
+use crate::object::ObjectRecord;
+use crate::packer::{BytePacker, Placement};
+use spatialdb_disk::{
+    slm_gap_limit, BuddyAllocator, BuddyConfig, DiskHandle, IoKind, PageId, PageRun, ReadMode,
+    RegionId, SeekPolicy, PAGE_SIZE,
+};
+use spatialdb_geom::{Point, Rect};
+use spatialdb_rtree::{LeafEntry, NodeId, ObjectId, RStarTree, RTreeConfig};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of a [`ClusterOrganization`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Maximum cluster unit size in bytes (`Smax`, Table 1).
+    pub smax_bytes: u64,
+    /// Physical unit sizes (buddy system configuration, §5.3.1).
+    pub buddy: BuddyConfig,
+}
+
+impl ClusterConfig {
+    /// Plain cluster organization: every unit occupies the full `Smax`
+    /// (Figures 5, 6, 8, 10–12, 14, 16, 17).
+    pub fn plain(smax_bytes: u64) -> Self {
+        let pages = smax_bytes.div_ceil(PAGE_SIZE as u64);
+        ClusterConfig {
+            smax_bytes,
+            buddy: BuddyConfig::fixed(pages),
+        }
+    }
+
+    /// Restricted buddy system with sizes `Smax`, `Smax/2`, `Smax/4`
+    /// (Figure 7).
+    pub fn restricted_buddy(smax_bytes: u64) -> Self {
+        let pages = smax_bytes.div_ceil(PAGE_SIZE as u64);
+        ClusterConfig {
+            smax_bytes,
+            buddy: BuddyConfig::restricted(pages),
+        }
+    }
+
+    /// Full buddy system with `log2(Smax)` sizes (§5.3.1).
+    pub fn full_buddy(smax_bytes: u64) -> Self {
+        let pages = smax_bytes.div_ceil(PAGE_SIZE as u64);
+        ClusterConfig {
+            smax_bytes,
+            buddy: BuddyConfig::full(pages),
+        }
+    }
+}
+
+/// One cluster unit: the physical extent (its buddy) plus the byte-packed
+/// object placements.
+#[derive(Debug)]
+struct ClusterUnit {
+    /// The buddy currently backing the unit.
+    extent: PageRun,
+    packer: BytePacker,
+    /// Object → placement (page offsets relative to `extent.start`).
+    members: HashMap<ObjectId, Placement>,
+}
+
+impl ClusterUnit {
+    fn used_pages(&self) -> u64 {
+        self.packer.pages_used(PAGE_SIZE as u64)
+    }
+
+    /// The physically used part of the extent.
+    fn used_extent(&self) -> PageRun {
+        PageRun::new(self.extent.start, self.used_pages())
+    }
+
+    /// Absolute pages of one member.
+    fn member_pages(&self, oid: ObjectId) -> Vec<PageId> {
+        let p = self.members[&oid];
+        p.page_offsets()
+            .map(|o| PageId::new(self.extent.start.region, self.extent.start.offset + o))
+            .collect()
+    }
+
+    /// Sum of pages over all members (for the `nop∅` average).
+    fn member_pages_total(&self) -> u64 {
+        self.members.values().map(|p| p.num_pages).sum()
+    }
+}
+
+/// The cluster organization.
+pub struct ClusterOrganization {
+    disk: DiskHandle,
+    pool: SharedPool,
+    config: ClusterConfig,
+    tree: RStarTree,
+    tree_region: RegionId,
+    buddy: BuddyAllocator,
+    units: HashMap<NodeId, ClusterUnit>,
+    /// Data page each object currently belongs to.
+    location: HashMap<ObjectId, NodeId>,
+    sizes: HashMap<ObjectId, u32>,
+    /// Σ placement pages over all units (maintained incrementally for the
+    /// threshold formula's `nop∅`).
+    total_member_pages: u64,
+}
+
+impl ClusterOrganization {
+    /// Create an empty cluster organization on `disk`, buffered by
+    /// `pool`.
+    pub fn new(disk: DiskHandle, pool: SharedPool, config: ClusterConfig) -> Self {
+        let tree_region = disk.create_region("clu:tree");
+        let unit_region = disk.create_region("clu:units");
+        let tree = RStarTree::new(
+            RTreeConfig::cluster(PAGE_SIZE, config.smax_bytes),
+            tree_region,
+        );
+        let buddy = BuddyAllocator::new(unit_region, config.buddy.clone());
+        ClusterOrganization {
+            disk,
+            pool,
+            config,
+            tree,
+            tree_region,
+            buddy,
+            units: HashMap::new(),
+            location: HashMap::new(),
+            sizes: HashMap::new(),
+            total_member_pages: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of cluster units.
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Average number of entries per data page (`noe∅` of §5.4.1).
+    pub fn avg_entries_per_page(&self) -> f64 {
+        let leaves = self.tree.num_leaves().max(1);
+        self.tree.len() as f64 / leaves as f64
+    }
+
+    /// Average number of pages occupied per object (`nop∅` of §5.4.1).
+    pub fn avg_pages_per_object(&self) -> f64 {
+        let n = self.sizes.len().max(1);
+        self.total_member_pages as f64 / n as f64
+    }
+
+    /// Drop an extent's pages from the buffer (the extent is being freed
+    /// or rewritten; stale copies must not produce buffer hits).
+    fn drop_from_buffer(&self, extent: PageRun) {
+        let mut pool = self.pool.borrow_mut();
+        for p in extent.pages() {
+            pool.buffer_mut().remove(&p);
+        }
+    }
+
+    /// Rebuild a unit's packing from an object list, allocating the
+    /// smallest possible buddy. Returns the unit (no I/O charged here).
+    fn pack_unit(&mut self, oids: &[ObjectId]) -> ClusterUnit {
+        let mut packer = BytePacker::new();
+        let mut members = HashMap::with_capacity(oids.len());
+        for &oid in oids {
+            let size = u64::from(self.sizes[&oid]);
+            members.insert(oid, packer.place(size, PAGE_SIZE as u64));
+        }
+        let pages = packer.pages_used(PAGE_SIZE as u64).max(1);
+        let extent = self
+            .buddy
+            .alloc_for(pages)
+            .expect("cluster split produced a unit beyond Smax");
+        ClusterUnit {
+            extent,
+            packer,
+            members,
+        }
+    }
+
+    /// §4.2.2 step 3: append the object to the unit of its data page,
+    /// moving the unit to a larger buddy when needed.
+    fn append_object(&mut self, leaf: NodeId, rec: &ObjectRecord) {
+        self.sizes.insert(rec.oid, rec.size_bytes);
+        self.location.insert(rec.oid, leaf);
+        let size = u64::from(rec.size_bytes);
+        if let Some(unit) = self.units.get_mut(&leaf) {
+            let mut trial = unit.packer.clone();
+            let placement = trial.place(size, PAGE_SIZE as u64);
+            let needed = trial.pages_used(PAGE_SIZE as u64);
+            if needed <= unit.extent.len {
+                // Fits: write the object's pages (one request).
+                unit.packer = trial;
+                unit.members.insert(rec.oid, placement);
+                let run = PageRun::new(
+                    PageId::new(
+                        unit.extent.start.region,
+                        unit.extent.start.offset + placement.first_page,
+                    ),
+                    placement.num_pages,
+                );
+                self.total_member_pages += placement.num_pages;
+                self.disk.charge(IoKind::Write, run, false);
+            } else {
+                // Move the unit into a larger buddy: read the old unit,
+                // write the unit including the new object sequentially.
+                let old_extent = unit.extent;
+                let old_used = unit.used_extent();
+                unit.packer = trial;
+                unit.members.insert(rec.oid, placement);
+                self.total_member_pages += placement.num_pages;
+                let new_extent = self
+                    .buddy
+                    .alloc_for(needed)
+                    .expect("unit grew beyond Smax without a cluster split");
+                let unit = self.units.get_mut(&leaf).expect("unit vanished");
+                unit.extent = new_extent;
+                let new_used = unit.used_extent();
+                self.disk.charge(IoKind::Read, old_used, false);
+                self.disk.charge(IoKind::Write, new_used, false);
+                self.buddy.free(old_extent);
+                self.drop_from_buffer(old_extent);
+            }
+        } else {
+            // First object of a fresh data page: new unit.
+            let unit = self.pack_unit(&[rec.oid]);
+            self.total_member_pages += unit.member_pages_total();
+            self.disk.charge(IoKind::Write, unit.used_extent(), false);
+            self.units.insert(leaf, unit);
+        }
+    }
+
+    /// Rebuild one data page's cluster unit from the tree's current
+    /// entry list (deletion path): read the old unit if it existed, pack
+    /// the current members, write the new unit, free the old buddy.
+    fn rebuild_unit(&mut self, leaf: NodeId) {
+        if !self.tree.contains_node(leaf) || !self.tree.node(leaf).is_leaf() {
+            return;
+        }
+        let oids: Vec<ObjectId> = self
+            .tree
+            .node(leaf)
+            .leaf_entries()
+            .iter()
+            .map(|e| e.oid)
+            .collect();
+        let old = self.units.remove(&leaf);
+        if let Some(u) = &old {
+            self.disk.charge(IoKind::Read, u.used_extent(), false);
+            self.total_member_pages -= u.member_pages_total();
+        }
+        if oids.is_empty() {
+            if let Some(u) = old {
+                self.buddy.free(u.extent);
+                self.drop_from_buffer(u.extent);
+            }
+            return;
+        }
+        let unit = self.pack_unit(&oids);
+        self.total_member_pages += unit.member_pages_total();
+        self.disk.charge(IoKind::Write, unit.used_extent(), false);
+        for oid in &oids {
+            self.location.insert(*oid, leaf);
+        }
+        if let Some(u) = old {
+            self.buddy.free(u.extent);
+            self.drop_from_buffer(u.extent);
+        }
+        self.units.insert(leaf, unit);
+    }
+
+    /// Transfer the qualifying objects of one cluster unit according to
+    /// the window-query technique. Returns nothing; all costs are charged
+    /// to the disk through the pool.
+    fn transfer_for_window(
+        &mut self,
+        leaf: NodeId,
+        hits: &[LeafEntry],
+        window: &Rect,
+        technique: WindowTechnique,
+    ) {
+        let unit = &self.units[&leaf];
+        let used = unit.used_extent();
+        match technique {
+            WindowTechnique::Complete => {
+                self.read_complete_if_needed(leaf, hits);
+            }
+            WindowTechnique::Threshold => {
+                let region = self.tree.node(leaf).mbr();
+                let overlap = region.overlap_fraction(window);
+                let t = self.disk.params().geometric_threshold(
+                    used.len,
+                    self.avg_entries_per_page(),
+                    self.avg_pages_per_object(),
+                );
+                if overlap >= t {
+                    self.read_complete_if_needed(leaf, hits);
+                } else {
+                    self.read_page_by_page(leaf, hits);
+                }
+            }
+            WindowTechnique::PageByPage => {
+                self.read_page_by_page(leaf, hits);
+            }
+            WindowTechnique::Slm => {
+                let offsets = self.hit_offsets(leaf, hits);
+                let gap = slm_gap_limit(&self.disk.params());
+                self.pool.borrow_mut().read_extent_slm(
+                    used,
+                    &offsets,
+                    gap,
+                    ReadMode::Normal,
+                    true,
+                );
+            }
+            WindowTechnique::Optimum => {
+                // 1 seek + 1 latency per cluster unit + minimal transfers.
+                let offsets = self.hit_offsets(leaf, hits);
+                let missing: Vec<u64> = {
+                    let pool = self.pool.borrow();
+                    offsets
+                        .iter()
+                        .copied()
+                        .filter(|&o| !pool.buffer().contains(&used.page(o)))
+                        .collect()
+                };
+                if !missing.is_empty() {
+                    let params = self.disk.params();
+                    let k = missing.len() as u64;
+                    let cost =
+                        params.seek_ms + params.latency_ms + params.transfer_ms * k as f64;
+                    self.disk.charge_raw(IoKind::Read, k, cost, true);
+                    let mut pool = self.pool.borrow_mut();
+                    for o in missing {
+                        let page = used.page(o);
+                        let ev = pool.buffer_mut().insert(page, false);
+                        drop(ev); // optimum never carries dirty pages here
+                    }
+                }
+            }
+        }
+    }
+
+    /// Distinct page offsets (within the unit) of the hit objects, sorted.
+    fn hit_offsets(&self, leaf: NodeId, hits: &[LeafEntry]) -> Vec<u64> {
+        let unit = &self.units[&leaf];
+        let mut offsets: Vec<u64> = hits
+            .iter()
+            .flat_map(|e| unit.members[&e.oid].page_offsets())
+            .collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        offsets
+    }
+
+    /// The simplest technique (§5.4): transfer the complete cluster unit
+    /// as soon as any qualifying object needs I/O.
+    fn read_complete_if_needed(&mut self, leaf: NodeId, hits: &[LeafEntry]) {
+        let unit = &self.units[&leaf];
+        let needed: Vec<PageId> = hits
+            .iter()
+            .flat_map(|e| unit.member_pages(e.oid))
+            .collect();
+        let mut pool = self.pool.borrow_mut();
+        let all_buffered = needed.iter().all(|p| pool.buffer().contains(p));
+        if all_buffered {
+            for p in &needed {
+                pool.buffer_mut().touch(p);
+            }
+        } else {
+            pool.read_full_extent(unit.used_extent());
+        }
+    }
+
+    /// Page-by-page: one request per qualifying object, one seek per
+    /// cluster unit (§5.4.1's `t_page` access pattern).
+    fn read_page_by_page(&mut self, leaf: NodeId, hits: &[LeafEntry]) {
+        let mut seek_pending = true;
+        for e in hits {
+            let pages = self.units[&leaf].member_pages(e.oid);
+            let out = self.pool.borrow_mut().read_set(
+                &pages,
+                SeekPolicy::WithinCluster {
+                    initial_seek: seek_pending,
+                },
+            );
+            if out.issued_io() {
+                seek_pending = false;
+            }
+        }
+    }
+
+    /// The join's object transfer (§6.2): fetch `oid`, batching the other
+    /// join-relevant objects of the same cluster unit according to the
+    /// technique. `needed` is the set of objects the join still requires.
+    pub fn fetch_for_join(
+        &mut self,
+        oid: ObjectId,
+        needed: &HashSet<ObjectId>,
+        technique: TransferTechnique,
+    ) {
+        let leaf = self.location[&oid];
+        let unit = &self.units[&leaf];
+        let my_pages = unit.member_pages(oid);
+        {
+            let mut pool = self.pool.borrow_mut();
+            if my_pages.iter().all(|p| pool.buffer().contains(p)) {
+                for p in &my_pages {
+                    pool.buffer_mut().touch(p);
+                }
+                return;
+            }
+        }
+        let used = unit.used_extent();
+        match technique {
+            TransferTechnique::Complete => {
+                self.pool.borrow_mut().read_full_extent(used);
+            }
+            TransferTechnique::Read | TransferTechnique::VectorRead => {
+                let mode = if technique == TransferTechnique::Read {
+                    ReadMode::Normal
+                } else {
+                    ReadMode::Vector
+                };
+                let mut offsets: Vec<u64> = unit
+                    .members
+                    .iter()
+                    .filter(|(o, _)| **o == oid || needed.contains(o))
+                    .flat_map(|(_, p)| p.page_offsets())
+                    .collect();
+                offsets.sort_unstable();
+                offsets.dedup();
+                let gap = slm_gap_limit(&self.disk.params());
+                self.pool
+                    .borrow_mut()
+                    .read_extent_slm(used, &offsets, gap, mode, true);
+            }
+            TransferTechnique::Optimum => {
+                let mut offsets: Vec<u64> = unit
+                    .members
+                    .iter()
+                    .filter(|(o, _)| **o == oid || needed.contains(o))
+                    .flat_map(|(_, p)| p.page_offsets())
+                    .collect();
+                offsets.sort_unstable();
+                offsets.dedup();
+                let missing: Vec<u64> = {
+                    let pool = self.pool.borrow();
+                    offsets
+                        .into_iter()
+                        .filter(|&o| !pool.buffer().contains(&used.page(o)))
+                        .collect()
+                };
+                if !missing.is_empty() {
+                    let params = self.disk.params();
+                    let k = missing.len() as u64;
+                    let cost =
+                        params.seek_ms + params.latency_ms + params.transfer_ms * k as f64;
+                    self.disk.charge_raw(IoKind::Read, k, cost, true);
+                    let mut pool = self.pool.borrow_mut();
+                    for o in missing {
+                        pool.buffer_mut().insert(used.page(o), false);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Structural self-check: every object is in exactly one unit, units
+    /// correspond 1:1 to data pages, placements are within extents, and
+    /// unit payloads respect `Smax`.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut seen = HashSet::new();
+        for (leaf, unit) in &self.units {
+            let node = self.tree.node(*leaf);
+            if !node.is_leaf() {
+                return Err(format!("unit attached to non-leaf {leaf}"));
+            }
+            let entries = node.leaf_entries();
+            if entries.len() != unit.members.len() {
+                return Err(format!(
+                    "data page {leaf} has {} entries but unit has {} members",
+                    entries.len(),
+                    unit.members.len()
+                ));
+            }
+            for e in entries {
+                if !unit.members.contains_key(&e.oid) {
+                    return Err(format!("entry {} missing from unit {leaf}", e.oid));
+                }
+                if !seen.insert(e.oid) {
+                    return Err(format!("object {} in two units", e.oid));
+                }
+            }
+            if unit.used_pages() > unit.extent.len {
+                return Err(format!(
+                    "unit {leaf} uses {} pages but its buddy has {}",
+                    unit.used_pages(),
+                    unit.extent.len
+                ));
+            }
+            if unit.members.len() > 1 && unit.packer.used_bytes() > self.config.smax_bytes {
+                return Err(format!(
+                    "unit {leaf} holds {} bytes > Smax {}",
+                    unit.packer.used_bytes(),
+                    self.config.smax_bytes
+                ));
+            }
+        }
+        if seen.len() != self.sizes.len() {
+            return Err(format!(
+                "{} objects stored but {} in units",
+                self.sizes.len(),
+                seen.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl OrganizationModel for ClusterOrganization {
+    fn name(&self) -> &'static str {
+        "cluster org."
+    }
+
+    fn insert(&mut self, rec: &ObjectRecord) {
+        assert!(
+            u64::from(rec.size_bytes) <= self.config.smax_bytes,
+            "object {} larger than Smax; store it in a separate storage unit \
+             (paper §4.2.2 footnote)",
+            rec.oid
+        );
+        // Steps 1 + 2: determine the data page and insert the MBR entry
+        // (the modified R*-tree may already split — step 4).
+        let entry = LeafEntry::new(rec.mbr, rec.oid, rec.size_bytes);
+        let outcome = self.tree.insert(entry, &mut *self.pool.borrow_mut());
+        debug_assert!(outcome.leaf_reinserts.is_empty());
+        if outcome.leaf_splits.is_empty() {
+            // Step 3: append the object to the cluster unit.
+            let leaf = outcome.leaf.expect("insert without target leaf");
+            self.append_object(leaf, rec);
+        } else {
+            // Step 4: the data page split (possibly chaining when one
+            // half still exceeded Smax). Rebuild every involved unit
+            // from the tree's final entry lists: the overflowing unit is
+            // read once and the successors are written sequentially.
+            self.sizes.insert(rec.oid, rec.size_bytes);
+            let mut involved: HashSet<NodeId> = HashSet::new();
+            for ev in &outcome.leaf_splits {
+                involved.insert(ev.old);
+                involved.insert(ev.new);
+            }
+            for leaf in involved {
+                self.rebuild_unit(leaf);
+            }
+        }
+    }
+
+    fn window_query(&mut self, window: &Rect, technique: WindowTechnique) -> QueryStats {
+        let before = self.disk.stats();
+        let per_leaf = self
+            .tree
+            .window_leaves(window, &mut *self.pool.borrow_mut());
+        let mut stats = QueryStats::default();
+        for (leaf, hits) in &per_leaf {
+            stats.candidates += hits.len();
+            stats.result_bytes += hits
+                .iter()
+                .map(|e| u64::from(self.sizes[&e.oid]))
+                .sum::<u64>();
+            self.transfer_for_window(*leaf, hits, window, technique);
+        }
+        stats.io_ms = self.disk.stats().since(&before).io_ms;
+        stats
+    }
+
+    fn point_query(&mut self, point: &Point) -> QueryStats {
+        let before = self.disk.stats();
+        let candidates = self
+            .tree
+            .point_entries(point, &mut *self.pool.borrow_mut());
+        // Selective access: read just the objects' pages, not the units
+        // (§5.5 — the cluster organization must not penalize selective
+        // queries).
+        for e in &candidates {
+            let leaf = self.location[&e.oid];
+            let pages = self.units[&leaf].member_pages(e.oid);
+            self.pool
+                .borrow_mut()
+                .read_set(&pages, SeekPolicy::PerRequest);
+        }
+        QueryStats {
+            candidates: candidates.len(),
+            result_bytes: candidates
+                .iter()
+                .map(|e| u64::from(self.sizes[&e.oid]))
+                .sum(),
+            io_ms: self.disk.stats().since(&before).io_ms,
+        }
+    }
+
+    fn fetch_object(&mut self, oid: ObjectId) {
+        let leaf = self.location[&oid];
+        let pages = self.units[&leaf].member_pages(oid);
+        self.pool
+            .borrow_mut()
+            .read_set(&pages, SeekPolicy::PerRequest);
+    }
+
+    fn occupied_pages(&self) -> u64 {
+        self.tree.allocated_pages() + self.buddy.occupied_pages()
+    }
+
+    fn num_objects(&self) -> usize {
+        self.sizes.len()
+    }
+
+    fn disk(&self) -> DiskHandle {
+        self.disk.clone()
+    }
+
+    fn pool(&self) -> SharedPool {
+        self.pool.clone()
+    }
+
+    fn tree(&self) -> &RStarTree {
+        &self.tree
+    }
+
+    fn flush(&mut self) {
+        self.pool.borrow_mut().flush();
+    }
+
+    fn begin_query(&mut self) {
+        let mut pool = self.pool.borrow_mut();
+        pool.invalidate_regions(&[self.tree_region, self.buddy.region()]);
+        crate::model::warm_directory(&mut pool, &self.tree);
+    }
+
+    fn object_size(&self, oid: ObjectId) -> u32 {
+        self.sizes[&oid]
+    }
+
+    fn delete(&mut self, oid: ObjectId) -> bool {
+        let Some(leaf0) = self.location.get(&oid).copied() else {
+            return false;
+        };
+        let mbr = self
+            .tree
+            .node(leaf0)
+            .leaf_entries()
+            .iter()
+            .find(|e| e.oid == oid)
+            .map(|e| e.mbr)
+            .expect("cluster location out of sync");
+        let outcome = self
+            .tree
+            .delete(oid, &mbr, &mut *self.pool.borrow_mut());
+        debug_assert!(outcome.removed);
+        self.location.remove(&oid);
+        self.sizes.remove(&oid);
+        // Tree condensation may have removed data pages and relocated
+        // their entries; rebuild every affected cluster unit from the
+        // tree's (authoritative) current entry lists.
+        let mut affected: HashSet<NodeId> = HashSet::new();
+        affected.insert(leaf0);
+        for (_, to) in &outcome.leaf_reinserts {
+            affected.insert(*to);
+        }
+        for split in &outcome.leaf_splits {
+            affected.insert(split.old);
+            affected.insert(split.new);
+        }
+        for leaf in affected {
+            self.rebuild_unit(leaf);
+        }
+        // Sweep units whose data page vanished during condensation.
+        let orphans: Vec<NodeId> = self
+            .units
+            .keys()
+            .copied()
+            .filter(|id| !self.tree.contains_node(*id))
+            .collect();
+        for id in orphans {
+            let unit = self.units.remove(&id).expect("orphan vanished");
+            self.total_member_pages -= unit.member_pages_total();
+            self.buddy.free(unit.extent);
+            self.drop_from_buffer(unit.extent);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::new_shared_pool;
+    use spatialdb_disk::Disk;
+    use spatialdb_rtree::validate::check_invariants;
+
+    const SMAX: u64 = 16 * 1024; // 4 pages — small for testing
+
+    fn org_with(n: u64, config: ClusterConfig) -> ClusterOrganization {
+        let disk = Disk::with_defaults();
+        let pool = new_shared_pool(disk.clone(), 512);
+        let mut org = ClusterOrganization::new(disk, pool, config);
+        for i in 0..n {
+            let x = (i % 40) as f64 / 40.0;
+            let y = (i / 40) as f64 / 40.0;
+            org.insert(&ObjectRecord::new(
+                ObjectId(i),
+                Rect::new(x, y, x + 0.01, y + 0.01),
+                600 + (i % 100) as u32,
+            ));
+        }
+        org.flush();
+        org
+    }
+
+    #[test]
+    fn build_consistent() {
+        let org = org_with(400, ClusterConfig::plain(SMAX));
+        assert_eq!(org.num_objects(), 400);
+        check_invariants(org.tree()).unwrap();
+        org.check_consistency().unwrap();
+        // One unit per data page.
+        assert_eq!(org.num_units(), org.tree().num_leaves());
+    }
+
+    #[test]
+    fn cluster_split_on_smax() {
+        // ~650 B objects, Smax 16 KB → ~25 objects per unit, so 400
+        // objects require many cluster splits.
+        let org = org_with(400, ClusterConfig::plain(SMAX));
+        assert!(org.num_units() > 10, "only {} units", org.num_units());
+        for unit in org.units.values() {
+            assert!(unit.packer.used_bytes() <= SMAX);
+        }
+    }
+
+    #[test]
+    fn plain_config_occupies_full_smax_per_unit() {
+        let org = org_with(300, ClusterConfig::plain(SMAX));
+        let units = org.num_units() as u64;
+        assert_eq!(org.buddy.occupied_pages(), units * 4);
+    }
+
+    #[test]
+    fn restricted_buddy_reduces_occupied_pages() {
+        let plain = org_with(300, ClusterConfig::plain(SMAX));
+        let buddy = org_with(300, ClusterConfig::restricted_buddy(SMAX));
+        assert!(
+            buddy.occupied_pages() < plain.occupied_pages(),
+            "buddy {} !< plain {}",
+            buddy.occupied_pages(),
+            plain.occupied_pages()
+        );
+        buddy.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn restricted_buddy_costs_more_to_build() {
+        let plain = org_with(300, ClusterConfig::plain(SMAX));
+        let buddy = org_with(300, ClusterConfig::restricted_buddy(SMAX));
+        assert!(
+            buddy.disk().stats().io_ms > plain.disk().stats().io_ms,
+            "unit moves must cost I/O"
+        );
+    }
+
+    #[test]
+    fn window_query_complete_reads_units_once() {
+        let mut org = org_with(300, ClusterConfig::plain(SMAX));
+        org.begin_query();
+        let q = org.window_query(&Rect::new(0.0, 0.0, 1.0, 1.0), WindowTechnique::Complete);
+        assert_eq!(q.candidates, 300);
+        let stats = org.disk().stats();
+        // Non-selective query: reading ≈ one request per unit (+ data
+        // pages), far fewer than one per object.
+        assert!(
+            stats.read_requests < 300,
+            "requests {}",
+            stats.read_requests
+        );
+    }
+
+    #[test]
+    fn techniques_agree_on_candidates() {
+        let window = Rect::new(0.1, 0.0, 0.6, 0.2);
+        for tech in [
+            WindowTechnique::Complete,
+            WindowTechnique::Threshold,
+            WindowTechnique::Slm,
+            WindowTechnique::PageByPage,
+            WindowTechnique::Optimum,
+        ] {
+            let mut org = org_with(400, ClusterConfig::plain(SMAX));
+            org.begin_query();
+            let q = org.window_query(&window, tech);
+            assert!(q.candidates > 0, "{tech:?}");
+        }
+    }
+
+    #[test]
+    fn optimum_is_cheapest_technique() {
+        let window = Rect::new(0.0, 0.0, 0.4, 0.4);
+        let mut costs = Vec::new();
+        for tech in [
+            WindowTechnique::Complete,
+            WindowTechnique::Threshold,
+            WindowTechnique::Slm,
+            WindowTechnique::Optimum,
+        ] {
+            let mut org = org_with(400, ClusterConfig::plain(SMAX));
+            org.begin_query();
+            let q = org.window_query(&window, tech);
+            costs.push((tech, q.io_ms));
+        }
+        let opt = costs
+            .iter()
+            .find(|(t, _)| *t == WindowTechnique::Optimum)
+            .unwrap()
+            .1;
+        for (tech, c) in &costs {
+            assert!(
+                opt <= *c + 1e-9,
+                "optimum {opt} more expensive than {tech:?} {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn point_query_does_not_read_whole_unit() {
+        let mut org = org_with(300, ClusterConfig::plain(SMAX));
+        org.begin_query();
+        let q = org.point_query(&Point::new(0.105, 0.005));
+        assert!(q.candidates >= 1);
+        // Reading one small object: leaf page + 1–2 object pages.
+        assert!(q.io_ms <= 3.0 * 16.0 + 17.0, "io {}", q.io_ms);
+    }
+
+    #[test]
+    fn fetch_for_join_complete_buffers_whole_unit() {
+        let mut org = org_with(200, ClusterConfig::plain(SMAX));
+        org.begin_query();
+        let oid = ObjectId(0);
+        let leaf = org.location[&oid];
+        let sibling = *org.units[&leaf]
+            .members
+            .keys()
+            .find(|o| **o != oid)
+            .expect("unit with 2+ members");
+        let needed: HashSet<ObjectId> = [oid, sibling].into_iter().collect();
+        org.fetch_for_join(oid, &needed, TransferTechnique::Complete);
+        let before = org.disk().stats();
+        // The sibling is now buffered: no further I/O.
+        org.fetch_for_join(sibling, &needed, TransferTechnique::Complete);
+        assert_eq!(org.disk().stats().since(&before).requests(), 0);
+    }
+
+    #[test]
+    fn vector_read_keeps_less_than_read() {
+        let mut a = org_with(200, ClusterConfig::plain(SMAX));
+        let mut b = org_with(200, ClusterConfig::plain(SMAX));
+        a.begin_query();
+        b.begin_query();
+        let oid = ObjectId(0);
+        let needed: HashSet<ObjectId> = [oid].into_iter().collect();
+        a.fetch_for_join(oid, &needed, TransferTechnique::Read);
+        b.fetch_for_join(oid, &needed, TransferTechnique::VectorRead);
+        let kept_a = a.pool().borrow().buffer().len();
+        let kept_b = b.pool().borrow().buffer().len();
+        assert!(kept_a >= kept_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than Smax")]
+    fn oversized_object_rejected() {
+        let disk = Disk::with_defaults();
+        let pool = new_shared_pool(disk.clone(), 64);
+        let mut org = ClusterOrganization::new(disk, pool, ClusterConfig::plain(SMAX));
+        org.insert(&ObjectRecord::new(
+            ObjectId(0),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            SMAX as u32 + 1,
+        ));
+    }
+
+    #[test]
+    fn delete_removes_object_and_rebuilds_units() {
+        let mut org = org_with(300, ClusterConfig::plain(SMAX));
+        for i in (0..300).step_by(3) {
+            assert!(org.delete(ObjectId(i)), "delete {i}");
+            org.check_consistency().unwrap();
+            check_invariants(org.tree()).unwrap();
+        }
+        assert_eq!(org.num_objects(), 200);
+        assert!(!org.delete(ObjectId(0)), "double delete");
+        // Remaining objects still findable and fetchable.
+        org.begin_query();
+        let q = org.window_query(&Rect::new(0.0, 0.0, 1.0, 1.0), WindowTechnique::Complete);
+        assert_eq!(q.candidates, 200);
+    }
+
+    #[test]
+    fn delete_everything_frees_all_buddies() {
+        let mut org = org_with(120, ClusterConfig::restricted_buddy(SMAX));
+        for i in 0..120 {
+            assert!(org.delete(ObjectId(i)));
+        }
+        assert_eq!(org.num_objects(), 0);
+        assert_eq!(org.buddy.occupied_pages(), 0);
+        assert_eq!(org.num_units(), 0);
+        check_invariants(org.tree()).unwrap();
+    }
+
+    #[test]
+    fn avg_stats_reasonable() {
+        let org = org_with(400, ClusterConfig::plain(SMAX));
+        let noe = org.avg_entries_per_page();
+        assert!(noe > 2.0 && noe < 89.0, "noe {noe}");
+        let nop = org.avg_pages_per_object();
+        assert!((1.0..2.0).contains(&nop), "nop {nop}");
+    }
+}

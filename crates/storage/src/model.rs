@@ -1,0 +1,327 @@
+//! The common interface of the three organization models.
+
+use crate::cluster::ClusterOrganization;
+use crate::object::ObjectRecord;
+use crate::primary::PrimaryOrganization;
+use crate::secondary::SecondaryOrganization;
+use spatialdb_disk::{BufferPool, DiskHandle};
+use spatialdb_geom::{Point, Rect};
+use spatialdb_rtree::{ObjectId, RStarTree};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A buffer pool shared between the components of one experiment
+/// (both maps of a join share one pool, as in §6.1).
+///
+/// The simulator is single-threaded by design, hence `Rc<RefCell<…>>`.
+pub type SharedPool = Rc<RefCell<BufferPool>>;
+
+/// Create a shared pool of `capacity` pages over `disk`.
+pub fn new_shared_pool(disk: DiskHandle, capacity: usize) -> SharedPool {
+    Rc::new(RefCell::new(BufferPool::new(disk, capacity)))
+}
+
+/// Technique for transferring the objects of a window query from a
+/// cluster unit (§5.4). Only the cluster organization distinguishes
+/// them; the other models have a single natural access path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WindowTechnique {
+    /// Transfer the complete cluster unit as soon as one of its objects
+    /// qualifies (the paper's simplest technique, used in Figure 8).
+    Complete,
+    /// Geometric threshold (§5.4.1): compare the window/cluster-region
+    /// degree of overlap to `T(c) = t_compl(c)/t_page`; read page-by-page
+    /// below the threshold, completely above it.
+    Threshold,
+    /// SLM read schedules (§5.4.2): one request bridges gaps of
+    /// non-requested pages shorter than `t_l/t_t − 1/2`.
+    Slm,
+    /// Always page-by-page: one request per qualifying object.
+    PageByPage,
+    /// The optimum baseline of Figure 10: one seek + one rotational delay
+    /// per cluster unit plus the minimum number of page transfers.
+    Optimum,
+}
+
+/// Technique for transferring objects during spatial-join processing
+/// (§6.2, Figures 15–16).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransferTechnique {
+    /// Always read the complete cluster unit.
+    Complete,
+    /// SLM schedule over the join-relevant objects; only requested pages
+    /// are kept in the buffer (Figure 15 bottom).
+    VectorRead,
+    /// SLM schedule; all transferred pages are kept (Figure 15 top).
+    Read,
+    /// Optimum baseline of Figure 16: one seek + one latency per cluster
+    /// unit visit, transferring only pages with queried data.
+    Optimum,
+}
+
+/// Result of one query against an organization model.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueryStats {
+    /// Number of candidate objects (MBR filter matches).
+    pub candidates: usize,
+    /// Total exact-representation bytes of the candidates — the "amount
+    /// of data queried" the paper normalizes by (msec / 4 KB).
+    pub result_bytes: u64,
+    /// Simulated I/O time of the query in milliseconds.
+    pub io_ms: f64,
+}
+
+impl QueryStats {
+    /// The paper's normalized cost: I/O milliseconds per 4 KB of queried
+    /// data (Figures 8, 10, 12). Returns `None` when nothing qualified.
+    pub fn ms_per_4kb(&self) -> Option<f64> {
+        if self.result_bytes == 0 {
+            None
+        } else {
+            Some(self.io_ms / (self.result_bytes as f64 / 4096.0))
+        }
+    }
+
+    /// Accumulate another query's stats (for averaging over a query set).
+    pub fn accumulate(&mut self, other: &QueryStats) {
+        self.candidates += other.candidates;
+        self.result_bytes += other.result_bytes;
+        self.io_ms += other.io_ms;
+    }
+}
+
+/// The operations every organization model supports.
+pub trait OrganizationModel {
+    /// Short name used in reports ("sec. org." / "prim. org." /
+    /// "cluster org.").
+    fn name(&self) -> &'static str;
+
+    /// Insert a new object (§4.2.2 for the cluster organization).
+    fn insert(&mut self, rec: &ObjectRecord);
+
+    /// Window query: filter via the R\*-tree, then transfer the exact
+    /// representations of all candidates. `technique` selects the cluster
+    /// organization's transfer strategy; the other models ignore it.
+    fn window_query(&mut self, window: &Rect, technique: WindowTechnique) -> QueryStats;
+
+    /// Point query (§5.5): filter via the R\*-tree, then fetch the exact
+    /// representation of each candidate individually.
+    fn point_query(&mut self, point: &Point) -> QueryStats;
+
+    /// Fetch one object's exact representation through the buffer (the
+    /// join's object-transfer step for non-cluster models).
+    fn fetch_object(&mut self, oid: ObjectId);
+
+    /// Total pages occupied (Figure 6's storage-utilization measure).
+    fn occupied_pages(&self) -> u64;
+
+    /// Number of stored objects.
+    fn num_objects(&self) -> usize;
+
+    /// The simulated disk.
+    fn disk(&self) -> DiskHandle;
+
+    /// The shared buffer pool.
+    fn pool(&self) -> SharedPool;
+
+    /// The R\*-tree (for the join's MBR phase and diagnostics).
+    fn tree(&self) -> &RStarTree;
+
+    /// Write back all dirty buffered pages (end of construction).
+    fn flush(&mut self);
+
+    /// Start a cold query: drop all object pages from the buffer and
+    /// (re-)pin the directory pages, which are assumed memory-resident
+    /// during query processing.
+    fn begin_query(&mut self);
+
+    /// Size in bytes of a stored object.
+    fn object_size(&self, oid: ObjectId) -> u32;
+
+    /// Delete an object. Returns `false` if it was not stored. Inserts
+    /// and deletions can be intermixed with queries without any global
+    /// reorganization (§4.1); the cluster organization mirrors every
+    /// entry relocation the R\*-tree performs during condensation.
+    fn delete(&mut self, oid: ObjectId) -> bool;
+}
+
+/// Warm and pin the tree's directory pages in the buffer, highest levels
+/// first, up to half the buffer capacity.
+///
+/// Models the standard assumption that the index directory is
+/// memory-resident during query processing — but only as far as it fits:
+/// the primary organization's directory grows with the object size (a
+/// C-series data page holds a single object, so there are as many leaves
+/// as objects) and no longer fits, which is what makes its selective
+/// queries degrade (§5.5).
+pub fn warm_directory(pool: &mut BufferPool, tree: &RStarTree) {
+    let budget = pool.buffer().capacity() / 2;
+    let mut dirs: Vec<(u32, spatialdb_disk::PageId)> = tree
+        .nodes()
+        .filter(|(_, n)| !n.is_leaf())
+        .map(|(_, n)| (n.level, n.page))
+        .collect();
+    // Root first, then descending level.
+    dirs.sort_by_key(|d| std::cmp::Reverse(d.0));
+    pool.warm_pinned(dirs.into_iter().take(budget).map(|(_, p)| p));
+}
+
+/// Which organization model (for experiment configuration).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OrganizationKind {
+    /// Secondary organization (§3.2.1).
+    Secondary,
+    /// Primary organization (§3.2.2).
+    Primary,
+    /// Cluster organization (§4).
+    Cluster,
+}
+
+impl std::fmt::Display for OrganizationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrganizationKind::Secondary => write!(f, "sec. org."),
+            OrganizationKind::Primary => write!(f, "prim. org."),
+            OrganizationKind::Cluster => write!(f, "cluster org."),
+        }
+    }
+}
+
+/// An organization model chosen at run time (the experiment harness
+/// iterates over all three).
+pub enum Organization {
+    /// Secondary organization.
+    Secondary(SecondaryOrganization),
+    /// Primary organization.
+    Primary(PrimaryOrganization),
+    /// Cluster organization.
+    Cluster(ClusterOrganization),
+}
+
+macro_rules! delegate {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            Organization::Secondary($inner) => $body,
+            Organization::Primary($inner) => $body,
+            Organization::Cluster($inner) => $body,
+        }
+    };
+}
+
+impl Organization {
+    /// The cluster organization, if that is what this is.
+    pub fn as_cluster(&mut self) -> Option<&mut ClusterOrganization> {
+        match self {
+            Organization::Cluster(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Which kind this is.
+    pub fn kind(&self) -> OrganizationKind {
+        match self {
+            Organization::Secondary(_) => OrganizationKind::Secondary,
+            Organization::Primary(_) => OrganizationKind::Primary,
+            Organization::Cluster(_) => OrganizationKind::Cluster,
+        }
+    }
+}
+
+impl OrganizationModel for Organization {
+    fn name(&self) -> &'static str {
+        delegate!(self, o => o.name())
+    }
+
+    fn insert(&mut self, rec: &ObjectRecord) {
+        delegate!(self, o => o.insert(rec))
+    }
+
+    fn window_query(&mut self, window: &Rect, technique: WindowTechnique) -> QueryStats {
+        delegate!(self, o => o.window_query(window, technique))
+    }
+
+    fn point_query(&mut self, point: &Point) -> QueryStats {
+        delegate!(self, o => o.point_query(point))
+    }
+
+    fn fetch_object(&mut self, oid: ObjectId) {
+        delegate!(self, o => o.fetch_object(oid))
+    }
+
+    fn occupied_pages(&self) -> u64 {
+        delegate!(self, o => o.occupied_pages())
+    }
+
+    fn num_objects(&self) -> usize {
+        delegate!(self, o => o.num_objects())
+    }
+
+    fn disk(&self) -> DiskHandle {
+        delegate!(self, o => o.disk())
+    }
+
+    fn pool(&self) -> SharedPool {
+        delegate!(self, o => o.pool())
+    }
+
+    fn tree(&self) -> &RStarTree {
+        delegate!(self, o => o.tree())
+    }
+
+    fn flush(&mut self) {
+        delegate!(self, o => o.flush())
+    }
+
+    fn begin_query(&mut self) {
+        delegate!(self, o => o.begin_query())
+    }
+
+    fn object_size(&self, oid: ObjectId) -> u32 {
+        delegate!(self, o => o.object_size(oid))
+    }
+
+    fn delete(&mut self, oid: ObjectId) -> bool {
+        delegate!(self, o => o.delete(oid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_per_4kb_normalization() {
+        let q = QueryStats {
+            candidates: 10,
+            result_bytes: 8192,
+            io_ms: 50.0,
+        };
+        assert_eq!(q.ms_per_4kb(), Some(25.0));
+        let empty = QueryStats::default();
+        assert_eq!(empty.ms_per_4kb(), None);
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut a = QueryStats {
+            candidates: 1,
+            result_bytes: 100,
+            io_ms: 5.0,
+        };
+        a.accumulate(&QueryStats {
+            candidates: 2,
+            result_bytes: 300,
+            io_ms: 7.0,
+        });
+        assert_eq!(a.candidates, 3);
+        assert_eq!(a.result_bytes, 400);
+        assert_eq!(a.io_ms, 12.0);
+    }
+
+    #[test]
+    fn kind_display_matches_paper_labels() {
+        assert_eq!(OrganizationKind::Secondary.to_string(), "sec. org.");
+        assert_eq!(OrganizationKind::Primary.to_string(), "prim. org.");
+        assert_eq!(OrganizationKind::Cluster.to_string(), "cluster org.");
+    }
+}

@@ -1,0 +1,387 @@
+//! The primary organization (§3.2.2).
+//!
+//! The exact representations are stored *inside* the R\*-tree data pages
+//! next to their MBRs: the access method is a primary index for the
+//! objects and determines their storage location. Its essential drawback
+//! is the low number of objects fitting onto one 4 KB page, which reduces
+//! local clustering; objects larger than a data page are *"stored outside
+//! of the R\*-tree in a separate file where internal clustering was
+//! maintained. Such objects occupied their individual pages exclusively"*
+//! (§5.2).
+
+use crate::model::{OrganizationModel, QueryStats, SharedPool, WindowTechnique};
+use crate::object::ObjectRecord;
+use crate::packer::PagePacker;
+use spatialdb_disk::{
+    DiskHandle, IoKind, PageId, PageRun, RegionId, SeekPolicy, PAGE_SIZE,
+};
+use spatialdb_geom::{Point, Rect};
+use spatialdb_rtree::config::ENTRY_BYTES;
+use spatialdb_rtree::{LeafEntry, ObjectId, RStarTree, RTreeConfig};
+use std::collections::HashMap;
+
+/// The primary organization.
+pub struct PrimaryOrganization {
+    disk: DiskHandle,
+    pool: SharedPool,
+    tree: RStarTree,
+    tree_region: RegionId,
+    overflow_region: RegionId,
+    overflow_packer: PagePacker,
+    /// Locations of objects too large for a data page.
+    overflow: HashMap<ObjectId, PageRun>,
+    /// Data page currently holding each inline object.
+    leaf_of: HashMap<ObjectId, spatialdb_rtree::NodeId>,
+    sizes: HashMap<ObjectId, u32>,
+    /// Overflow pages freed by deletions (holes in the overflow file).
+    freed_overflow_pages: u64,
+}
+
+impl PrimaryOrganization {
+    /// Largest object representation that still fits into a data page
+    /// next to its 46-byte entry.
+    pub fn inline_limit() -> u32 {
+        (PAGE_SIZE - ENTRY_BYTES) as u32
+    }
+
+    /// Create an empty primary organization on `disk`, buffered by
+    /// `pool`.
+    pub fn new(disk: DiskHandle, pool: SharedPool) -> Self {
+        let tree_region = disk.create_region("prim:tree");
+        let overflow_region = disk.create_region("prim:overflow");
+        let tree = RStarTree::new(RTreeConfig::primary(PAGE_SIZE), tree_region);
+        PrimaryOrganization {
+            disk,
+            pool,
+            tree,
+            tree_region,
+            overflow_region,
+            overflow_packer: PagePacker::new(PAGE_SIZE as u64),
+            overflow: HashMap::new(),
+            leaf_of: HashMap::new(),
+            sizes: HashMap::new(),
+            freed_overflow_pages: 0,
+        }
+    }
+
+    /// `true` if the object's exact representation lives in the overflow
+    /// file rather than inline in a data page.
+    pub fn is_overflow(&self, oid: ObjectId) -> bool {
+        self.overflow.contains_key(&oid)
+    }
+
+    fn read_overflow_objects(&mut self, oids: &[ObjectId]) {
+        // One pointer chase per overflow object (like the secondary
+        // organization's object accesses); the buffer absorbs repeats.
+        for oid in oids {
+            let Some(run) = self.overflow.get(oid) else {
+                continue;
+            };
+            let pages: Vec<PageId> = run.pages().collect();
+            self.pool
+                .borrow_mut()
+                .read_set(&pages, SeekPolicy::PerRequest);
+        }
+    }
+}
+
+impl OrganizationModel for PrimaryOrganization {
+    fn name(&self) -> &'static str {
+        "prim. org."
+    }
+
+    fn insert(&mut self, rec: &ObjectRecord) {
+        let inline = rec.size_bytes <= Self::inline_limit();
+        let payload = if inline {
+            ENTRY_BYTES as u32 + rec.size_bytes
+        } else {
+            ENTRY_BYTES as u32
+        };
+        let entry = LeafEntry::new(rec.mbr, rec.oid, payload);
+        let outcome = self.tree.insert(entry, &mut *self.pool.borrow_mut());
+        // Track which data page each object ends up in, following the
+        // relocations caused by forced reinserts and splits.
+        if let Some(leaf) = outcome.leaf {
+            self.leaf_of.insert(rec.oid, leaf);
+        }
+        for (oid, leaf) in &outcome.leaf_reinserts {
+            self.leaf_of.insert(*oid, *leaf);
+        }
+        for split in &outcome.leaf_splits {
+            for oid in &split.new_oids {
+                self.leaf_of.insert(*oid, split.new);
+            }
+            for oid in &split.old_oids {
+                self.leaf_of.insert(*oid, split.old);
+            }
+        }
+        if !inline {
+            // Exclusive pages in the overflow file, one write request.
+            let placement = self
+                .overflow_packer
+                .place_exclusive(u64::from(rec.size_bytes));
+            self.overflow_packer.seal();
+            let run = PageRun::new(
+                PageId::new(self.overflow_region, placement.first_page),
+                placement.num_pages,
+            );
+            self.disk.charge(IoKind::Write, run, false);
+            self.overflow.insert(rec.oid, run);
+        }
+        self.sizes.insert(rec.oid, rec.size_bytes);
+    }
+
+    fn window_query(&mut self, window: &Rect, _technique: WindowTechnique) -> QueryStats {
+        let before = self.disk.stats();
+        // Reading the qualifying data pages *is* reading the inline
+        // objects; the tree charges those page reads.
+        let candidates = self
+            .tree
+            .window_entries(window, &mut *self.pool.borrow_mut());
+        let oids: Vec<ObjectId> = candidates.iter().map(|e| e.oid).collect();
+        let over: Vec<ObjectId> = oids
+            .iter()
+            .copied()
+            .filter(|o| self.overflow.contains_key(o))
+            .collect();
+        self.read_overflow_objects(&over);
+        QueryStats {
+            candidates: oids.len(),
+            result_bytes: oids.iter().map(|o| u64::from(self.sizes[o])).sum(),
+            io_ms: self.disk.stats().since(&before).io_ms,
+        }
+    }
+
+    fn point_query(&mut self, point: &Point) -> QueryStats {
+        let before = self.disk.stats();
+        let candidates = self
+            .tree
+            .point_entries(point, &mut *self.pool.borrow_mut());
+        let oids: Vec<ObjectId> = candidates.iter().map(|e| e.oid).collect();
+        let over: Vec<ObjectId> = oids
+            .iter()
+            .copied()
+            .filter(|o| self.overflow.contains_key(o))
+            .collect();
+        self.read_overflow_objects(&over);
+        QueryStats {
+            candidates: oids.len(),
+            result_bytes: oids.iter().map(|o| u64::from(self.sizes[o])).sum(),
+            io_ms: self.disk.stats().since(&before).io_ms,
+        }
+    }
+
+    fn fetch_object(&mut self, oid: ObjectId) {
+        // The data page holds the entry and (for inline objects) the
+        // representation itself.
+        let leaf = self.leaf_of[&oid];
+        let page = self.tree.node_page(leaf);
+        self.pool.borrow_mut().read_page(page);
+        if let Some(run) = self.overflow.get(&oid) {
+            let pages: Vec<PageId> = run.pages().collect();
+            self.pool
+                .borrow_mut()
+                .read_set(&pages, SeekPolicy::PerRequest);
+        }
+    }
+
+    fn occupied_pages(&self) -> u64 {
+        self.tree.allocated_pages() + self.overflow_packer.pages_used()
+            - self.freed_overflow_pages
+    }
+
+    fn num_objects(&self) -> usize {
+        self.sizes.len()
+    }
+
+    fn disk(&self) -> DiskHandle {
+        self.disk.clone()
+    }
+
+    fn pool(&self) -> SharedPool {
+        self.pool.clone()
+    }
+
+    fn tree(&self) -> &RStarTree {
+        &self.tree
+    }
+
+    fn flush(&mut self) {
+        self.pool.borrow_mut().flush();
+    }
+
+    fn begin_query(&mut self) {
+        let mut pool = self.pool.borrow_mut();
+        pool.invalidate_regions(&[self.tree_region, self.overflow_region]);
+        crate::model::warm_directory(&mut pool, &self.tree);
+    }
+
+    fn object_size(&self, oid: ObjectId) -> u32 {
+        self.sizes[&oid]
+    }
+
+    fn delete(&mut self, oid: ObjectId) -> bool {
+        let Some(leaf) = self.leaf_of.get(&oid).copied() else {
+            return false;
+        };
+        let mbr = self
+            .tree
+            .node(leaf)
+            .leaf_entries()
+            .iter()
+            .find(|e| e.oid == oid)
+            .map(|e| e.mbr)
+            .expect("leaf tracking out of sync");
+        let outcome = self
+            .tree
+            .delete(oid, &mbr, &mut *self.pool.borrow_mut());
+        debug_assert!(outcome.removed);
+        self.leaf_of.remove(&oid);
+        self.sizes.remove(&oid);
+        if let Some(run) = self.overflow.remove(&oid) {
+            self.freed_overflow_pages += run.len;
+        }
+        // Tree condensation relocates entries (and with them the inline
+        // objects); mirror the tracking.
+        for (moved, to) in &outcome.leaf_reinserts {
+            self.leaf_of.insert(*moved, *to);
+        }
+        for split in &outcome.leaf_splits {
+            for o in &split.new_oids {
+                self.leaf_of.insert(*o, split.new);
+            }
+            for o in &split.old_oids {
+                self.leaf_of.insert(*o, split.old);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::new_shared_pool;
+    use spatialdb_disk::Disk;
+    use spatialdb_rtree::validate::check_invariants;
+
+    fn org_with_sizes(sizes: &[u32]) -> PrimaryOrganization {
+        let disk = Disk::with_defaults();
+        let pool = new_shared_pool(disk.clone(), 512);
+        let mut org = PrimaryOrganization::new(disk, pool);
+        for (i, &s) in sizes.iter().enumerate() {
+            let x = (i % 40) as f64 / 40.0;
+            let y = (i / 40) as f64 / 40.0;
+            org.insert(&ObjectRecord::new(
+                ObjectId(i as u64),
+                Rect::new(x, y, x + 0.01, y + 0.01),
+                s,
+            ));
+        }
+        org.flush();
+        org
+    }
+
+    #[test]
+    fn small_objects_inline() {
+        let org = org_with_sizes(&vec![600; 100]);
+        assert_eq!(org.num_objects(), 100);
+        assert!(org.overflow.is_empty());
+        check_invariants(org.tree()).unwrap();
+        // Data pages hold few objects: payload-limited to ~6 per page.
+        for (_, leaf) in org.tree().leaves() {
+            assert!(leaf.len() <= 6, "leaf holds {}", leaf.len());
+        }
+    }
+
+    #[test]
+    fn large_objects_overflow() {
+        let org = org_with_sizes(&[600, 5000, 700, 12_000]);
+        assert!(org.is_overflow(ObjectId(1)));
+        assert!(org.is_overflow(ObjectId(3)));
+        assert!(!org.is_overflow(ObjectId(0)));
+        // Exclusive pages: 5000 → 2 pages, 12000 → 3 pages.
+        assert_eq!(org.overflow_packer.pages_used(), 2 + 3);
+        check_invariants(org.tree()).unwrap();
+    }
+
+    #[test]
+    fn leaf_tracking_survives_splits_and_reinserts() {
+        let org = org_with_sizes(&vec![900; 300]);
+        for i in 0..300u64 {
+            let leaf = org.leaf_of[&ObjectId(i)];
+            let found = org
+                .tree()
+                .node(leaf)
+                .leaf_entries()
+                .iter()
+                .any(|e| e.oid == ObjectId(i));
+            assert!(found, "object {i} not in tracked leaf");
+        }
+    }
+
+    #[test]
+    fn occupied_pages_larger_than_secondary_for_same_data() {
+        // The primary organization stores objects in 70%-utilized tree
+        // pages → worse storage utilization than a dense file.
+        let org = org_with_sizes(&vec![600; 500]);
+        let dense_pages = (500 * 600) as u64 / 4096 + 1;
+        assert!(org.occupied_pages() > dense_pages);
+    }
+
+    #[test]
+    fn window_query_reads_leaves_once() {
+        let mut org = org_with_sizes(&vec![600; 400]);
+        org.begin_query();
+        let q = org.window_query(&Rect::new(0.0, 0.0, 1.0, 1.0), WindowTechnique::Complete);
+        assert_eq!(q.candidates, 400);
+        // All I/O is leaf pages (objects inline, directory warm):
+        // #requests == #leaves.
+        let leaves = org.tree().num_leaves() as u64;
+        let stats = org.disk().stats();
+        assert!(stats.read_requests >= leaves);
+    }
+
+    #[test]
+    fn fetch_object_reads_leaf_and_overflow() {
+        let mut org = org_with_sizes(&[600, 9000]);
+        org.begin_query();
+        let before = org.disk().stats();
+        org.fetch_object(ObjectId(1));
+        let d = org.disk().stats().since(&before);
+        // Leaf page + 3 consecutive overflow pages = 2 requests.
+        assert_eq!(d.read_requests, 2);
+        assert_eq!(d.pages_read, 1 + 3);
+    }
+
+    #[test]
+    fn delete_inline_and_overflow_objects() {
+        let mut org = org_with_sizes(&[600, 9000, 700, 650, 5000, 620, 640, 660, 680, 630]);
+        assert!(org.delete(ObjectId(1))); // overflow (3 pages)
+        assert!(org.delete(ObjectId(0))); // inline
+        assert!(!org.delete(ObjectId(0)));
+        assert_eq!(org.num_objects(), 8);
+        assert_eq!(org.freed_overflow_pages, 3);
+        check_invariants(org.tree()).unwrap();
+        // Leaf tracking still correct for the survivors.
+        for i in [2u64, 3, 4, 5, 6, 7, 8, 9] {
+            let leaf = org.leaf_of[&ObjectId(i)];
+            assert!(org
+                .tree()
+                .node(leaf)
+                .leaf_entries()
+                .iter()
+                .any(|e| e.oid == ObjectId(i)));
+        }
+    }
+
+    #[test]
+    fn point_query_on_inline_object() {
+        let mut org = org_with_sizes(&vec![600; 200]);
+        org.begin_query();
+        let q = org.point_query(&Point::new(0.105, 0.005));
+        assert!(q.candidates >= 1);
+        // One leaf read suffices (object inline, directory warm).
+        assert!(q.io_ms <= 32.0, "io {}", q.io_ms);
+    }
+}

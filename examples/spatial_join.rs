@@ -1,0 +1,87 @@
+//! A complete spatial join between two generated maps — streets (map 1)
+//! against rivers/boundaries/railways (map 2) — comparing the secondary
+//! and cluster organizations, like Figure 17 at a small scale.
+//!
+//! Run with: `cargo run --release -p spatialdb-core --example spatial_join`
+
+use spatialdb::data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
+use spatialdb::disk::Disk;
+use spatialdb::experiments::{build_organization_on, records_of, ClusterSizing};
+use spatialdb::join::{JoinConfig, SpatialJoin};
+use spatialdb::report::{f, Table};
+use spatialdb::storage::{new_shared_pool, OrganizationKind, OrganizationModel, TransferTechnique};
+
+fn main() {
+    let series = SeriesId::A;
+    let m1 = SpatialMap::generate(
+        DataSet { series, map: MapId::Map1 },
+        0.02,
+        GeometryMode::MbrOnly,
+        1994,
+    );
+    let m2 = SpatialMap::generate(
+        DataSet { series, map: MapId::Map2 },
+        0.02,
+        GeometryMode::MbrOnly,
+        1994,
+    );
+    println!(
+        "joining {} streets against {} linear features\n",
+        m1.len(),
+        m2.len()
+    );
+    let smax = DataSet { series, map: MapId::Map1 }.spec().smax_bytes as u64;
+
+    let mut t = Table::new(vec![
+        "organization",
+        "MBR pairs",
+        "MBR-join (s)",
+        "obj. transfer (s)",
+        "exact test (s)",
+        "total (s)",
+    ]);
+    let mut totals = Vec::new();
+    for kind in [OrganizationKind::Secondary, OrganizationKind::Cluster] {
+        // Both maps live on one simulated machine with one shared
+        // 640-page LRU buffer.
+        let disk = Disk::with_defaults();
+        let pool = new_shared_pool(disk.clone(), 640);
+        let (mut r, _) = build_organization_on(
+            kind,
+            &records_of(&m1.objects),
+            smax,
+            ClusterSizing::Plain,
+            disk.clone(),
+            pool.clone(),
+        );
+        let (mut s, _) = build_organization_on(
+            kind,
+            &records_of(&m2.objects),
+            smax,
+            ClusterSizing::Plain,
+            disk.clone(),
+            pool,
+        );
+        r.pool().borrow_mut().reset(640);
+        disk.reset_stats();
+        let stats = SpatialJoin::new(&mut r, &mut s).run(JoinConfig {
+            transfer: TransferTechnique::Complete,
+            exact_test_ms: 0.75,
+        });
+        totals.push(stats.total_ms() / 1000.0);
+        t.row(vec![
+            kind.to_string(),
+            stats.mbr_pairs.to_string(),
+            f(stats.mbr_join_ms / 1000.0, 1),
+            f(stats.transfer_ms / 1000.0, 1),
+            f(stats.exact_test_ms / 1000.0, 1),
+            f(stats.total_ms() / 1000.0, 1),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "global clustering speeds this join up {:.1}x — the object-transfer\n\
+         step collapses while MBR join and exact tests stay unchanged (§6.3).",
+        totals[0] / totals[1]
+    );
+}

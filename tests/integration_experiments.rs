@@ -1,0 +1,106 @@
+//! Integration tests of the experiment harness itself: determinism,
+//! cross-driver consistency, and the cluster-size adaptation study.
+
+use spatialdb::data::{DataSet, MapId, SeriesId};
+use spatialdb::experiments::{
+    cluster_size_adaptation, construction_suite, records_of, window_query_orgs, Scale,
+};
+use spatialdb::storage::WindowTechnique;
+
+fn tiny() -> Scale {
+    Scale {
+        data_scale: 0.02,
+        num_queries: 30,
+        ..Scale::smoke()
+    }
+}
+
+fn a1() -> DataSet {
+    DataSet {
+        series: SeriesId::A,
+        map: MapId::Map1,
+    }
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let scale = tiny();
+    let r1 = construction_suite(&scale, &[a1()]);
+    let r2 = construction_suite(&scale, &[a1()]);
+    assert_eq!(r1[0].io_seconds, r2[0].io_seconds);
+    assert_eq!(r1[0].occupied_pages, r2[0].occupied_pages);
+    let w1 = window_query_orgs(&scale, &[a1()]);
+    let w2 = window_query_orgs(&scale, &[a1()]);
+    for (x, y) in w1.iter().zip(&w2) {
+        assert_eq!(x.ms_per_4kb, y.ms_per_4kb);
+        assert_eq!(x.avg_candidates, y.avg_candidates);
+    }
+}
+
+#[test]
+fn different_seeds_change_io_but_not_shape() {
+    let base = tiny();
+    let other = Scale { seed: 4242, ..tiny() };
+    let r1 = window_query_orgs(&base, &[a1()]);
+    let r2 = window_query_orgs(&other, &[a1()]);
+    // Different data → different absolute numbers…
+    assert_ne!(r1[0].ms_per_4kb, r2[0].ms_per_4kb);
+    // …but the same qualitative result at the largest window.
+    let l1 = r1.iter().find(|r| r.area == 1e-1).unwrap();
+    let l2 = r2.iter().find(|r| r.area == 1e-1).unwrap();
+    assert!(l1.ms_per_4kb[2] < l1.ms_per_4kb[0]);
+    assert!(l2.ms_per_4kb[2] < l2.ms_per_4kb[0]);
+}
+
+#[test]
+fn records_preserve_map_statistics() {
+    let scale = tiny();
+    let map = scale.map(a1());
+    let records = records_of(&map.objects);
+    assert_eq!(records.len(), map.len());
+    let total: u64 = records.iter().map(|r| u64::from(r.size_bytes)).sum();
+    assert_eq!(total, map.total_bytes());
+    for (rec, obj) in records.iter().zip(&map.objects) {
+        assert_eq!(rec.mbr, obj.mbr);
+    }
+}
+
+#[test]
+fn figure11_adaptation_helps_complete_most() {
+    // §5.4.4: adapting the cluster size to the query size helps the
+    // simple complete technique clearly more than threshold/SLM.
+    let scale = Scale {
+        data_scale: 0.03,
+        num_queries: 40,
+        ..Scale::smoke()
+    };
+    let rows = cluster_size_adaptation(&scale);
+    assert_eq!(rows.len(), 3);
+    let complete = rows
+        .iter()
+        .find(|r| r.technique == WindowTechnique::Complete)
+        .unwrap();
+    let slm = rows
+        .iter()
+        .find(|r| r.technique == WindowTechnique::Slm)
+        .unwrap();
+    // Gains are non-negative and grow with the factor for the complete
+    // technique.
+    assert!(complete.gain_factor100_pct >= complete.gain_factor10_pct - 1.0);
+    assert!(complete.gain_factor100_pct > 0.0);
+    // The sophisticated technique depends less on adaptation.
+    assert!(
+        slm.gain_factor100_pct <= complete.gain_factor100_pct + 1.0,
+        "slm {} vs complete {}",
+        slm.gain_factor100_pct,
+        complete.gain_factor100_pct
+    );
+}
+
+#[test]
+fn scale_paper_defaults_match_the_paper() {
+    let s = Scale::paper();
+    assert_eq!(s.data_scale, 1.0);
+    assert_eq!(s.num_queries, 678);
+    assert_eq!(s.join_buffers, vec![200, 400, 800, 1600, 3200, 6400]);
+}

@@ -1,0 +1,178 @@
+//! Cross-crate integration tests: the spatial-join shapes of Figures 14,
+//! 16 and 17, plus join correctness through the public API.
+
+use spatialdb::data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
+use spatialdb::db::spatial_join;
+use spatialdb::experiments::{calibrate_versions, join_breakdown, join_orgs, join_techniques, Scale};
+use spatialdb::{DbOptions, JoinConfig, OrganizationKind, Workspace};
+
+fn smoke() -> Scale {
+    Scale {
+        data_scale: 0.03,
+        // Buffers sized relative to the shrunken maps, all larger than
+        // one C-series cluster unit (80 pages).
+        join_buffers: vec![160, 320, 640],
+        ..Scale::smoke()
+    }
+}
+
+#[test]
+fn join_versions_calibrate_to_paper_selectivities() {
+    let (a, b) = calibrate_versions(&smoke(), SeriesId::C);
+    assert!(
+        (a.pairs_per_mbr - 0.65).abs() / 0.65 < 0.2,
+        "version a: {} pairs/MBR",
+        a.pairs_per_mbr
+    );
+    assert!(
+        (b.pairs_per_mbr - 9.0).abs() / 9.0 < 0.2,
+        "version b: {} pairs/MBR",
+        b.pairs_per_mbr
+    );
+    assert!(b.inflation > a.inflation);
+}
+
+#[test]
+fn figure14_cluster_wins_joins() {
+    let rows = join_orgs(&smoke(), SeriesId::C);
+    for row in &rows {
+        let [sec, _prim, clu] = row.io_seconds;
+        assert!(
+            clu < sec,
+            "v{} buf {}: cluster {clu} !< secondary {sec}",
+            row.version,
+            row.buffer_pages
+        );
+    }
+    // Version b (9 pairs/MBR) profits more than version a (0.65).
+    let speedup = |version: &str| {
+        let r = rows
+            .iter()
+            .filter(|r| r.version == version)
+            .max_by_key(|r| r.buffer_pages)
+            .unwrap();
+        r.io_seconds[0] / r.io_seconds[2]
+    };
+    assert!(
+        speedup("b") > speedup("a"),
+        "b {:.1}x !> a {:.1}x",
+        speedup("b"),
+        speedup("a")
+    );
+    assert!(speedup("a") > 1.5, "version a speedup {:.1}x", speedup("a"));
+}
+
+#[test]
+fn figure14_larger_buffers_never_hurt() {
+    let rows = join_orgs(&smoke(), SeriesId::C);
+    for version in ["a", "b"] {
+        let mut per_version: Vec<_> =
+            rows.iter().filter(|r| r.version == version).collect();
+        per_version.sort_by_key(|r| r.buffer_pages);
+        for pair in per_version.windows(2) {
+            for k in 0..3 {
+                assert!(
+                    pair[1].io_seconds[k] <= pair[0].io_seconds[k] + 1e-6,
+                    "v{version} org {k}: {} pages {} > {} pages {}",
+                    pair[1].buffer_pages,
+                    pair[1].io_seconds[k],
+                    pair[0].buffer_pages,
+                    pair[0].io_seconds[k]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn figure16_optimum_bounds_and_convergence() {
+    let rows = join_techniques(&smoke(), SeriesId::C);
+    for row in &rows {
+        let [complete, vector, read, opt] = row.io_seconds;
+        assert!(opt <= complete + 1e-9);
+        assert!(opt <= vector + 1e-9);
+        assert!(opt <= read + 1e-9);
+    }
+    // At the largest buffer the complete technique is close to optimum
+    // ("the maximum transfer rate of the disk is reached", §6.2).
+    let best = rows
+        .iter()
+        .filter(|r| r.version == "a")
+        .max_by_key(|r| r.buffer_pages)
+        .unwrap();
+    assert!(
+        best.io_seconds[0] < best.io_seconds[3] * 2.2,
+        "complete {} far from optimum {}",
+        best.io_seconds[0],
+        best.io_seconds[3]
+    );
+}
+
+#[test]
+fn figure17_breakdown_shape() {
+    let rows = join_breakdown(&smoke(), 320);
+    for version in ["a", "b"] {
+        let sec = rows
+            .iter()
+            .find(|r| r.version == version && r.organization == "sec. org.")
+            .unwrap();
+        let clu = rows
+            .iter()
+            .find(|r| r.version == version && r.organization == "cluster org.")
+            .unwrap();
+        // Same MBR pairs, same exact-test cost, similar MBR-join cost.
+        assert_eq!(sec.mbr_pairs, clu.mbr_pairs);
+        assert_eq!(sec.exact_test_s, clu.exact_test_s);
+        // The transfer step is what collapses.
+        assert!(
+            clu.transfer_s < sec.transfer_s / 2.0,
+            "v{version}: transfer {} !< {}/2",
+            clu.transfer_s,
+            sec.transfer_s
+        );
+        // Total speedup in the paper's ballpark (≥ 2x at smoke scale).
+        let speedup = sec.total_s() / clu.total_s();
+        assert!(speedup > 2.0, "v{version}: total speedup {speedup:.1}x");
+    }
+}
+
+#[test]
+fn join_exact_results_match_brute_force() {
+    let m1 = SpatialMap::generate(
+        DataSet { series: SeriesId::A, map: MapId::Map1 },
+        0.002,
+        GeometryMode::Full,
+        3,
+    );
+    let m2 = SpatialMap::generate(
+        DataSet { series: SeriesId::A, map: MapId::Map2 },
+        0.002,
+        GeometryMode::Full,
+        3,
+    );
+    let ws = Workspace::new(512);
+    let mut a = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+    let mut b = ws.create_database(DbOptions::new(OrganizationKind::Secondary));
+    for o in &m1.objects {
+        a.insert_polyline(o.id, o.geometry.clone().unwrap());
+    }
+    for o in &m2.objects {
+        b.insert_polyline(o.id, o.geometry.clone().unwrap());
+    }
+    a.finish_loading();
+    b.finish_loading();
+    let (got, stats) = spatial_join(&mut a, &mut b, JoinConfig::default());
+    let mut want = Vec::new();
+    for x in &m1.objects {
+        for y in &m2.objects {
+            let gx = x.geometry.as_ref().unwrap();
+            let gy = y.geometry.as_ref().unwrap();
+            if gx.intersects_polyline(gy) {
+                want.push((x.id, y.id));
+            }
+        }
+    }
+    want.sort_unstable();
+    assert_eq!(got, want);
+    assert!(stats.mbr_pairs as usize >= got.len());
+}

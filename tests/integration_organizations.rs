@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: building the three organization models
+//! from generated data and checking the construction / storage-utilization
+//! shapes of Figures 5–7.
+
+use spatialdb::data::{DataSet, MapId, SeriesId};
+use spatialdb::experiments::{
+    build_organization, construction_suite, records_of, table1, ClusterSizing, Scale,
+};
+use spatialdb::rtree::validate::check_invariants;
+use spatialdb::storage::{OrganizationKind, OrganizationModel};
+
+fn smoke() -> Scale {
+    Scale {
+        data_scale: 0.03,
+        num_queries: 40,
+        construction_buffer: 64,
+        ..Scale::smoke()
+    }
+}
+
+fn a1() -> DataSet {
+    DataSet {
+        series: SeriesId::A,
+        map: MapId::Map1,
+    }
+}
+
+#[test]
+fn table1_matches_paper_statistics() {
+    let rows = table1(&smoke());
+    assert_eq!(rows.len(), 6);
+    for row in rows {
+        // Average object size within 8% of the paper's value.
+        let rel = (row.avg_object_bytes - row.paper_avg_bytes as f64).abs()
+            / row.paper_avg_bytes as f64;
+        assert!(rel < 0.08, "{}: avg {} vs paper {}", row.dataset, row.avg_object_bytes, row.paper_avg_bytes);
+        // Scaled total volume proportional to the paper's total.
+        let expected_mb = row.paper_total_mb * 0.03;
+        assert!(
+            (row.total_mb - expected_mb).abs() / expected_mb < 0.1,
+            "{}: {} MB vs scaled paper {} MB",
+            row.dataset,
+            row.total_mb,
+            expected_mb
+        );
+    }
+}
+
+#[test]
+fn every_organization_builds_consistently() {
+    let scale = smoke();
+    let map = scale.map(a1());
+    let records = records_of(&map.objects);
+    let smax = a1().spec().smax_bytes as u64;
+    for kind in [
+        OrganizationKind::Secondary,
+        OrganizationKind::Primary,
+        OrganizationKind::Cluster,
+    ] {
+        let (org, stats) =
+            build_organization(kind, &records, smax, ClusterSizing::Plain, 64);
+        assert_eq!(org.num_objects(), records.len(), "{kind:?}");
+        assert_eq!(org.tree().len(), records.len(), "{kind:?}");
+        check_invariants(org.tree()).unwrap();
+        assert!(stats.io_ms > 0.0);
+        assert!(org.occupied_pages() > 0);
+        if let spatialdb::Organization::Cluster(c) = &org {
+            c.check_consistency().unwrap();
+        }
+    }
+}
+
+#[test]
+fn figure5_construction_shape() {
+    // Cluster < secondary < primary, and primary grows with object size
+    // while secondary/cluster stay nearly flat.
+    let scale = smoke();
+    let sets = [
+        a1(),
+        DataSet {
+            series: SeriesId::C,
+            map: MapId::Map1,
+        },
+    ];
+    let rows = construction_suite(&scale, &sets);
+    for row in &rows {
+        let [sec, prim, clu] = row.io_seconds;
+        assert!(clu < sec, "{}: cluster {clu} !< secondary {sec}", row.dataset);
+        assert!(sec < prim, "{}: secondary {sec} !< primary {prim}", row.dataset);
+    }
+    // Primary grows with object size; secondary and cluster stay within 25%.
+    assert!(rows[1].io_seconds[1] > rows[0].io_seconds[1] * 1.3);
+    assert!(rows[1].io_seconds[0] < rows[0].io_seconds[0] * 1.25);
+    assert!(rows[1].io_seconds[2] < rows[0].io_seconds[2] * 1.25);
+}
+
+#[test]
+fn figure6_storage_utilization_shape() {
+    // Secondary best (fewest pages), cluster worst (full-Smax units).
+    let scale = smoke();
+    let rows = construction_suite(&scale, &[a1()]);
+    let [sec, prim, clu] = rows[0].occupied_pages;
+    assert!(sec < prim, "secondary {sec} !< primary {prim}");
+    assert!(prim < clu, "primary {prim} !< cluster {clu}");
+}
+
+#[test]
+fn figure7_restricted_buddy_shape() {
+    // The restricted buddy system brings the cluster organization's
+    // occupied pages to about the primary organization's level, at only
+    // slightly higher construction cost.
+    let scale = smoke();
+    let rows = construction_suite(&scale, &[a1()]);
+    let row = &rows[0];
+    assert!(row.buddy_pages < row.occupied_pages[2], "buddy must help");
+    // Within 35% of the primary organization (paper: "about the same").
+    let prim = row.occupied_pages[1] as f64;
+    assert!(
+        (row.buddy_pages as f64 - prim).abs() / prim < 0.35,
+        "buddy {} vs primary {}",
+        row.buddy_pages,
+        prim
+    );
+    // Construction at most 15% more expensive than without the buddy.
+    assert!(row.buddy_io_seconds < row.io_seconds[2] * 1.15);
+}
+
+#[test]
+fn smax_rule_produces_paper_cluster_sizes() {
+    // §4.2: Smax ≈ 1.5 · M · S_obj; Table 1's 80/160/320 KB follow.
+    for ds in DataSet::all() {
+        let spec = ds.spec();
+        let rule = spec.smax_rule(89);
+        let ratio = rule / spec.smax_bytes as f64;
+        assert!(
+            (0.75..=1.6).contains(&ratio),
+            "{ds}: rule {rule} vs table {}",
+            spec.smax_bytes
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: window- and point-query shapes of
+//! Figures 8, 10, 11 and 12, plus exact-answer correctness through the
+//! public database API.
+
+use spatialdb::data::workload::WindowQuerySet;
+use spatialdb::data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
+use spatialdb::experiments::{
+    point_queries, window_query_orgs, window_query_techniques, Scale,
+};
+use spatialdb::geom::{HasMbr, Rect};
+use spatialdb::{DbOptions, OrganizationKind, Workspace};
+
+fn smoke() -> Scale {
+    Scale {
+        data_scale: 0.03,
+        num_queries: 50,
+        query_buffer: 256,
+        ..Scale::smoke()
+    }
+}
+
+fn a1() -> DataSet {
+    DataSet {
+        series: SeriesId::A,
+        map: MapId::Map1,
+    }
+}
+
+#[test]
+fn figure8_cluster_wins_large_windows() {
+    let rows = window_query_orgs(&smoke(), &[a1()]);
+    // Largest window (10% of the data space): cluster must beat the
+    // secondary organization by a large factor.
+    let large = rows.iter().find(|r| r.area == 1e-1).unwrap();
+    let speedup = large.ms_per_4kb[0] / large.ms_per_4kb[2];
+    assert!(speedup > 4.0, "10% window speedup only {speedup:.1}x");
+    // And the advantage must grow with the window size.
+    let small = rows.iter().find(|r| r.area == 1e-4).unwrap();
+    let small_speedup = small.ms_per_4kb[0] / small.ms_per_4kb[2];
+    assert!(
+        speedup > small_speedup,
+        "speedup must grow: {small_speedup:.1} → {speedup:.1}"
+    );
+    // Primary organization sits between the two for large windows.
+    assert!(large.ms_per_4kb[1] < large.ms_per_4kb[0]);
+    assert!(large.ms_per_4kb[1] > large.ms_per_4kb[2]);
+}
+
+#[test]
+fn figure10_technique_ordering() {
+    let rows = window_query_techniques(&smoke(), &[a1()]);
+    for row in &rows {
+        let [complete, threshold, slm, optimum] = row.ms_per_4kb;
+        // Optimum is a lower bound for every technique.
+        assert!(optimum <= complete + 1e-9, "{}: opt > complete", row.area);
+        assert!(optimum <= threshold + 1e-9, "{}: opt > threshold", row.area);
+        assert!(optimum <= slm + 1e-9, "{}: opt > slm", row.area);
+        // Threshold and SLM never lose badly to complete.
+        assert!(threshold <= complete * 1.05, "{}: threshold worse", row.area);
+        assert!(slm <= complete * 1.05, "{}: slm worse", row.area);
+    }
+    // For the most selective windows the sophisticated techniques help;
+    // for the largest they all converge (within 10%).
+    let small = rows.iter().find(|r| r.area == 1e-5).unwrap();
+    assert!(small.ms_per_4kb[2] < small.ms_per_4kb[0] * 0.95);
+    let large = rows.iter().find(|r| r.area == 1e-1).unwrap();
+    assert!(large.ms_per_4kb[2] > large.ms_per_4kb[0] * 0.85);
+}
+
+#[test]
+fn figure12_point_queries_cluster_not_penalized() {
+    let rows = point_queries(&smoke(), &[a1()]);
+    let row = &rows[0];
+    // §5.5: almost no difference between secondary and cluster.
+    let rel = (row.ms_per_4kb[2] - row.ms_per_4kb[0]).abs() / row.ms_per_4kb[0];
+    assert!(rel < 0.15, "cluster deviates {:.0}% from secondary", rel * 100.0);
+    // Primary is best for the smallest objects.
+    assert!(row.ms_per_4kb[1] < row.ms_per_4kb[0]);
+}
+
+#[test]
+fn window_queries_return_exact_answers() {
+    // End-to-end through the public API with full geometry: the database
+    // must agree with brute force over the polylines.
+    let map = SpatialMap::generate(a1(), 0.002, GeometryMode::Full, 7);
+    for kind in [
+        OrganizationKind::Secondary,
+        OrganizationKind::Primary,
+        OrganizationKind::Cluster,
+    ] {
+        let ws = Workspace::new(256);
+        let mut db = ws.create_database(DbOptions::new(kind).smax_bytes(40 * 1024));
+        for obj in &map.objects {
+            db.insert_polyline(obj.id, obj.geometry.clone().unwrap());
+        }
+        db.finish_loading();
+        let queries = WindowQuerySet::generate(&map, 1e-2, 20, 3);
+        for w in &queries.windows {
+            let got = db.window_query(w);
+            let want: Vec<u64> = map
+                .objects
+                .iter()
+                .filter(|o| {
+                    o.geometry
+                        .as_ref()
+                        .map(|g| g.intersects_rect(w))
+                        .unwrap_or(false)
+                })
+                .map(|o| o.id)
+                .collect();
+            assert_eq!(got, want, "{kind:?} window {w}");
+        }
+    }
+}
+
+#[test]
+fn refinement_filters_false_mbr_hits() {
+    // A window overlapping MBRs but missing the exact geometry must
+    // return nothing.
+    let map = SpatialMap::generate(a1(), 0.002, GeometryMode::Full, 11);
+    let ws = Workspace::new(256);
+    let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+    for obj in &map.objects {
+        db.insert_polyline(obj.id, obj.geometry.clone().unwrap());
+    }
+    db.finish_loading();
+    // Count candidate vs exact answers over a sample of windows: the MBR
+    // filter must over-approximate (candidates ≥ answers) and refinement
+    // must discard at least some false hit somewhere.
+    // Tiny windows (side ~0.001, smaller than an object MBR) centred
+    // inside MBRs often sit in an empty MBR corner of a diagonal street.
+    let queries = WindowQuerySet::generate(&map, 1e-6, 120, 5);
+    let mut candidates_total = 0usize;
+    let mut answers_total = 0usize;
+    for w in &queries.windows {
+        let answers = db.window_query(w);
+        let candidates = map
+            .objects
+            .iter()
+            .filter(|o| o.geometry.as_ref().unwrap().mbr().intersects(w))
+            .count();
+        assert!(candidates >= answers.len());
+        candidates_total += candidates;
+        answers_total += answers.len();
+    }
+    assert!(
+        candidates_total > answers_total,
+        "refinement never filtered anything ({candidates_total} candidates)"
+    );
+}
+
+#[test]
+fn window_answer_counts_scale_with_area() {
+    let scale = smoke();
+    let rows = window_query_orgs(&scale, &[a1()]);
+    let mut last = 0.0;
+    for row in rows {
+        assert!(
+            row.avg_candidates >= last,
+            "answers must grow with window area"
+        );
+        last = row.avg_candidates;
+    }
+}
+
+#[test]
+fn queries_outside_data_space_are_cheap_and_empty() {
+    let ws = Workspace::new(128);
+    let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+    let map = SpatialMap::generate(a1(), 0.001, GeometryMode::Full, 13);
+    for obj in &map.objects {
+        db.insert_polyline(obj.id, obj.geometry.clone().unwrap());
+    }
+    db.finish_loading();
+    let far = Rect::new(5.0, 5.0, 6.0, 6.0);
+    assert!(db.window_query(&far).is_empty());
+}
