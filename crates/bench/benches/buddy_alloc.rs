@@ -1,3 +1,8 @@
+// Gated: requires the external `criterion` crate (not vendored in this
+// offline build). Enable with `--features criterion` after adding the
+// dev-dependency.
+#![cfg(feature = "criterion")]
+
 //! Microbenchmarks of the disk substrate: buddy allocation, page
 //! packing, SLM schedules and the LRU buffer.
 

@@ -1,3 +1,8 @@
+// Gated: requires the external `criterion` crate (not vendored in this
+// offline build). Enable with `--features criterion` after adding the
+// dev-dependency.
+#![cfg(feature = "criterion")]
+
 //! Microbenchmarks of the R*-tree: insertion, window and point queries,
 //! with and without leaf-level forced reinsert.
 
@@ -40,9 +45,11 @@ fn bench_insert(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("with_reinsert", n), &rects, |b, rects| {
             b.iter(|| black_box(build(rects, true).len()))
         });
-        g.bench_with_input(BenchmarkId::new("no_leaf_reinsert", n), &rects, |b, rects| {
-            b.iter(|| black_box(build(rects, false).len()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("no_leaf_reinsert", n),
+            &rects,
+            |b, rects| b.iter(|| black_box(build(rects, false).len())),
+        );
     }
     g.finish();
 }

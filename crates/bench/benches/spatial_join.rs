@@ -1,3 +1,8 @@
+// Gated: requires the external `criterion` crate (not vendored in this
+// offline build). Enable with `--features criterion` after adding the
+// dev-dependency.
+#![cfg(feature = "criterion")]
+
 //! Benchmarks of the spatial-join pipeline (the workloads behind
 //! Figures 14 / 16 / 17).
 
@@ -7,19 +12,25 @@ use spatialdb::disk::Disk;
 use spatialdb::experiments::{build_organization_on, records_of, ClusterSizing};
 use spatialdb::join::SpatialJoin;
 use spatialdb::storage::{
-    new_shared_pool, Organization, OrganizationKind, OrganizationModel, TransferTechnique,
+    new_shared_pool, Organization, OrganizationKind, SpatialStore, TransferTechnique,
 };
 use std::hint::black_box;
 
 fn build_pair(kind: OrganizationKind) -> (Organization, Organization) {
     let m1 = SpatialMap::generate(
-        DataSet { series: SeriesId::A, map: MapId::Map1 },
+        DataSet {
+            series: SeriesId::A,
+            map: MapId::Map1,
+        },
         0.02,
         GeometryMode::MbrOnly,
         42,
     );
     let m2 = SpatialMap::generate(
-        DataSet { series: SeriesId::A, map: MapId::Map2 },
+        DataSet {
+            series: SeriesId::A,
+            map: MapId::Map2,
+        },
         0.02,
         GeometryMode::MbrOnly,
         42,
@@ -50,15 +61,19 @@ fn bench_join_orgs(c: &mut Criterion) {
     g.sample_size(10);
     for kind in [OrganizationKind::Secondary, OrganizationKind::Cluster] {
         let (mut r, mut s) = build_pair(kind);
-        g.bench_with_input(BenchmarkId::from_parameter(kind.to_string()), &(), |b, _| {
-            b.iter(|| {
-                r.pool().borrow_mut().reset(640);
-                r.disk().reset_stats();
-                let stats =
-                    SpatialJoin::new(&mut r, &mut s).run_io_only(TransferTechnique::Complete);
-                black_box(stats.mbr_pairs)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.to_string()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    r.pool().borrow_mut().reset(640);
+                    r.disk().reset_stats();
+                    let stats =
+                        SpatialJoin::new(&mut r, &mut s).run_io_only(TransferTechnique::Complete);
+                    black_box(stats.mbr_pairs)
+                })
+            },
+        );
     }
     g.finish();
 }

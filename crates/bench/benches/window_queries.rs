@@ -1,3 +1,8 @@
+// Gated: requires the external `criterion` crate (not vendored in this
+// offline build). Enable with `--features criterion` after adding the
+// dev-dependency.
+#![cfg(feature = "criterion")]
+
 //! Benchmarks of window-query processing per organization model and per
 //! cluster-organization technique (the workloads behind Figures 8 / 10).
 
@@ -5,11 +10,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spatialdb::data::workload::WindowQuerySet;
 use spatialdb::data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
 use spatialdb::experiments::{build_organization, records_of, ClusterSizing};
-use spatialdb::storage::{OrganizationKind, OrganizationModel, WindowTechnique};
+use spatialdb::storage::{OrganizationKind, SpatialStore, WindowTechnique};
 use std::hint::black_box;
 
 fn setup() -> (SpatialMap, Vec<spatialdb::storage::ObjectRecord>) {
-    let ds = DataSet { series: SeriesId::A, map: MapId::Map1 };
+    let ds = DataSet {
+        series: SeriesId::A,
+        map: MapId::Map1,
+    };
     let map = SpatialMap::generate(ds, 0.02, GeometryMode::MbrOnly, 42);
     let records = records_of(&map.objects);
     (map, records)
@@ -25,18 +33,21 @@ fn bench_orgs(c: &mut Criterion) {
         OrganizationKind::Primary,
         OrganizationKind::Cluster,
     ] {
-        let (mut org, _) =
-            build_organization(kind, &records, 80 * 1024, ClusterSizing::Plain, 256);
-        g.bench_with_input(BenchmarkId::from_parameter(kind.to_string()), &(), |b, _| {
-            b.iter(|| {
-                let mut total = 0usize;
-                for w in &queries.windows {
-                    org.begin_query();
-                    total += org.window_query(w, WindowTechnique::Complete).candidates;
-                }
-                black_box(total)
-            })
-        });
+        let (mut org, _) = build_organization(kind, &records, 80 * 1024, ClusterSizing::Plain, 256);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.to_string()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for w in &queries.windows {
+                        org.begin_query();
+                        total += org.window_query(w, WindowTechnique::Complete).candidates;
+                    }
+                    black_box(total)
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -8,8 +8,8 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bins = [
-        "table1", "fig05", "fig06", "fig07", "fig08", "fig10", "fig11", "fig12", "fig14",
-        "fig16", "fig17",
+        "table1", "fig05", "fig06", "fig07", "fig08", "fig10", "fig11", "fig12", "fig14", "fig16",
+        "fig17",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
@@ -22,7 +22,10 @@ fn main() {
             .status()
             .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
         assert!(status.success(), "{bin} failed");
-        eprintln!("[{bin} finished in {:.1}s]", started.elapsed().as_secs_f64());
+        eprintln!(
+            "[{bin} finished in {:.1}s]",
+            started.elapsed().as_secs_f64()
+        );
         println!();
     }
     eprintln!("full suite: {:.1}s", t0.elapsed().as_secs_f64());

@@ -7,8 +7,16 @@ use spatialdb_bench::{banner, scale_from_args};
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 5: I/O-Cost for Constructing the Organization Models", &scale);
-    let mut t = Table::new(vec!["series", "sec. org. (s)", "prim. org. (s)", "cluster org. (s)"]);
+    banner(
+        "Figure 5: I/O-Cost for Constructing the Organization Models",
+        &scale,
+    );
+    let mut t = Table::new(vec![
+        "series",
+        "sec. org. (s)",
+        "prim. org. (s)",
+        "cluster org. (s)",
+    ]);
     for row in construction_suite(&scale, &DataSet::all()) {
         t.row(vec![
             row.dataset.to_string(),

@@ -7,7 +7,10 @@ use spatialdb_bench::{banner, scale_from_args};
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 6: Storage Utilization of the Organization Models", &scale);
+    banner(
+        "Figure 6: Storage Utilization of the Organization Models",
+        &scale,
+    );
     let mut t = Table::new(vec![
         "series",
         "sec. org. (pages)",

@@ -14,7 +14,10 @@ fn main() {
     );
     let map1: Vec<DataSet> = [SeriesId::A, SeriesId::B, SeriesId::C]
         .into_iter()
-        .map(|series| DataSet { series, map: MapId::Map1 })
+        .map(|series| DataSet {
+            series,
+            map: MapId::Map1,
+        })
         .collect();
     let mut t = Table::new(vec![
         "series",

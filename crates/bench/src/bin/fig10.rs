@@ -12,8 +12,14 @@ fn main() {
         &scale,
     );
     let sets = [
-        DataSet { series: SeriesId::A, map: MapId::Map1 },
-        DataSet { series: SeriesId::C, map: MapId::Map1 },
+        DataSet {
+            series: SeriesId::A,
+            map: MapId::Map1,
+        },
+        DataSet {
+            series: SeriesId::C,
+            map: MapId::Map1,
+        },
     ];
     let mut t = Table::new(vec![
         "series",

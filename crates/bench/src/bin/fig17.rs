@@ -36,8 +36,12 @@ fn main() {
     }
     println!("{t}");
     for version in ["a", "b"] {
-        let sec = rows.iter().find(|r| r.version == version && r.organization == "sec. org.");
-        let clu = rows.iter().find(|r| r.version == version && r.organization == "cluster org.");
+        let sec = rows
+            .iter()
+            .find(|r| r.version == version && r.organization == "sec. org.");
+        let clu = rows
+            .iter()
+            .find(|r| r.version == version && r.organization == "cluster org.");
         if let (Some(sec), Some(clu)) = (sec, clu) {
             println!(
                 "version {version}: total speedup {:.1}x (paper: ≈3.9x for a, ≈4.3x for b)",

@@ -2,23 +2,29 @@
 //!
 //! A [`Workspace`] models one machine (simulated disk + shared buffer
 //! pool); databases created in the same workspace can be joined against
-//! each other. [`SpatialDatabase`] wraps an organization model and keeps
-//! the exact geometry in memory for the *refinement* step, so queries
-//! return exact answers while all I/O is charged to the simulated disk
-//! exactly as the paper's cost model prescribes.
+//! each other. [`SpatialDatabase`] pairs a pluggable
+//! [`SpatialStore`] backend with the exact [`Geometry`] of every object,
+//! kept in memory for the *refinement* step — so queries return exact
+//! answers while all I/O is charged to the simulated disk exactly as the
+//! paper's cost model prescribes.
+//!
+//! Queries go through the streaming builder: see
+//! [`SpatialDatabase::query`] and [`SpatialDatabase::join`].
 
+use crate::query::{JoinQuery, Query};
 use spatialdb_disk::{Disk, DiskHandle, DiskParams, IoStats, PAGE_SIZE};
-use spatialdb_geom::{DecomposedPolyline, HasMbr, Point, Polyline, Rect};
-use spatialdb_join::{JoinConfig, JoinStats, SpatialJoin};
+use spatialdb_geom::{Geometry, HasMbr, Point, Polyline, Rect};
+use spatialdb_join::{JoinConfig, JoinStats};
 use spatialdb_rtree::ObjectId;
 use spatialdb_storage::{
-    new_shared_pool, ClusterConfig, ClusterOrganization, ObjectRecord, Organization,
-    OrganizationKind, OrganizationModel, PrimaryOrganization, QueryStats, SecondaryOrganization,
-    SharedPool, WindowTechnique,
+    new_shared_pool, ClusterConfig, ClusterOrganization, ObjectRecord, OrganizationKind,
+    PrimaryOrganization, QueryStats, SecondaryOrganization, SharedPool, SpatialStore,
+    WindowTechnique,
 };
 use std::collections::HashMap;
 
-/// Options for creating a [`SpatialDatabase`].
+/// Options for creating a [`SpatialDatabase`] backed by one of the
+/// paper's organization models.
 #[derive(Clone, Debug)]
 pub struct DbOptions {
     /// Which organization model stores the objects.
@@ -93,14 +99,15 @@ impl Workspace {
         self.pool.clone()
     }
 
-    /// Create a database in this workspace.
+    /// Create a database backed by one of the paper's organization
+    /// models.
     pub fn create_database(&self, options: DbOptions) -> SpatialDatabase {
-        let org = match options.organization {
-            OrganizationKind::Secondary => Organization::Secondary(SecondaryOrganization::new(
+        let store: Box<dyn SpatialStore> = match options.organization {
+            OrganizationKind::Secondary => Box::new(SecondaryOrganization::new(
                 self.disk.clone(),
                 self.pool.clone(),
             )),
-            OrganizationKind::Primary => Organization::Primary(PrimaryOrganization::new(
+            OrganizationKind::Primary => Box::new(PrimaryOrganization::new(
                 self.disk.clone(),
                 self.pool.clone(),
             )),
@@ -110,7 +117,7 @@ impl Workspace {
                 } else {
                     ClusterConfig::plain(options.smax_bytes)
                 };
-                Organization::Cluster(ClusterOrganization::new(
+                Box::new(ClusterOrganization::new(
                     self.disk.clone(),
                     self.pool.clone(),
                     config,
@@ -118,42 +125,148 @@ impl Workspace {
             }
         };
         SpatialDatabase {
-            org,
+            store,
             technique: options.technique,
+            geometry: HashMap::new(),
+        }
+    }
+
+    /// Create a database on a caller-supplied [`SpatialStore`] backend —
+    /// the extension point for organizations beyond the paper's three.
+    ///
+    /// The store should be built on this workspace's
+    /// [`disk`](Workspace::disk) and [`pool`](Workspace::pool) so it can
+    /// take part in joins. Note the trait's one structural requirement:
+    /// every backend embeds an R\*-tree over the object MBRs as its
+    /// filter index (see the `spatialdb_storage::store` docs) — what a
+    /// backend is free to reinvent is the layout of the exact
+    /// representations.
+    ///
+    /// ```
+    /// use spatialdb::storage::{
+    ///     MemoryStore, ObjectRecord, QueryStats, SharedPool, SpatialStore, WindowTechnique,
+    /// };
+    /// use spatialdb::geom::{Point, Polyline, Rect};
+    /// use spatialdb::rtree::{ObjectId, RStarTree};
+    /// use spatialdb::disk::DiskHandle;
+    /// use spatialdb::Workspace;
+    ///
+    /// /// A custom backend: here it simply wraps the in-memory baseline,
+    /// /// but any from-scratch organization implements the same trait.
+    /// struct GridFileStore(MemoryStore);
+    ///
+    /// impl SpatialStore for GridFileStore {
+    ///     fn name(&self) -> &'static str {
+    ///         "grid file"
+    ///     }
+    ///     fn insert(&mut self, rec: &ObjectRecord) {
+    ///         self.0.insert(rec)
+    ///     }
+    ///     fn delete(&mut self, oid: ObjectId) -> bool {
+    ///         self.0.delete(oid)
+    ///     }
+    ///     fn window_query(&mut self, w: &Rect, t: WindowTechnique) -> QueryStats {
+    ///         self.0.window_query(w, t)
+    ///     }
+    ///     fn point_query(&mut self, p: &Point) -> QueryStats {
+    ///         self.0.point_query(p)
+    ///     }
+    ///     fn fetch_object(&mut self, oid: ObjectId) {
+    ///         self.0.fetch_object(oid)
+    ///     }
+    ///     fn occupied_pages(&self) -> u64 {
+    ///         self.0.occupied_pages()
+    ///     }
+    ///     fn num_objects(&self) -> usize {
+    ///         self.0.num_objects()
+    ///     }
+    ///     fn contains(&self, oid: ObjectId) -> bool {
+    ///         self.0.contains(oid)
+    ///     }
+    ///     fn disk(&self) -> DiskHandle {
+    ///         self.0.disk()
+    ///     }
+    ///     fn pool(&self) -> SharedPool {
+    ///         self.0.pool()
+    ///     }
+    ///     fn tree(&self) -> &RStarTree {
+    ///         self.0.tree()
+    ///     }
+    ///     fn flush(&mut self) {
+    ///         self.0.flush()
+    ///     }
+    ///     fn begin_query(&mut self) {
+    ///         self.0.begin_query()
+    ///     }
+    ///     fn object_size(&self, oid: ObjectId) -> u32 {
+    ///         self.0.object_size(oid)
+    ///     }
+    /// }
+    ///
+    /// // Register the custom store and use it like any other database.
+    /// let ws = Workspace::new(128);
+    /// let store = GridFileStore(MemoryStore::new(ws.disk(), ws.pool()));
+    /// let mut db = ws.create_database_with(Box::new(store));
+    /// db.insert(7, Polyline::new(vec![Point::new(0.1, 0.1), Point::new(0.2, 0.2)]));
+    /// db.finish_loading();
+    /// let ids = db.query().window(Rect::new(0.0, 0.0, 1.0, 1.0)).run().ids();
+    /// assert_eq!(ids, vec![7]);
+    /// assert_eq!(db.store_name(), "grid file");
+    /// ```
+    pub fn create_database_with(&self, store: Box<dyn SpatialStore>) -> SpatialDatabase {
+        SpatialDatabase {
+            store,
+            technique: WindowTechnique::Slm,
             geometry: HashMap::new(),
         }
     }
 }
 
-/// A spatial database: an organization model plus the exact geometry used
-/// for query refinement.
+/// A spatial database: a pluggable storage backend plus the exact
+/// geometry used for query refinement.
 pub struct SpatialDatabase {
-    org: Organization,
-    technique: WindowTechnique,
-    geometry: HashMap<u64, DecomposedPolyline>,
+    pub(crate) store: Box<dyn SpatialStore>,
+    pub(crate) technique: WindowTechnique,
+    pub(crate) geometry: HashMap<u64, Geometry>,
 }
 
 impl SpatialDatabase {
-    /// Insert a polyline object under `id`.
+    /// Insert an object under `id`. Accepts anything convertible into a
+    /// [`Geometry`]: a `Point`, a `Polyline` (stored decomposed), or a
+    /// `Polygon`.
     ///
     /// # Panics
     ///
     /// Panics if `id` is already present.
-    pub fn insert_polyline(&mut self, id: u64, line: Polyline) {
+    pub fn insert(&mut self, id: u64, geometry: impl Into<Geometry>) {
+        // Ask the store, not just the geometry map: ids bulk-loaded
+        // directly into the backend (filter-only records) must also be
+        // rejected, or the index would hold duplicate entries.
         assert!(
-            !self.geometry.contains_key(&id),
+            !self.store.contains(ObjectId(id)),
             "object {id} already stored"
         );
-        let rec = ObjectRecord::new(ObjectId(id), line.mbr(), line.serialized_size() as u32);
-        self.org.insert(&rec);
-        self.geometry.insert(id, DecomposedPolyline::new(line));
+        let geometry = geometry.into();
+        let rec = ObjectRecord::new(
+            ObjectId(id),
+            geometry.mbr(),
+            geometry.serialized_size() as u32,
+        );
+        self.store.insert(&rec);
+        self.geometry.insert(id, geometry);
+    }
+
+    /// Insert a polyline object under `id`.
+    #[deprecated(note = "use `insert`, which accepts any geometry")]
+    pub fn insert_polyline(&mut self, id: u64, line: Polyline) {
+        self.insert(id, line);
     }
 
     /// Delete an object. Returns `false` when `id` was not stored.
     /// Insertions and deletions can be intermixed with queries without
     /// any global reorganization (§4.1 of the paper).
     pub fn remove(&mut self, id: u64) -> bool {
-        let removed = self.org.delete(ObjectId(id));
+        let removed = self.store.delete(ObjectId(id));
         if removed {
             self.geometry.remove(&id);
         }
@@ -162,7 +275,7 @@ impl SpatialDatabase {
 
     /// Number of stored objects.
     pub fn len(&self) -> usize {
-        self.org.num_objects()
+        self.store.num_objects()
     }
 
     /// `true` if the database is empty.
@@ -170,60 +283,69 @@ impl SpatialDatabase {
         self.len() == 0
     }
 
+    /// Start building a query. Finish with
+    /// [`run`](crate::query::Query::run) to obtain a lazy
+    /// [`ResultCursor`](crate::query::ResultCursor):
+    ///
+    /// ```no_run
+    /// # use spatialdb::{DbOptions, OrganizationKind, Workspace};
+    /// # use spatialdb::geom::{HasMbr, Rect};
+    /// # use spatialdb::storage::WindowTechnique;
+    /// # let ws = Workspace::new(64);
+    /// # let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+    /// for (id, geometry) in db
+    ///     .query()
+    ///     .window(Rect::new(0.0, 0.0, 0.25, 0.25))
+    ///     .technique(WindowTechnique::Slm)
+    ///     .run()
+    /// {
+    ///     println!("{id}: {:?}", geometry.mbr());
+    /// }
+    /// ```
+    pub fn query(&mut self) -> Query<'_> {
+        Query::new(self)
+    }
+
+    /// Start building an intersection join against `other` (same
+    /// workspace). Finish with [`run`](crate::query::JoinQuery::run) to
+    /// obtain a lazy [`JoinCursor`](crate::query::JoinCursor).
+    pub fn join<'a>(&'a mut self, other: &'a mut SpatialDatabase) -> JoinQuery<'a> {
+        JoinQuery::new(self, other)
+    }
+
     /// Window query with exact refinement: ids of all objects sharing a
     /// point with `window`, sorted ascending.
+    #[deprecated(note = "use `db.query().window(..).run()`")]
     pub fn window_query(&mut self, window: &Rect) -> Vec<u64> {
-        let technique = self.technique;
-        // Filter step + object transfer, charged to the simulated disk.
-        self.org.window_query(window, technique);
-        // Refinement on the candidates (the transfer above brought their
-        // exact representations into memory; CPU cost is not modelled for
-        // interactive use).
-        let candidates = self
-            .org
-            .tree()
-            .window_entries(window, &mut spatialdb_rtree::NoIo);
-        let mut hits: Vec<u64> = candidates
-            .iter()
-            .filter(|e| self.geometry[&e.oid.0].intersects_rect(window))
-            .map(|e| e.oid.0)
-            .collect();
-        hits.sort_unstable();
-        hits
+        self.query().window(*window).run().ids()
     }
 
     /// Window query returning only the I/O statistics (no refinement) —
     /// the measurement mode of the paper's experiments.
+    #[deprecated(note = "use `db.query().window(..).run().stats()`")]
     pub fn window_query_stats(&mut self, window: &Rect) -> QueryStats {
         let technique = self.technique;
-        self.org.window_query(window, technique)
+        self.store.window_query(window, technique)
     }
 
     /// Point query with exact refinement: ids of all objects containing
     /// `point`, sorted ascending.
+    #[deprecated(note = "use `db.query().point(..).run()`")]
     pub fn point_query(&mut self, point: &Point) -> Vec<u64> {
-        self.org.point_query(point);
-        let candidates = self
-            .org
-            .tree()
-            .point_entries(point, &mut spatialdb_rtree::NoIo);
-        let mut hits: Vec<u64> = candidates
-            .iter()
-            .filter(|e| self.geometry[&e.oid.0].polyline().contains_point(point))
-            .map(|e| e.oid.0)
-            .collect();
-        hits.sort_unstable();
-        hits
+        self.query().point(*point).run().ids()
     }
 
-    /// Accumulated I/O statistics of the workspace disk.
+    /// Accumulated I/O statistics of the workspace disk — cumulative
+    /// over everything that ran on this machine. The cost of a single
+    /// query is on its cursor
+    /// ([`ResultCursor::io_stats`](crate::query::ResultCursor::io_stats)).
     pub fn io_stats(&self) -> IoStats {
-        self.org.disk().stats()
+        self.store.disk().stats()
     }
 
     /// Total pages occupied on the simulated disk.
     pub fn occupied_pages(&self) -> u64 {
-        self.org.occupied_pages()
+        self.store.occupied_pages()
     }
 
     /// Occupied storage in megabytes.
@@ -233,49 +355,58 @@ impl SpatialDatabase {
 
     /// Write back dirty pages and prepare for cold queries.
     pub fn finish_loading(&mut self) {
-        self.org.flush();
-        self.org.begin_query();
+        self.store.flush();
+        self.store.begin_query();
     }
 
-    /// Direct access to the organization model (experiments,
-    /// diagnostics).
-    pub fn organization_mut(&mut self) -> &mut Organization {
-        &mut self.org
+    /// The storage backend (diagnostics, experiments).
+    pub fn store(&self) -> &dyn SpatialStore {
+        self.store.as_ref()
     }
 
-    /// Which organization model this database uses.
-    pub fn kind(&self) -> OrganizationKind {
-        self.org.kind()
+    /// Mutable access to the storage backend.
+    pub fn store_mut(&mut self) -> &mut dyn SpatialStore {
+        self.store.as_mut()
+    }
+
+    /// Short name of the storage backend ("cluster org.", "memory", …).
+    pub fn store_name(&self) -> &'static str {
+        self.store.name()
     }
 
     /// The exact geometry of an object, if stored.
-    pub fn geometry(&self, id: u64) -> Option<&DecomposedPolyline> {
-        self.geometry.get(&id)
+    ///
+    /// Consults the store first, so an object deleted through
+    /// [`store_mut`](SpatialDatabase::store_mut) (bypassing
+    /// [`remove`](SpatialDatabase::remove)) does not surface a stale
+    /// geometry.
+    pub fn geometry(&self, id: u64) -> Option<&Geometry> {
+        if self.store.contains(ObjectId(id)) {
+            self.geometry.get(&id)
+        } else {
+            None
+        }
     }
 }
 
 /// Complete intersection join of two databases of the same workspace:
 /// returns the exact intersecting pairs plus the cost breakdown of §6.3.
+#[deprecated(note = "use `left.join(right).run()`")]
 pub fn spatial_join(
     left: &mut SpatialDatabase,
     right: &mut SpatialDatabase,
     config: JoinConfig,
 ) -> (Vec<(u64, u64)>, JoinStats) {
-    let (pairs, stats) = SpatialJoin::new(&mut left.org, &mut right.org).run_with_pairs(config);
-    // Exact refinement of the candidate pairs on the decomposed
-    // representations.
-    let mut result: Vec<(u64, u64)> = pairs
-        .iter()
-        .filter(|(a, b)| left.geometry[&a.0].intersects(&right.geometry[&b.0]))
-        .map(|(a, b)| (a.0, b.0))
-        .collect();
-    result.sort_unstable();
-    (result, stats)
+    let cursor = left.join(right).config(config).run();
+    let stats = cursor.stats();
+    (cursor.pairs(), stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spatialdb_geom::Polygon;
+    use spatialdb_storage::MemoryStore;
 
     fn street(x: f64, y: f64) -> Polyline {
         Polyline::new(vec![
@@ -295,19 +426,20 @@ mod tests {
             let ws = Workspace::new(256);
             let mut db = ws.create_database(DbOptions::new(kind));
             for i in 0..50u64 {
-                db.insert_polyline(i, street((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0));
+                db.insert(i, street((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0));
             }
             db.finish_loading();
             assert_eq!(db.len(), 50);
-            let hits = db.window_query(&Rect::new(0.0, 0.0, 0.25, 0.25));
+            let window = Rect::new(0.0, 0.0, 0.25, 0.25);
+            let hits: Vec<(u64, bool)> = db
+                .query()
+                .window(window)
+                .run()
+                .map(|(id, g)| (id, g.intersects_rect(&window)))
+                .collect();
             assert!(!hits.is_empty(), "{kind:?}");
             // Exact refinement: every reported object really intersects.
-            for id in &hits {
-                assert!(db
-                    .geometry(*id)
-                    .unwrap()
-                    .intersects_rect(&Rect::new(0.0, 0.0, 0.25, 0.25)));
-            }
+            assert!(hits.iter().all(|(_, ok)| *ok), "{kind:?}");
         }
     }
 
@@ -315,12 +447,93 @@ mod tests {
     fn point_query_exact() {
         let ws = Workspace::new(256);
         let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
-        db.insert_polyline(7, street(0.5, 0.5));
+        db.insert(7, street(0.5, 0.5));
         db.finish_loading();
         // On the first vertex.
-        assert_eq!(db.point_query(&Point::new(0.5, 0.5)), vec![7]);
+        assert_eq!(db.query().point(Point::new(0.5, 0.5)).run().ids(), vec![7]);
         // Inside the MBR but off the line.
-        assert!(db.point_query(&Point::new(0.505, 0.0049)).is_empty());
+        assert!(db
+            .query()
+            .point(Point::new(0.505, 0.0049))
+            .run()
+            .ids()
+            .is_empty());
+    }
+
+    #[test]
+    fn mixed_geometry_kinds_queryable() {
+        let ws = Workspace::new(256);
+        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+        db.insert(1, Point::new(0.5, 0.5));
+        db.insert(2, street(0.45, 0.5));
+        db.insert(
+            3,
+            Polygon::new(vec![
+                Point::new(0.45, 0.45),
+                Point::new(0.55, 0.45),
+                Point::new(0.55, 0.55),
+                Point::new(0.45, 0.55),
+            ]),
+        );
+        db.insert(4, Point::new(0.9, 0.9));
+        db.finish_loading();
+        let hits = db
+            .query()
+            .window(Rect::new(0.44, 0.44, 0.56, 0.56))
+            .run()
+            .ids();
+        assert_eq!(hits, vec![1, 2, 3]);
+        // The polygon contains the point; the polyline passes through it.
+        let through = db.query().point(Point::new(0.5, 0.5)).run().ids();
+        assert!(through.contains(&1));
+        assert!(through.contains(&3));
+    }
+
+    #[test]
+    fn cursor_is_lazy_and_carries_per_query_stats() {
+        let ws = Workspace::new(256);
+        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+        for i in 0..60u64 {
+            db.insert(i, street((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0));
+        }
+        db.finish_loading();
+        let all = Rect::new(-1.0, -1.0, 2.0, 2.0);
+        let mut cursor = db.query().window(all).run();
+        assert_eq!(cursor.stats().candidates, 60);
+        assert!(cursor.stats().io_ms > 0.0);
+        assert!(cursor.io_stats().read_requests > 0);
+        // Streaming: taking a prefix leaves the rest unrefined.
+        let first3: Vec<u64> = cursor.by_ref().take(3).map(|(id, _)| id).collect();
+        assert_eq!(first3, vec![0, 1, 2]);
+        let rest = cursor.count();
+        assert_eq!(rest, 57);
+    }
+
+    #[test]
+    fn per_query_stats_not_cumulative() {
+        let ws = Workspace::new(128);
+        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+        for i in 0..40u64 {
+            db.insert(i, street((i % 8) as f64 / 8.0, (i / 8) as f64 / 8.0));
+        }
+        db.finish_loading();
+        let w = Rect::new(0.0, 0.0, 0.6, 0.6);
+        let first = {
+            let c = db.query().window(w).run();
+            (c.stats(), c.io_stats())
+        };
+        // A cold repeat of the same query must report the same per-query
+        // cost even though the workspace's cumulative counters grew.
+        db.store_mut().begin_query();
+        let second = {
+            let c = db.query().window(w).run();
+            (c.stats(), c.io_stats())
+        };
+        assert_eq!(first.0, second.0);
+        assert_eq!(first.1.read_requests, second.1.read_requests);
+        assert_eq!(first.1.io_ms, second.1.io_ms);
+        // Cumulative disk stats kept growing past the per-query delta.
+        assert!(db.io_stats().read_requests > second.1.read_requests);
     }
 
     #[test]
@@ -328,8 +541,29 @@ mod tests {
     fn duplicate_id_rejected() {
         let ws = Workspace::new(64);
         let mut db = ws.create_database(DbOptions::new(OrganizationKind::Secondary));
-        db.insert_polyline(1, street(0.1, 0.1));
-        db.insert_polyline(1, street(0.2, 0.2));
+        db.insert(1, street(0.1, 0.1));
+        db.insert(1, street(0.2, 0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already stored")]
+    fn duplicate_id_via_bulk_load_rejected() {
+        let ws = Workspace::new(64);
+        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Secondary));
+        db.store_mut().bulk_load(&[ObjectRecord::new(
+            ObjectId(5),
+            Rect::new(0.1, 0.1, 0.2, 0.2),
+            640,
+        )]);
+        db.insert(5, street(0.1, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs .window(..) or .point(..)")]
+    fn query_without_target_panics() {
+        let ws = Workspace::new(64);
+        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Secondary));
+        let _ = db.query().run();
     }
 
     #[test]
@@ -338,13 +572,18 @@ mod tests {
         let mut a = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
         let mut b = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
         for i in 0..30u64 {
-            a.insert_polyline(i, street((i % 6) as f64 / 6.0, (i / 6) as f64 / 6.0));
+            a.insert(i, street((i % 6) as f64 / 6.0, (i / 6) as f64 / 6.0));
             // Same layout shifted slightly: many crossings.
-            b.insert_polyline(i, street((i % 6) as f64 / 6.0 + 0.005, (i / 6) as f64 / 6.0));
+            b.insert(
+                i,
+                street((i % 6) as f64 / 6.0 + 0.005, (i / 6) as f64 / 6.0),
+            );
         }
         a.finish_loading();
         b.finish_loading();
-        let (pairs, stats) = spatial_join(&mut a, &mut b, JoinConfig::default());
+        let cursor = a.join(&mut b).run();
+        let stats = cursor.stats();
+        let pairs = cursor.pairs();
         assert!(stats.mbr_pairs > 0);
         assert!(!pairs.is_empty());
         assert!(pairs.len() as u64 <= stats.mbr_pairs, "refinement filters");
@@ -355,18 +594,18 @@ mod tests {
         let ws = Workspace::new(256);
         let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
         for i in 0..60u64 {
-            db.insert_polyline(i, street((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0));
+            db.insert(i, street((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0));
         }
         db.finish_loading();
         assert!(db.remove(5));
         assert!(!db.remove(5));
         let all = Rect::new(-1.0, -1.0, 2.0, 2.0);
-        let hits = db.window_query(&all);
+        let hits = db.query().window(all).run().ids();
         assert_eq!(hits.len(), 59);
         assert!(!hits.contains(&5));
         // Re-insert under the same id after removal.
-        db.insert_polyline(5, street(0.9, 0.9));
-        assert_eq!(db.window_query(&all).len(), 60);
+        db.insert(5, street(0.9, 0.9));
+        assert_eq!(db.query().window(all).run().ids().len(), 60);
     }
 
     #[test]
@@ -374,12 +613,46 @@ mod tests {
         let ws = Workspace::new(64);
         let mut db = ws.create_database(DbOptions::new(OrganizationKind::Secondary));
         for i in 0..20u64 {
-            db.insert_polyline(i, street((i % 5) as f64 / 5.0, (i / 5) as f64 / 5.0));
+            db.insert(i, street((i % 5) as f64 / 5.0, (i / 5) as f64 / 5.0));
         }
         db.finish_loading();
         let s = db.io_stats();
         assert!(s.write_requests > 0);
         assert!(db.occupied_pages() > 0);
         assert!(db.occupied_mb() > 0.0);
+    }
+
+    #[test]
+    fn custom_store_backs_a_database() {
+        let ws = Workspace::new(64);
+        let store = MemoryStore::new(ws.disk(), ws.pool());
+        let mut db = ws.create_database_with(Box::new(store));
+        assert_eq!(db.store_name(), "memory");
+        for i in 0..20u64 {
+            db.insert(i, street((i % 5) as f64 / 5.0, (i / 5) as f64 / 5.0));
+        }
+        db.finish_loading();
+        let hits = db.query().window(Rect::new(0.0, 0.0, 1.0, 1.0)).run();
+        assert_eq!(hits.stats().io_ms, 0.0, "memory store charges no I/O");
+        assert_eq!(hits.ids().len(), 20);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_answer() {
+        let ws = Workspace::new(256);
+        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+        db.insert_polyline(1, street(0.1, 0.1));
+        db.finish_loading();
+        let w = Rect::new(0.0, 0.0, 0.5, 0.5);
+        assert_eq!(db.window_query(&w), vec![1]);
+        assert!(db.window_query_stats(&w).candidates == 1);
+        assert_eq!(db.point_query(&Point::new(0.1, 0.1)), vec![1]);
+        let mut rivers = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+        rivers.insert(9, street(0.1, 0.1));
+        rivers.finish_loading();
+        let (pairs, stats) = spatial_join(&mut db, &mut rivers, JoinConfig::default());
+        assert_eq!(pairs, vec![(1, 9)]);
+        assert!(stats.mbr_pairs >= 1);
     }
 }

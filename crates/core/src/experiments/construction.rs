@@ -3,7 +3,7 @@
 
 use super::{build_organization, records_of, ClusterSizing, Scale, ALL_KINDS};
 use spatialdb_data::DataSet;
-use spatialdb_storage::{OrganizationKind, OrganizationModel};
+use spatialdb_storage::{OrganizationKind, SpatialStore};
 
 /// One row of Table 1, as generated.
 #[derive(Clone, Debug)]

@@ -6,8 +6,7 @@ use spatialdb_data::{DataSet, MapId, SeriesId};
 use spatialdb_disk::Disk;
 use spatialdb_join::{JoinConfig, SpatialJoin};
 use spatialdb_storage::{
-    new_shared_pool, ObjectRecord, Organization, OrganizationKind, OrganizationModel,
-    TransferTechnique,
+    new_shared_pool, ObjectRecord, Organization, OrganizationKind, SpatialStore, TransferTechnique,
 };
 
 /// One calibrated join version (§6.1: version *a* ≈ 0.65 intersections
@@ -51,11 +50,7 @@ pub fn calibrate_versions(scale: &Scale, series: SeriesId) -> (JoinVersionSpec, 
 }
 
 /// Records of a map with MBRs inflated by the version's factor.
-fn inflated_records(
-    scale: &Scale,
-    dataset: DataSet,
-    inflation: f64,
-) -> Vec<ObjectRecord> {
+fn inflated_records(scale: &Scale, dataset: DataSet, inflation: f64) -> Vec<ObjectRecord> {
     let map = scale.map(dataset);
     let mut records = records_of(&map.objects);
     for r in &mut records {
@@ -149,8 +144,7 @@ pub fn join_orgs(scale: &Scale, series: SeriesId) -> Vec<JoinOrgRow> {
                 let disk = r.disk();
                 r.pool().borrow_mut().reset(buffer);
                 disk.reset_stats();
-                let stats =
-                    SpatialJoin::new(r, s).run_io_only(TransferTechnique::Complete);
+                let stats = SpatialJoin::new(r, s).run_io_only(TransferTechnique::Complete);
                 io_seconds[i] = stats.io_seconds();
                 mbr_pairs = stats.mbr_pairs;
             }

@@ -26,13 +26,13 @@ use spatialdb_data::{GeometryMode, MapObject, SpatialMap};
 use spatialdb_disk::{Disk, DiskHandle, IoStats};
 use spatialdb_storage::{
     new_shared_pool, ClusterConfig, ClusterOrganization, ObjectRecord, Organization,
-    OrganizationKind, OrganizationModel, PrimaryOrganization, SecondaryOrganization,
+    OrganizationKind, PrimaryOrganization, SecondaryOrganization, SpatialStore,
 };
 
 pub use construction::{construction_suite, table1, ConstructionRow, Table1Row};
 pub use joins::{
-    calibrate_versions, join_breakdown, join_orgs, join_techniques, JoinBreakdownRow,
-    JoinOrgRow, JoinTechRow, JoinVersionSpec,
+    calibrate_versions, join_breakdown, join_orgs, join_techniques, JoinBreakdownRow, JoinOrgRow,
+    JoinTechRow, JoinVersionSpec,
 };
 pub use windows::{
     cluster_size_adaptation, point_queries, window_query_orgs, window_query_techniques,

@@ -5,7 +5,7 @@ use super::{build_organization, records_of, ClusterSizing, Scale, ALL_KINDS};
 use spatialdb_data::workload::{WindowQuerySet, PAPER_WINDOW_AREAS};
 use spatialdb_data::{DataSet, MapId, SeriesId, SpatialMap};
 use spatialdb_storage::{
-    Organization, OrganizationKind, OrganizationModel, QueryStats, WindowTechnique,
+    Organization, OrganizationKind, QueryStats, SpatialStore, WindowTechnique,
 };
 
 /// Figure 8: one (data set, window area) cell.
@@ -199,7 +199,10 @@ pub fn cluster_size_adaptation(scale: &Scale) -> Vec<AdaptationRow> {
             let gain_for_shift = |shift: usize| {
                 let mut gains = Vec::new();
                 for a in 0..areas.len() {
-                    for b in [a.checked_sub(shift), Some(a + shift)].into_iter().flatten() {
+                    for b in [a.checked_sub(shift), Some(a + shift)]
+                        .into_iter()
+                        .flatten()
+                    {
                         if b >= areas.len() {
                             continue;
                         }

@@ -9,41 +9,62 @@
 //! / SLM / optimum), the R\*-tree spatial join, and a TIGER-like data
 //! generator.
 //!
+//! Storage backends are pluggable behind the
+//! [`SpatialStore`](spatialdb_storage::SpatialStore) trait, and queries
+//! stream through the [`Query`](query::Query) builder.
+//!
 //! ## Quickstart
 //!
 //! ```
 //! use spatialdb::{DbOptions, OrganizationKind, Workspace};
-//! use spatialdb::geom::{Point, Polyline, Rect};
+//! use spatialdb::geom::{Point, Polygon, Polyline, Rect};
+//! use spatialdb::storage::WindowTechnique;
 //!
 //! // A workspace is one simulated machine: disk + buffer pool.
 //! let ws = Workspace::new(512);
 //! let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
 //!
-//! // Store a street as a polyline.
-//! db.insert_polyline(1, Polyline::new(vec![
+//! // Store a street (polyline), a well (point) and a park (polygon).
+//! db.insert(1, Polyline::new(vec![
 //!     Point::new(0.10, 0.20),
 //!     Point::new(0.12, 0.21),
 //!     Point::new(0.15, 0.20),
 //! ]));
+//! db.insert(2, Point::new(0.11, 0.205));
+//! db.insert(3, Polygon::new(vec![
+//!     Point::new(0.13, 0.19),
+//!     Point::new(0.14, 0.19),
+//!     Point::new(0.14, 0.22),
+//! ]));
+//! db.finish_loading();
 //!
-//! // Window query with exact refinement.
-//! let hits = db.window_query(&Rect::new(0.0, 0.0, 0.2, 0.3));
-//! assert_eq!(hits, vec![1]);
+//! // Build a window query and stream the exactly-refined results.
+//! let mut results = db
+//!     .query()
+//!     .window(Rect::new(0.0, 0.0, 0.2, 0.3))
+//!     .technique(WindowTechnique::Slm)
+//!     .run();
 //!
-//! // Every access was charged to the simulated disk.
-//! assert!(db.io_stats().io_ms > 0.0);
+//! // The cursor carries the cost of *this* query alone…
+//! assert_eq!(results.stats().candidates, 3);
+//! assert!(results.stats().io_ms > 0.0);
+//!
+//! // …and lazily yields (id, &Geometry) pairs in ascending id order.
+//! let ids: Vec<u64> = results.by_ref().map(|(id, _)| id).collect();
+//! assert_eq!(ids, vec![1, 2, 3]);
 //! ```
 //!
 //! ## Crate map
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`geom`] | geometry kernel (points, MBRs, polylines, polygons) |
+//! | [`geom`] | geometry kernel (points, MBRs, polylines, polygons, [`Geometry`]) |
 //! | [`disk`] | disk cost model, buffer pool, buddy system, SLM schedules |
 //! | [`rtree`] | the R\*-tree |
-//! | [`storage`] | the three organization models & query techniques |
+//! | [`storage`] | the `SpatialStore` trait, the three organization models & the in-memory baseline |
 //! | [`join`] | the spatial join pipeline |
 //! | [`data`] | synthetic TIGER-like maps & workloads (Table 1) |
+//! | [`query`] | the streaming `Query` builder and cursors |
 //! | [`experiments`] | drivers regenerating every table/figure of the paper |
 
 #![forbid(unsafe_code)]
@@ -51,9 +72,13 @@
 
 pub mod db;
 pub mod experiments;
+pub mod query;
 pub mod report;
 
+#[allow(deprecated)]
+pub use db::spatial_join;
 pub use db::{DbOptions, SpatialDatabase, Workspace};
+pub use query::{JoinCursor, JoinQuery, Query, ResultCursor};
 
 pub use spatialdb_data as data;
 pub use spatialdb_disk as disk;
@@ -64,9 +89,10 @@ pub use spatialdb_storage as storage;
 
 pub use spatialdb_data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
 pub use spatialdb_disk::{Disk, DiskHandle, DiskParams, IoStats};
+pub use spatialdb_geom::Geometry;
 pub use spatialdb_join::{JoinConfig, JoinStats, SpatialJoin};
 pub use spatialdb_rtree::ObjectId;
 pub use spatialdb_storage::{
-    ClusterConfig, Organization, OrganizationKind, OrganizationModel, QueryStats,
+    ClusterConfig, MemoryStore, Organization, OrganizationKind, QueryStats, SpatialStore,
     TransferTechnique, WindowTechnique,
 };

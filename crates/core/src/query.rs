@@ -1,0 +1,348 @@
+//! The streaming query layer: [`Query`] builder, lazy [`ResultCursor`],
+//! and the [`JoinQuery`] / [`JoinCursor`] pair for composable joins.
+//!
+//! A query runs in the paper's two steps. [`Query::run`] executes the
+//! **filter step** eagerly — the store walks its R\*-tree and transfers
+//! the exact representations of all candidates, charging the simulated
+//! disk — and snapshots the I/O cost of *exactly this query* (the disk's
+//! counters are deltas around the call, never workspace-cumulative
+//! totals). The **refinement step** is lazy: the returned cursor tests
+//! each candidate against its exact [`Geometry`] only as the caller
+//! iterates, yielding `(id, &Geometry)` pairs in ascending id order.
+//!
+//! ```
+//! use spatialdb::geom::{Point, Polyline, Rect};
+//! use spatialdb::storage::WindowTechnique;
+//! use spatialdb::{DbOptions, OrganizationKind, Workspace};
+//!
+//! let ws = Workspace::new(256);
+//! let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+//! db.insert(1, Polyline::new(vec![Point::new(0.1, 0.1), Point::new(0.2, 0.2)]));
+//! db.finish_loading();
+//!
+//! let mut cursor = db
+//!     .query()
+//!     .window(Rect::new(0.0, 0.0, 0.5, 0.5))
+//!     .technique(WindowTechnique::Slm)
+//!     .run();
+//! let stats = cursor.stats(); // cost of this query alone
+//! assert_eq!(stats.candidates, 1);
+//! let (id, geometry) = cursor.next().unwrap();
+//! assert_eq!(id, 1);
+//! assert!(geometry.as_polyline().is_some());
+//! ```
+
+use crate::db::SpatialDatabase;
+use spatialdb_disk::IoStats;
+use spatialdb_geom::Geometry;
+use spatialdb_geom::{Point, Rect};
+use spatialdb_join::{JoinConfig, JoinStats, SpatialJoin};
+use spatialdb_storage::{QueryStats, TransferTechnique, WindowTechnique};
+
+/// What a [`Query`] searches for.
+#[derive(Clone, Copy, Debug)]
+enum Target {
+    /// All objects sharing a point with the window.
+    Window(Rect),
+    /// All objects containing the point.
+    Point(Point),
+}
+
+/// A fluent query under construction. Created by
+/// [`SpatialDatabase::query`]; consumed by [`Query::run`].
+#[must_use = "a Query does nothing until .run()"]
+pub struct Query<'a> {
+    db: &'a mut SpatialDatabase,
+    target: Option<Target>,
+    technique: Option<WindowTechnique>,
+}
+
+impl<'a> Query<'a> {
+    pub(crate) fn new(db: &'a mut SpatialDatabase) -> Self {
+        Query {
+            db,
+            target: None,
+            technique: None,
+        }
+    }
+
+    /// Search for all objects sharing at least one point with `window`.
+    pub fn window(mut self, window: Rect) -> Self {
+        self.target = Some(Target::Window(window));
+        self
+    }
+
+    /// Search for all objects containing `point`.
+    pub fn point(mut self, point: Point) -> Self {
+        self.target = Some(Target::Point(point));
+        self
+    }
+
+    /// Override the window transfer technique for this query (defaults
+    /// to the database's configured technique; only the cluster
+    /// organization distinguishes them).
+    pub fn technique(mut self, technique: WindowTechnique) -> Self {
+        self.technique = Some(technique);
+        self
+    }
+
+    /// Execute the filter step (charging the simulated disk) and return
+    /// a lazy cursor over the refined results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if neither [`window`](Query::window) nor
+    /// [`point`](Query::point) was set.
+    pub fn run(self) -> ResultCursor<'a> {
+        let Query {
+            db,
+            target,
+            technique,
+        } = self;
+        let target = target.expect("Query::run() needs .window(..) or .point(..) first");
+        let technique = technique.unwrap_or(db.technique);
+        // Filter step + object transfer, charged to the simulated disk;
+        // both stats are deltas around this call, so the cursor reports
+        // the cost of this query alone.
+        let io_before = db.store.disk().stats();
+        let stats = match &target {
+            Target::Window(w) => db.store.window_query(w, technique),
+            Target::Point(p) => db.store.point_query(p),
+        };
+        let io = db.store.disk().stats().since(&io_before);
+        let db: &'a SpatialDatabase = db;
+        ResultCursor {
+            db,
+            target,
+            // Materialized on first iteration: a stats-only caller never
+            // pays for the candidate re-read.
+            candidates: None,
+            next: 0,
+            stats,
+            io,
+        }
+    }
+}
+
+/// A lazy stream of query results.
+///
+/// Iterating yields `(object id, exact geometry)` for every candidate
+/// that survives exact refinement, in ascending id order. The refinement
+/// is performed per [`next`](Iterator::next) call — consuming only the
+/// first few results does only the first few geometry tests.
+///
+/// The cursor also carries the cost of the query that produced it:
+/// [`stats`](ResultCursor::stats) and
+/// [`io_stats`](ResultCursor::io_stats) describe **this query alone**,
+/// not the workspace's cumulative counters.
+pub struct ResultCursor<'a> {
+    db: &'a SpatialDatabase,
+    target: Target,
+    /// Sorted candidate ids, re-read lazily from the warm directory (no
+    /// I/O charged) when iteration starts.
+    candidates: Option<Vec<u64>>,
+    next: usize,
+    stats: QueryStats,
+    io: IoStats,
+}
+
+impl<'a> ResultCursor<'a> {
+    /// Filter-step statistics of this query alone (candidates, queried
+    /// bytes, simulated I/O milliseconds).
+    pub fn stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// Detailed I/O counters of this query alone (requests, pages,
+    /// seeks, latencies, milliseconds).
+    pub fn io_stats(&self) -> IoStats {
+        self.io
+    }
+
+    /// Number of candidates the filter step produced (refinement may
+    /// discard some of them while iterating).
+    pub fn num_candidates(&self) -> usize {
+        self.stats.candidates
+    }
+
+    /// Drain the cursor into the sorted ids of all exact answers.
+    pub fn ids(self) -> Vec<u64> {
+        self.map(|(id, _)| id).collect()
+    }
+
+    fn candidates(&mut self) -> &[u64] {
+        let candidates = self.candidates.get_or_insert_with(|| {
+            let mut ids: Vec<u64> = match &self.target {
+                Target::Window(w) => self.db.store.window_candidates(w),
+                Target::Point(p) => self.db.store.point_candidates(p),
+            }
+            .into_iter()
+            .map(|e| e.oid.0)
+            .collect();
+            ids.sort_unstable();
+            ids
+        });
+        candidates
+    }
+}
+
+impl<'a> Iterator for ResultCursor<'a> {
+    type Item = (u64, &'a Geometry);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let i = self.next;
+            let &id = self.candidates().get(i)?;
+            self.next += 1;
+            // Objects loaded through `SpatialDatabase::insert` always
+            // have exact geometry. Records bulk-loaded directly into the
+            // store are filter-only: they cannot be refined, so iterating
+            // such a database is a usage error in every build profile.
+            let Some(geometry) = self.db.geometry.get(&id) else {
+                panic!(
+                    "candidate {id} has no exact geometry; records bulk-loaded \
+                     via store_mut() are filter-only — read the cursor's stats() \
+                     instead of iterating, or insert through SpatialDatabase::insert"
+                );
+            };
+            let hit = match &self.target {
+                Target::Window(w) => geometry.intersects_rect(w),
+                Target::Point(p) => geometry.contains_point(p),
+            };
+            if hit {
+                return Some((id, geometry));
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let upper = match &self.candidates {
+            Some(c) => c.len() - self.next,
+            None => self.stats.candidates,
+        };
+        (0, Some(upper))
+    }
+}
+
+/// A spatial join under construction. Created by
+/// [`SpatialDatabase::join`]; consumed by [`JoinQuery::run`].
+#[must_use = "a JoinQuery does nothing until .run()"]
+pub struct JoinQuery<'a> {
+    left: &'a mut SpatialDatabase,
+    right: &'a mut SpatialDatabase,
+    config: JoinConfig,
+}
+
+impl<'a> JoinQuery<'a> {
+    pub(crate) fn new(left: &'a mut SpatialDatabase, right: &'a mut SpatialDatabase) -> Self {
+        JoinQuery {
+            left,
+            right,
+            config: JoinConfig::default(),
+        }
+    }
+
+    /// Object-transfer technique (only meaningful for cluster-organized
+    /// operands).
+    pub fn transfer(mut self, technique: TransferTechnique) -> Self {
+        self.config.transfer = technique;
+        self
+    }
+
+    /// CPU cost charged per exact geometry test (paper: 0.75 ms).
+    pub fn exact_test_ms(mut self, ms: f64) -> Self {
+        self.config.exact_test_ms = ms;
+        self
+    }
+
+    /// Replace the whole join configuration.
+    pub fn config(mut self, config: JoinConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Run the MBR join and object transfer (charging the simulated
+    /// disk) and return a lazy cursor over the exactly-refined pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two databases do not share one workspace (disk +
+    /// buffer pool).
+    pub fn run(self) -> JoinCursor<'a> {
+        let JoinQuery {
+            left,
+            right,
+            config,
+        } = self;
+        let (pairs, stats) =
+            SpatialJoin::new(left.store.as_mut(), right.store.as_mut()).run_with_pairs(config);
+        let left: &'a SpatialDatabase = left;
+        let right: &'a SpatialDatabase = right;
+        JoinCursor {
+            left,
+            right,
+            pairs,
+            next: 0,
+            stats,
+        }
+    }
+}
+
+/// A lazy stream of join results: candidate pairs in MBR-join processing
+/// order, each tested on the exact geometries as the caller iterates.
+pub struct JoinCursor<'a> {
+    left: &'a SpatialDatabase,
+    right: &'a SpatialDatabase,
+    pairs: Vec<(spatialdb_rtree::ObjectId, spatialdb_rtree::ObjectId)>,
+    next: usize,
+    stats: JoinStats,
+}
+
+impl<'a> JoinCursor<'a> {
+    /// Cost breakdown of this join alone (§6.3 / Figure 17).
+    pub fn stats(&self) -> JoinStats {
+        self.stats
+    }
+
+    /// Number of candidate pairs the MBR join produced.
+    pub fn num_candidates(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Drain the cursor into the sorted exact result pairs.
+    pub fn pairs(self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self.collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl<'a> Iterator for JoinCursor<'a> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.next < self.pairs.len() {
+            let (a, b) = self.pairs[self.next];
+            self.next += 1;
+            let (Some(ga), Some(gb)) =
+                (self.left.geometry.get(&a.0), self.right.geometry.get(&b.0))
+            else {
+                // Filter-only records (bulk-loaded via store_mut()) cannot
+                // be refined.
+                panic!(
+                    "join candidate ({}, {}) lacks exact geometry; read stats() \
+                     instead of iterating, or insert through SpatialDatabase::insert",
+                    a.0, b.0
+                );
+            };
+            if ga.intersects(gb) {
+                return Some((a.0, b.0));
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.pairs.len() - self.next))
+    }
+}

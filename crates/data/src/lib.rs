@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod maps;
+pub mod rng;
 pub mod series;
 pub mod tiger;
 pub mod workload;

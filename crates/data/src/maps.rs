@@ -16,10 +16,9 @@
 //!
 //! Everything is a pure function of `(dataset, scale, seed)`.
 
+use crate::rng::SmallRng;
 use crate::series::{DataSet, MapId};
 use crate::tiger::FeatureClass;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use spatialdb_geom::{Point, Polyline, Rect};
 
 /// Whether to retain full vertex geometry or only MBRs.
@@ -134,8 +133,7 @@ impl SpatialMap {
         let mut objects = Vec::with_capacity(n);
         for id in 0..n as u64 {
             let county = pick_county(&mut rng, &counties);
-            let target =
-                (spec.avg_object_bytes as f64 * size_factor(&mut rng)).round() as usize;
+            let target = (spec.avg_object_bytes as f64 * size_factor(&mut rng)).round() as usize;
             let num_vertices = Polyline::vertices_for_size(target);
             let obj = match dataset.map {
                 MapId::Map1 => gen_street(&mut rng, county, num_vertices, id, mode),
@@ -398,9 +396,8 @@ mod tests {
     fn map2_objects_are_larger_extent_than_map1() {
         let m1 = SpatialMap::generate(a1(), 0.01, GeometryMode::MbrOnly, 17);
         let m2 = SpatialMap::generate(a2(), 0.01, GeometryMode::MbrOnly, 17);
-        let avg_margin = |m: &SpatialMap| {
-            m.objects.iter().map(|o| o.mbr.margin()).sum::<f64>() / m.len() as f64
-        };
+        let avg_margin =
+            |m: &SpatialMap| m.objects.iter().map(|o| o.mbr.margin()).sum::<f64>() / m.len() as f64;
         assert!(avg_margin(&m2) > avg_margin(&m1));
     }
 

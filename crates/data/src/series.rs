@@ -70,12 +70,30 @@ impl DataSet {
     /// All six rows of Table 1, in the paper's order.
     pub fn all() -> [DataSet; 6] {
         [
-            DataSet { series: SeriesId::A, map: MapId::Map1 },
-            DataSet { series: SeriesId::B, map: MapId::Map1 },
-            DataSet { series: SeriesId::C, map: MapId::Map1 },
-            DataSet { series: SeriesId::A, map: MapId::Map2 },
-            DataSet { series: SeriesId::B, map: MapId::Map2 },
-            DataSet { series: SeriesId::C, map: MapId::Map2 },
+            DataSet {
+                series: SeriesId::A,
+                map: MapId::Map1,
+            },
+            DataSet {
+                series: SeriesId::B,
+                map: MapId::Map1,
+            },
+            DataSet {
+                series: SeriesId::C,
+                map: MapId::Map1,
+            },
+            DataSet {
+                series: SeriesId::A,
+                map: MapId::Map2,
+            },
+            DataSet {
+                series: SeriesId::B,
+                map: MapId::Map2,
+            },
+            DataSet {
+                series: SeriesId::C,
+                map: MapId::Map2,
+            },
         ]
     }
 
@@ -160,9 +178,17 @@ mod tests {
 
     #[test]
     fn smax_pages() {
-        let a1 = DataSet { series: SeriesId::A, map: MapId::Map1 }.spec();
+        let a1 = DataSet {
+            series: SeriesId::A,
+            map: MapId::Map1,
+        }
+        .spec();
         assert_eq!(a1.smax_pages(), 20);
-        let c2 = DataSet { series: SeriesId::C, map: MapId::Map2 }.spec();
+        let c2 = DataSet {
+            series: SeriesId::C,
+            map: MapId::Map2,
+        }
+        .spec();
         assert_eq!(c2.smax_pages(), 80);
     }
 
@@ -171,15 +197,25 @@ mod tests {
         // §4.2: Smax ≈ 1.5 · M · S_obj with M = 89.
         // For A-1: 1.5 · 89 · 625 = 83,437 B ≈ 80 KB. The paper rounds to
         // the series' power-of-two-ish KB values.
-        let a1 = DataSet { series: SeriesId::A, map: MapId::Map1 }.spec();
+        let a1 = DataSet {
+            series: SeriesId::A,
+            map: MapId::Map1,
+        }
+        .spec();
         let rule = a1.smax_rule(89);
         let table = a1.smax_bytes as f64;
-        assert!((rule - table).abs() / table < 0.10, "rule {rule} vs {table}");
+        assert!(
+            (rule - table).abs() / table < 0.10,
+            "rule {rule} vs {table}"
+        );
     }
 
     #[test]
     fn display_format_matches_paper() {
-        let ds = DataSet { series: SeriesId::C, map: MapId::Map1 };
+        let ds = DataSet {
+            series: SeriesId::C,
+            map: MapId::Map1,
+        };
         assert_eq!(ds.to_string(), "C - 1");
     }
 

@@ -1,8 +1,7 @@
 //! Query workloads and join calibration (§5.4, §5.5, §6.1).
 
 use crate::maps::SpatialMap;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 use spatialdb_geom::{Point, Rect};
 
 /// Number of queries per experiment in the paper (§5.4: *"For each test,

@@ -259,7 +259,10 @@ mod tests {
             assert!(class >= need);
             // Classes are at most 2x the need (the ≥50% guarantee),
             // except at the smallest class where need==1 → class 1.
-            assert!(class < 2 * need.max(1) || class == 1, "need {need} class {class}");
+            assert!(
+                class < 2 * need.max(1) || class == 1,
+                "need {need} class {class}"
+            );
         }
     }
 }

@@ -44,9 +44,7 @@ impl SeekPolicy {
     fn skip_seek(&self, request_index: u64) -> bool {
         match self {
             SeekPolicy::PerRequest => false,
-            SeekPolicy::WithinCluster { initial_seek } => {
-                !(*initial_seek && request_index == 0)
-            }
+            SeekPolicy::WithinCluster { initial_seek } => !(*initial_seek && request_index == 0),
         }
     }
 }
@@ -425,7 +423,10 @@ impl BufferPool {
     /// grouped into maximal consecutive runs, each one request, charged
     /// according to the [`SeekPolicy`].
     pub fn read_set(&mut self, pages: &[PageId], seek: SeekPolicy) -> ReadOutcome {
-        debug_assert!(pages.windows(2).all(|w| w[0] < w[1]), "pages must be sorted");
+        debug_assert!(
+            pages.windows(2).all(|w| w[0] < w[1]),
+            "pages must be sorted"
+        );
         let mut out = ReadOutcome::default();
         let mut missing = Vec::new();
         for p in pages {
@@ -698,7 +699,10 @@ mod tests {
         let (disk, mut pool, r) = pool(16);
         pool.read_page(pg(r, 1));
         disk.reset_stats();
-        let out = pool.read_set(&[pg(r, 0), pg(r, 1), pg(r, 2)], SeekPolicy::WithinCluster { initial_seek: true });
+        let out = pool.read_set(
+            &[pg(r, 0), pg(r, 1), pg(r, 2)],
+            SeekPolicy::WithinCluster { initial_seek: true },
+        );
         assert_eq!(out.buffer_hits, 1);
         assert_eq!(out.requests, 2); // runs [0] and [2]
         assert_eq!(out.pages_transferred, 2);

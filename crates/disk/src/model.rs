@@ -107,7 +107,11 @@ impl PageRun {
     /// Panics if `i >= len`.
     #[inline]
     pub fn page(&self, i: u64) -> PageId {
-        assert!(i < self.len, "page index {i} out of run of {} pages", self.len);
+        assert!(
+            i < self.len,
+            "page index {i} out of run of {} pages",
+            self.len
+        );
         PageId::new(self.start.region, self.start.offset + i)
     }
 
@@ -116,7 +120,10 @@ impl PageRun {
         assert!(at <= self.len);
         (
             PageRun::new(self.start, at),
-            PageRun::new(PageId::new(self.start.region, self.start.offset + at), self.len - at),
+            PageRun::new(
+                PageId::new(self.start.region, self.start.offset + at),
+                self.len - at,
+            ),
         )
     }
 }

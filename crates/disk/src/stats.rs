@@ -110,8 +110,12 @@ impl fmt::Display for IoStats {
         write!(
             f,
             "{} reads ({} pages), {} writes ({} pages), {} seeks, {:.1} ms",
-            self.read_requests, self.pages_read, self.write_requests, self.pages_written,
-            self.seeks, self.io_ms
+            self.read_requests,
+            self.pages_read,
+            self.write_requests,
+            self.pages_written,
+            self.seeks,
+            self.io_ms
         )
     }
 }

@@ -18,6 +18,9 @@
 //!   rivers, boundaries, railway tracks — the TIGER data of §5.1);
 //! * [`Polygon`] — simple polygons for region objects, with
 //!   point-in-polygon and rectangle-intersection predicates;
+//! * [`Geometry`] — the closed enum over the exact representations
+//!   (point / polyline / polygon) stored by the database layer, with the
+//!   window-, point- and join-predicates dispatching per variant;
 //! * [`decomposed`] — a decomposed object representation in the spirit of
 //!   the TR\*-tree \[SK91\], used by the paper for the *exact geometry test*
 //!   of the spatial join's refinement step (§6.3).
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod decomposed;
+pub mod geometry;
 pub mod point;
 pub mod polygon;
 pub mod polyline;
@@ -36,6 +40,7 @@ pub mod rect;
 pub mod segment;
 
 pub use decomposed::DecomposedPolyline;
+pub use geometry::Geometry;
 pub use point::Point;
 pub use polygon::Polygon;
 pub use polyline::Polyline;

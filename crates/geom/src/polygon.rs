@@ -132,6 +132,26 @@ impl Polygon {
         rect.contains_point(&self.ring[0])
     }
 
+    /// `true` if the two polygons share at least one point: boundaries
+    /// cross, or one polygon lies inside the other.
+    pub fn intersects_polygon(&self, other: &Polygon) -> bool {
+        if !self.mbr.intersects(&other.mbr) {
+            return false;
+        }
+        for e in self.edges() {
+            let embr = e.mbr();
+            if !embr.intersects(&other.mbr) {
+                continue;
+            }
+            for f in other.edges() {
+                if embr.intersects(&f.mbr()) && e.intersects(&f) {
+                    return true;
+                }
+            }
+        }
+        self.contains_point(&other.ring[0]) || other.contains_point(&self.ring[0])
+    }
+
     /// `true` if the polygon intersects the polyline (boundary crossing or
     /// polyline contained in the interior).
     pub fn intersects_polyline(&self, line: &Polyline) -> bool {

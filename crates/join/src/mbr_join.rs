@@ -22,11 +22,7 @@ pub struct MbrJoinResult {
 /// processed with **all** of its partners before the next pair is taken
 /// up (*pinning*). Together with the LRU buffer behind `pool` this gives
 /// the close-to-optimal page-access behaviour the paper relies on.
-pub fn mbr_join(
-    r: &RStarTree,
-    s: &RStarTree,
-    pool: &mut BufferPool,
-) -> MbrJoinResult {
+pub fn mbr_join(r: &RStarTree, s: &RStarTree, pool: &mut BufferPool) -> MbrJoinResult {
     let mut out = MbrJoinResult::default();
     if r.is_empty() || s.is_empty() {
         return out;

@@ -2,7 +2,7 @@
 
 use crate::mbr_join::mbr_join;
 use crate::transfer::transfer_objects;
-use spatialdb_storage::{Organization, OrganizationModel, TransferTechnique};
+use spatialdb_storage::{SpatialStore, TransferTechnique};
 
 /// Configuration of a complete spatial join.
 #[derive(Clone, Copy, Debug)]
@@ -56,22 +56,22 @@ impl JoinStats {
     }
 }
 
-/// A spatial join between two organization models sharing one disk and
-/// one buffer pool.
+/// A spatial join between two [`SpatialStore`] backends sharing one disk
+/// and one buffer pool.
 pub struct SpatialJoin<'a> {
-    r: &'a mut Organization,
-    s: &'a mut Organization,
+    r: &'a mut dyn SpatialStore,
+    s: &'a mut dyn SpatialStore,
 }
 
 impl<'a> SpatialJoin<'a> {
-    /// Prepare a join. Both organizations must live on the same disk and
-    /// share the same buffer pool (the paper's joins run on one machine
-    /// with one buffer).
+    /// Prepare a join. Both stores must live on the same disk and share
+    /// the same buffer pool (the paper's joins run on one machine with
+    /// one buffer).
     ///
     /// # Panics
     ///
-    /// Panics if the organizations do not share disk and pool.
-    pub fn new(r: &'a mut Organization, s: &'a mut Organization) -> Self {
+    /// Panics if the stores do not share disk and pool.
+    pub fn new(r: &'a mut dyn SpatialStore, s: &'a mut dyn SpatialStore) -> Self {
         assert!(
             std::rc::Rc::ptr_eq(&r.pool(), &s.pool()),
             "join operands must share one buffer pool"
@@ -93,7 +93,10 @@ impl<'a> SpatialJoin<'a> {
     pub fn run_with_pairs(
         &mut self,
         config: JoinConfig,
-    ) -> (Vec<(spatialdb_rtree::ObjectId, spatialdb_rtree::ObjectId)>, JoinStats) {
+    ) -> (
+        Vec<(spatialdb_rtree::ObjectId, spatialdb_rtree::ObjectId)>,
+        JoinStats,
+    ) {
         let disk = self.r.disk();
         // Step 1: MBR join.
         let before = disk.stats();
@@ -133,14 +136,11 @@ mod tests {
     use spatialdb_geom::Rect;
     use spatialdb_rtree::ObjectId;
     use spatialdb_storage::{
-        new_shared_pool, ClusterConfig, ClusterOrganization, ObjectRecord, SecondaryOrganization,
-        SharedPool,
+        new_shared_pool, ClusterConfig, ClusterOrganization, ObjectRecord, Organization,
+        SecondaryOrganization, SharedPool,
     };
 
-    fn build_pair(
-        buffer: usize,
-        cluster_r: bool,
-    ) -> (Organization, Organization, SharedPool) {
+    fn build_pair(buffer: usize, cluster_r: bool) -> (Organization, Organization, SharedPool) {
         let disk = Disk::with_defaults();
         let pool = new_shared_pool(disk.clone(), buffer);
         let mut r = if cluster_r {
@@ -224,8 +224,7 @@ mod tests {
         let disk = Disk::with_defaults();
         let pool_a = new_shared_pool(disk.clone(), 64);
         let pool_b = new_shared_pool(disk.clone(), 64);
-        let mut a =
-            Organization::Secondary(SecondaryOrganization::new(disk.clone(), pool_a));
+        let mut a = Organization::Secondary(SecondaryOrganization::new(disk.clone(), pool_a));
         let mut b = Organization::Secondary(SecondaryOrganization::new(disk, pool_b));
         let _ = SpatialJoin::new(&mut a, &mut b);
     }

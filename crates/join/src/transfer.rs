@@ -1,19 +1,20 @@
 //! Step 2: transferring the exact representations of the candidate pairs.
 
 use spatialdb_rtree::ObjectId;
-use spatialdb_storage::{Organization, OrganizationModel, TransferTechnique};
+use spatialdb_storage::{SpatialStore, TransferTechnique};
 use std::collections::HashSet;
 
 /// Fetch the exact representations of all candidate pairs, in processing
 /// order, through the shared buffer.
 ///
-/// For the cluster organization the `technique` governs how cluster units
-/// are transferred (§6.2); the secondary and primary organizations have a
-/// single natural access path and ignore it. Returns the I/O time in
-/// milliseconds.
+/// Each store decides how to honour the transfer `technique` via
+/// [`SpatialStore::fetch_for_join`]: the cluster organization batches
+/// whole cluster units or SLM schedules (§6.2); the secondary and
+/// primary organizations have a single natural access path and ignore
+/// it. Returns the I/O time in milliseconds.
 pub fn transfer_objects(
-    r_org: &mut Organization,
-    s_org: &mut Organization,
+    r_org: &mut dyn SpatialStore,
+    s_org: &mut dyn SpatialStore,
     pairs: &[(ObjectId, ObjectId)],
     technique: TransferTechnique,
 ) -> f64 {
@@ -24,22 +25,10 @@ pub fn transfer_objects(
     let needed_r: HashSet<ObjectId> = pairs.iter().map(|(a, _)| *a).collect();
     let needed_s: HashSet<ObjectId> = pairs.iter().map(|(_, b)| *b).collect();
     for (a, b) in pairs {
-        fetch(r_org, *a, &needed_r, technique);
-        fetch(s_org, *b, &needed_s, technique);
+        r_org.fetch_for_join(*a, &needed_r, technique);
+        s_org.fetch_for_join(*b, &needed_s, technique);
     }
     disk.stats().since(&before).io_ms
-}
-
-fn fetch(
-    org: &mut Organization,
-    oid: ObjectId,
-    needed: &HashSet<ObjectId>,
-    technique: TransferTechnique,
-) {
-    match org {
-        Organization::Cluster(c) => c.fetch_for_join(oid, needed, technique),
-        _ => org.fetch_object(oid),
-    }
 }
 
 #[cfg(test)]
@@ -48,7 +37,8 @@ mod tests {
     use spatialdb_disk::Disk;
     use spatialdb_geom::Rect;
     use spatialdb_storage::{
-        new_shared_pool, ClusterConfig, ClusterOrganization, ObjectRecord, SecondaryOrganization,
+        new_shared_pool, ClusterConfig, ClusterOrganization, ObjectRecord, Organization,
+        SecondaryOrganization,
     };
 
     fn records(n: u64, dx: f64) -> Vec<ObjectRecord> {
@@ -61,9 +51,7 @@ mod tests {
             .collect()
     }
 
-    fn setup(
-        buffer_pages: usize,
-    ) -> (Organization, Organization, Vec<(ObjectId, ObjectId)>) {
+    fn setup(buffer_pages: usize) -> (Organization, Organization, Vec<(ObjectId, ObjectId)>) {
         let disk = Disk::with_defaults();
         let pool = new_shared_pool(disk.clone(), buffer_pages);
         let mut r = Organization::Cluster(ClusterOrganization::new(

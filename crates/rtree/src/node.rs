@@ -60,12 +60,8 @@ impl Node {
     /// Minimum bounding rectangle of all entries.
     pub fn mbr(&self) -> Rect {
         match &self.kind {
-            NodeKind::Leaf(v) => v
-                .iter()
-                .fold(Rect::empty(), |acc, e| acc.union(&e.mbr)),
-            NodeKind::Dir(v) => v
-                .iter()
-                .fold(Rect::empty(), |acc, e| acc.union(&e.mbr)),
+            NodeKind::Leaf(v) => v.iter().fold(Rect::empty(), |acc, e| acc.union(&e.mbr)),
+            NodeKind::Dir(v) => v.iter().fold(Rect::empty(), |acc, e| acc.union(&e.mbr)),
         }
     }
 

@@ -34,7 +34,8 @@ fn sorted_indices<T: SplitItem, F: Fn(&Rect) -> (f64, f64)>(items: &[T], key: F)
     idx.sort_by(|&a, &b| {
         let ka = key(&items[a].rect());
         let kb = key(&items[b].rect());
-        ka.partial_cmp(&kb).expect("non-finite rectangle coordinate")
+        ka.partial_cmp(&kb)
+            .expect("non-finite rectangle coordinate")
     });
     idx
 }
@@ -76,9 +77,7 @@ fn scan_order<T: SplitItem>(items: &[T], order: &[usize], min_entries: usize) ->
         scan.margin_sum += r1.margin() + r2.margin();
         let overlap = r1.overlap_area(&r2);
         let area = r1.area() + r2.area();
-        if overlap < scan.best_overlap
-            || (overlap == scan.best_overlap && area < scan.best_area)
-        {
+        if overlap < scan.best_overlap || (overlap == scan.best_overlap && area < scan.best_area) {
             scan.best_overlap = overlap;
             scan.best_area = area;
             scan.best_split = split;
@@ -133,10 +132,7 @@ pub(crate) fn rstar_split<T: SplitItem>(items: &[T], min_entries: usize) -> Dist
 }
 
 /// Convenience: the MBRs of the two groups of a distribution.
-pub(crate) fn distribution_rects<T: SplitItem>(
-    items: &[T],
-    d: &Distribution,
-) -> (Rect, Rect) {
+pub(crate) fn distribution_rects<T: SplitItem>(items: &[T], d: &Distribution) -> (Rect, Rect) {
     (group_rect(items, &d.first), group_rect(items, &d.second))
 }
 
@@ -157,7 +153,13 @@ mod tests {
             items.push(e(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.05, 0.1, i));
         }
         for i in 0..5 {
-            items.push(e(10.0 + i as f64 * 0.1, 0.0, 10.0 + i as f64 * 0.1 + 0.05, 0.1, 100 + i));
+            items.push(e(
+                10.0 + i as f64 * 0.1,
+                0.0,
+                10.0 + i as f64 * 0.1 + 0.05,
+                0.1,
+                100 + i,
+            ));
         }
         let d = rstar_split(&items, 2);
         let (r1, r2) = distribution_rects(&items, &d);
@@ -222,7 +224,13 @@ mod tests {
             items.push(e(0.0, i as f64 * 0.1, 1.0, i as f64 * 0.1 + 0.05, i));
         }
         for i in 0..6 {
-            items.push(e(0.0, 20.0 + i as f64 * 0.1, 1.0, 20.0 + i as f64 * 0.1 + 0.05, 10 + i));
+            items.push(e(
+                0.0,
+                20.0 + i as f64 * 0.1,
+                1.0,
+                20.0 + i as f64 * 0.1 + 0.05,
+                10 + i,
+            ));
         }
         let d = rstar_split(&items, 2);
         let (r1, r2) = distribution_rects(&items, &d);

@@ -274,8 +274,8 @@ impl RStarTree {
                 if j == i {
                     continue;
                 }
-                overlap_delta += enlarged.overlap_area(&other.mbr)
-                    - entries[i].mbr.overlap_area(&other.mbr);
+                overlap_delta +=
+                    enlarged.overlap_area(&other.mbr) - entries[i].mbr.overlap_area(&other.mbr);
             }
             let key = (
                 overlap_delta,
@@ -600,10 +600,7 @@ impl RStarTree {
     ) -> Option<NodeId> {
         io.read(self.store.get(node_id).page);
         match &self.store.get(node_id).kind {
-            NodeKind::Leaf(entries) => entries
-                .iter()
-                .any(|e| e.oid == oid)
-                .then_some(node_id),
+            NodeKind::Leaf(entries) => entries.iter().any(|e| e.oid == oid).then_some(node_id),
             NodeKind::Dir(entries) => {
                 for e in entries {
                     if e.mbr.contains_rect(mbr) {
@@ -728,7 +725,11 @@ mod tests {
         let mut t = tree(small_config());
         let out = t.insert(grid_entry(0, 10), &mut NoIo);
         let leaf = out.leaf.unwrap();
-        assert!(t.node(leaf).leaf_entries().iter().any(|e| e.oid == ObjectId(0)));
+        assert!(t
+            .node(leaf)
+            .leaf_entries()
+            .iter()
+            .any(|e| e.oid == ObjectId(0)));
     }
 
     #[test]

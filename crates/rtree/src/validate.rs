@@ -54,10 +54,7 @@ pub fn check_invariants(tree: &RStarTree) -> Result<(), Violation> {
         match &node.kind {
             NodeKind::Leaf(entries) => {
                 if node.level != 0 {
-                    return Err(Violation(format!(
-                        "leaf {id} at level {} != 0",
-                        node.level
-                    )));
+                    return Err(Violation(format!("leaf {id} at level {} != 0", node.level)));
                 }
                 if let Some(limit) = tree.config().leaf_payload_limit {
                     if node.payload() > limit && entries.len() > 1 {

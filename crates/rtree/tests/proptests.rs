@@ -1,3 +1,8 @@
+// Gated: requires the external `proptest` crate (not vendored in this
+// offline build). Enable with `--features proptest` after adding the
+// dev-dependency.
+#![cfg(feature = "proptest")]
+
 //! Property-based tests: the R*-tree agrees with brute force and keeps
 //! its invariants under arbitrary insert/delete interleavings.
 
@@ -8,12 +13,7 @@ use spatialdb_rtree::validate::check_invariants;
 use spatialdb_rtree::{LeafEntry, NoIo, ObjectId, RStarTree, RTreeConfig};
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (
-        0.0f64..100.0,
-        0.0f64..100.0,
-        0.01f64..8.0,
-        0.01f64..8.0,
-    )
+    (0.0f64..100.0, 0.0f64..100.0, 0.01f64..8.0, 0.01f64..8.0)
         .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
 }
 

@@ -20,11 +20,10 @@
 //! `Smax`, reproducing the storage utilization of Figure 6, while the
 //! restricted buddy system of Figure 7 adapts the physical unit size.
 
-use crate::model::{
-    OrganizationModel, QueryStats, SharedPool, TransferTechnique, WindowTechnique,
-};
+use crate::model::{QueryStats, SharedPool, TransferTechnique, WindowTechnique};
 use crate::object::ObjectRecord;
 use crate::packer::{BytePacker, Placement};
+use crate::store::SpatialStore;
 use spatialdb_disk::{
     slm_gap_limit, BuddyAllocator, BuddyConfig, DiskHandle, IoKind, PageId, PageRun, ReadMode,
     RegionId, SeekPolicy, PAGE_SIZE,
@@ -329,13 +328,9 @@ impl ClusterOrganization {
             WindowTechnique::Slm => {
                 let offsets = self.hit_offsets(leaf, hits);
                 let gap = slm_gap_limit(&self.disk.params());
-                self.pool.borrow_mut().read_extent_slm(
-                    used,
-                    &offsets,
-                    gap,
-                    ReadMode::Normal,
-                    true,
-                );
+                self.pool
+                    .borrow_mut()
+                    .read_extent_slm(used, &offsets, gap, ReadMode::Normal, true);
             }
             WindowTechnique::Optimum => {
                 // 1 seek + 1 latency per cluster unit + minimal transfers.
@@ -351,8 +346,7 @@ impl ClusterOrganization {
                 if !missing.is_empty() {
                     let params = self.disk.params();
                     let k = missing.len() as u64;
-                    let cost =
-                        params.seek_ms + params.latency_ms + params.transfer_ms * k as f64;
+                    let cost = params.seek_ms + params.latency_ms + params.transfer_ms * k as f64;
                     self.disk.charge_raw(IoKind::Read, k, cost, true);
                     let mut pool = self.pool.borrow_mut();
                     for o in missing {
@@ -381,10 +375,7 @@ impl ClusterOrganization {
     /// as soon as any qualifying object needs I/O.
     fn read_complete_if_needed(&mut self, leaf: NodeId, hits: &[LeafEntry]) {
         let unit = &self.units[&leaf];
-        let needed: Vec<PageId> = hits
-            .iter()
-            .flat_map(|e| unit.member_pages(e.oid))
-            .collect();
+        let needed: Vec<PageId> = hits.iter().flat_map(|e| unit.member_pages(e.oid)).collect();
         let mut pool = self.pool.borrow_mut();
         let all_buffered = needed.iter().all(|p| pool.buffer().contains(p));
         if all_buffered {
@@ -478,8 +469,7 @@ impl ClusterOrganization {
                 if !missing.is_empty() {
                     let params = self.disk.params();
                     let k = missing.len() as u64;
-                    let cost =
-                        params.seek_ms + params.latency_ms + params.transfer_ms * k as f64;
+                    let cost = params.seek_ms + params.latency_ms + params.transfer_ms * k as f64;
                     self.disk.charge_raw(IoKind::Read, k, cost, true);
                     let mut pool = self.pool.borrow_mut();
                     for o in missing {
@@ -542,7 +532,7 @@ impl ClusterOrganization {
     }
 }
 
-impl OrganizationModel for ClusterOrganization {
+impl SpatialStore for ClusterOrganization {
     fn name(&self) -> &'static str {
         "cluster org."
     }
@@ -600,9 +590,7 @@ impl OrganizationModel for ClusterOrganization {
 
     fn point_query(&mut self, point: &Point) -> QueryStats {
         let before = self.disk.stats();
-        let candidates = self
-            .tree
-            .point_entries(point, &mut *self.pool.borrow_mut());
+        let candidates = self.tree.point_entries(point, &mut *self.pool.borrow_mut());
         // Selective access: read just the objects' pages, not the units
         // (§5.5 — the cluster organization must not penalize selective
         // queries).
@@ -631,12 +619,26 @@ impl OrganizationModel for ClusterOrganization {
             .read_set(&pages, SeekPolicy::PerRequest);
     }
 
+    fn fetch_for_join(
+        &mut self,
+        oid: ObjectId,
+        needed: &HashSet<ObjectId>,
+        technique: TransferTechnique,
+    ) {
+        // The inherent method of the same name (cluster-unit batching).
+        ClusterOrganization::fetch_for_join(self, oid, needed, technique);
+    }
+
     fn occupied_pages(&self) -> u64 {
         self.tree.allocated_pages() + self.buddy.occupied_pages()
     }
 
     fn num_objects(&self) -> usize {
         self.sizes.len()
+    }
+
+    fn contains(&self, oid: ObjectId) -> bool {
+        self.sizes.contains_key(&oid)
     }
 
     fn disk(&self) -> DiskHandle {
@@ -677,9 +679,7 @@ impl OrganizationModel for ClusterOrganization {
             .find(|e| e.oid == oid)
             .map(|e| e.mbr)
             .expect("cluster location out of sync");
-        let outcome = self
-            .tree
-            .delete(oid, &mbr, &mut *self.pool.borrow_mut());
+        let outcome = self.tree.delete(oid, &mbr, &mut *self.pool.borrow_mut());
         debug_assert!(outcome.removed);
         self.location.remove(&oid);
         self.sizes.remove(&oid);

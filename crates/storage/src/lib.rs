@@ -1,8 +1,9 @@
 //! # spatialdb-storage
 //!
-//! The three *organization models* for storing large sets of spatial
-//! objects (§3.2 of Brinkhoff & Kriegel, VLDB 1994) and the query
-//! techniques evaluated on top of them (§5.4):
+//! The pluggable [`SpatialStore`] storage interface, the three
+//! *organization models* implementing it for storing large sets of
+//! spatial objects (§3.2 of Brinkhoff & Kriegel, VLDB 1994), and the
+//! query techniques evaluated on top of them (§5.4):
 //!
 //! * [`SecondaryOrganization`] — R\*-tree over MBRs + pointers; exact
 //!   representations in a sequential file in insertion order. Maximum
@@ -30,18 +31,26 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod memory;
 pub mod model;
 pub mod object;
 pub mod packer;
 pub mod primary;
 pub mod secondary;
+pub mod store;
 
 pub use cluster::{ClusterConfig, ClusterOrganization};
+pub use memory::MemoryStore;
 pub use model::{
-    new_shared_pool, Organization, OrganizationKind, OrganizationModel, QueryStats, SharedPool,
-    TransferTechnique, WindowTechnique,
+    new_shared_pool, Organization, OrganizationKind, QueryStats, SharedPool, TransferTechnique,
+    WindowTechnique,
 };
 pub use object::ObjectRecord;
 pub use packer::{PagePacker, Placement};
 pub use primary::PrimaryOrganization;
 pub use secondary::SecondaryOrganization;
+pub use store::SpatialStore;
+
+/// Legacy name of [`SpatialStore`], kept so pre-redesign imports keep
+/// compiling. Prefer `SpatialStore`.
+pub use store::SpatialStore as OrganizationModel;

@@ -1,0 +1,188 @@
+//! An in-memory baseline store — the "fourth organization".
+//!
+//! [`MemoryStore`] keeps the R\*-tree and all object metadata in main
+//! memory and charges **no** I/O for queries: it is the zero-cost
+//! baseline to compare the disk-resident organization models against,
+//! and doubles as the reference implementation of how a new
+//! [`SpatialStore`] backend plugs into the engine in one file — no other
+//! crate needs to change.
+
+use crate::model::{QueryStats, SharedPool, WindowTechnique};
+use crate::object::ObjectRecord;
+use crate::store::SpatialStore;
+use spatialdb_disk::{DiskHandle, PAGE_SIZE};
+use spatialdb_geom::{Point, Rect};
+use spatialdb_rtree::{LeafEntry, NoIo, ObjectId, RStarTree, RTreeConfig};
+use std::collections::HashMap;
+
+/// A purely in-memory spatial store (no simulated I/O).
+pub struct MemoryStore {
+    disk: DiskHandle,
+    pool: SharedPool,
+    tree: RStarTree,
+    sizes: HashMap<ObjectId, u32>,
+    mbrs: HashMap<ObjectId, Rect>,
+}
+
+impl MemoryStore {
+    /// Create an empty in-memory store.
+    ///
+    /// `disk` and `pool` are only carried along so the store can take
+    /// part in joins (which require both operands to share one machine);
+    /// the store itself never charges I/O to them.
+    pub fn new(disk: DiskHandle, pool: SharedPool) -> Self {
+        let region = disk.create_region("mem:tree");
+        MemoryStore {
+            disk,
+            pool,
+            tree: RStarTree::new(RTreeConfig::paper_default(PAGE_SIZE), region),
+            sizes: HashMap::new(),
+            mbrs: HashMap::new(),
+        }
+    }
+}
+
+impl SpatialStore for MemoryStore {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn insert(&mut self, rec: &ObjectRecord) {
+        let entry = LeafEntry::new(rec.mbr, rec.oid, 0);
+        self.tree.insert(entry, &mut NoIo);
+        self.sizes.insert(rec.oid, rec.size_bytes);
+        self.mbrs.insert(rec.oid, rec.mbr);
+    }
+
+    fn delete(&mut self, oid: ObjectId) -> bool {
+        let Some(mbr) = self.mbrs.remove(&oid) else {
+            return false;
+        };
+        let outcome = self.tree.delete(oid, &mbr, &mut NoIo);
+        debug_assert!(outcome.removed, "index out of sync for {oid}");
+        self.sizes.remove(&oid);
+        true
+    }
+
+    fn window_query(&mut self, window: &Rect, _technique: WindowTechnique) -> QueryStats {
+        let candidates = self.tree.window_entries(window, &mut NoIo);
+        QueryStats {
+            candidates: candidates.len(),
+            result_bytes: candidates
+                .iter()
+                .map(|e| u64::from(self.sizes[&e.oid]))
+                .sum(),
+            io_ms: 0.0,
+        }
+    }
+
+    fn point_query(&mut self, point: &Point) -> QueryStats {
+        let candidates = self.tree.point_entries(point, &mut NoIo);
+        QueryStats {
+            candidates: candidates.len(),
+            result_bytes: candidates
+                .iter()
+                .map(|e| u64::from(self.sizes[&e.oid]))
+                .sum(),
+            io_ms: 0.0,
+        }
+    }
+
+    fn fetch_object(&mut self, _oid: ObjectId) {
+        // Already resident.
+    }
+
+    fn occupied_pages(&self) -> u64 {
+        0
+    }
+
+    fn num_objects(&self) -> usize {
+        self.sizes.len()
+    }
+
+    fn contains(&self, oid: ObjectId) -> bool {
+        self.sizes.contains_key(&oid)
+    }
+
+    fn disk(&self) -> DiskHandle {
+        self.disk.clone()
+    }
+
+    fn pool(&self) -> SharedPool {
+        self.pool.clone()
+    }
+
+    fn tree(&self) -> &RStarTree {
+        &self.tree
+    }
+
+    fn flush(&mut self) {
+        // Nothing is buffered.
+    }
+
+    fn begin_query(&mut self) {
+        // Always "cold" and always free.
+    }
+
+    fn object_size(&self, oid: ObjectId) -> u32 {
+        self.sizes[&oid]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::new_shared_pool;
+    use spatialdb_disk::Disk;
+    use spatialdb_rtree::validate::check_invariants;
+
+    fn store_with(n: u64) -> MemoryStore {
+        let disk = Disk::with_defaults();
+        let pool = new_shared_pool(disk.clone(), 64);
+        let mut s = MemoryStore::new(disk, pool);
+        for i in 0..n {
+            let x = (i % 10) as f64 / 10.0;
+            let y = (i / 10) as f64 / 10.0;
+            s.insert(&ObjectRecord::new(
+                ObjectId(i),
+                Rect::new(x, y, x + 0.05, y + 0.05),
+                640,
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn queries_are_free_and_correct() {
+        let mut s = store_with(60);
+        check_invariants(s.tree()).unwrap();
+        let io_before = s.disk().stats();
+        let q = s.window_query(&Rect::new(0.0, 0.0, 0.5, 0.5), WindowTechnique::Complete);
+        assert!(q.candidates > 0);
+        assert!(q.result_bytes > 0);
+        assert_eq!(q.io_ms, 0.0);
+        assert_eq!(s.disk().stats().since(&io_before).requests(), 0);
+    }
+
+    #[test]
+    fn delete_and_reinsert() {
+        let mut s = store_with(30);
+        assert!(s.delete(ObjectId(3)));
+        assert!(!s.delete(ObjectId(3)));
+        assert_eq!(s.num_objects(), 29);
+        let all = Rect::new(-1.0, -1.0, 2.0, 2.0);
+        assert_eq!(s.window_candidates(&all).len(), 29);
+        s.insert(&ObjectRecord::new(
+            ObjectId(3),
+            Rect::new(0.3, 0.0, 0.35, 0.05),
+            640,
+        ));
+        assert_eq!(s.window_candidates(&all).len(), 30);
+    }
+
+    #[test]
+    fn occupies_no_disk() {
+        let s = store_with(40);
+        assert_eq!(s.occupied_pages(), 0);
+    }
+}

@@ -1,13 +1,20 @@
-//! The common interface of the three organization models.
+//! Shared vocabulary of the storage layer: techniques, per-query
+//! statistics, the shared buffer pool, and the [`Organization`] enum that
+//! picks one of the paper's models at run time.
+//!
+//! The storage *interface* itself is the [`SpatialStore`] trait in
+//! [`crate::store`].
 
 use crate::cluster::ClusterOrganization;
 use crate::object::ObjectRecord;
 use crate::primary::PrimaryOrganization;
 use crate::secondary::SecondaryOrganization;
+use crate::store::SpatialStore;
 use spatialdb_disk::{BufferPool, DiskHandle};
 use spatialdb_geom::{Point, Rect};
 use spatialdb_rtree::{ObjectId, RStarTree};
 use std::cell::RefCell;
+use std::collections::HashSet;
 use std::rc::Rc;
 
 /// A buffer pool shared between the components of one experiment
@@ -88,61 +95,6 @@ impl QueryStats {
         self.result_bytes += other.result_bytes;
         self.io_ms += other.io_ms;
     }
-}
-
-/// The operations every organization model supports.
-pub trait OrganizationModel {
-    /// Short name used in reports ("sec. org." / "prim. org." /
-    /// "cluster org.").
-    fn name(&self) -> &'static str;
-
-    /// Insert a new object (§4.2.2 for the cluster organization).
-    fn insert(&mut self, rec: &ObjectRecord);
-
-    /// Window query: filter via the R\*-tree, then transfer the exact
-    /// representations of all candidates. `technique` selects the cluster
-    /// organization's transfer strategy; the other models ignore it.
-    fn window_query(&mut self, window: &Rect, technique: WindowTechnique) -> QueryStats;
-
-    /// Point query (§5.5): filter via the R\*-tree, then fetch the exact
-    /// representation of each candidate individually.
-    fn point_query(&mut self, point: &Point) -> QueryStats;
-
-    /// Fetch one object's exact representation through the buffer (the
-    /// join's object-transfer step for non-cluster models).
-    fn fetch_object(&mut self, oid: ObjectId);
-
-    /// Total pages occupied (Figure 6's storage-utilization measure).
-    fn occupied_pages(&self) -> u64;
-
-    /// Number of stored objects.
-    fn num_objects(&self) -> usize;
-
-    /// The simulated disk.
-    fn disk(&self) -> DiskHandle;
-
-    /// The shared buffer pool.
-    fn pool(&self) -> SharedPool;
-
-    /// The R\*-tree (for the join's MBR phase and diagnostics).
-    fn tree(&self) -> &RStarTree;
-
-    /// Write back all dirty buffered pages (end of construction).
-    fn flush(&mut self);
-
-    /// Start a cold query: drop all object pages from the buffer and
-    /// (re-)pin the directory pages, which are assumed memory-resident
-    /// during query processing.
-    fn begin_query(&mut self);
-
-    /// Size in bytes of a stored object.
-    fn object_size(&self, oid: ObjectId) -> u32;
-
-    /// Delete an object. Returns `false` if it was not stored. Inserts
-    /// and deletions can be intermixed with queries without any global
-    /// reorganization (§4.1); the cluster organization mirrors every
-    /// entry relocation the R\*-tree performs during condensation.
-    fn delete(&mut self, oid: ObjectId) -> bool;
 }
 
 /// Warm and pin the tree's directory pages in the buffer, highest levels
@@ -227,13 +179,17 @@ impl Organization {
     }
 }
 
-impl OrganizationModel for Organization {
+impl SpatialStore for Organization {
     fn name(&self) -> &'static str {
         delegate!(self, o => o.name())
     }
 
     fn insert(&mut self, rec: &ObjectRecord) {
         delegate!(self, o => o.insert(rec))
+    }
+
+    fn bulk_load(&mut self, records: &[ObjectRecord]) {
+        delegate!(self, o => o.bulk_load(records))
     }
 
     fn window_query(&mut self, window: &Rect, technique: WindowTechnique) -> QueryStats {
@@ -244,8 +200,20 @@ impl OrganizationModel for Organization {
         delegate!(self, o => o.point_query(point))
     }
 
+    // window_candidates / point_candidates use the trait defaults: they
+    // read tree(), which already delegates to the variant.
+
     fn fetch_object(&mut self, oid: ObjectId) {
         delegate!(self, o => o.fetch_object(oid))
+    }
+
+    fn fetch_for_join(
+        &mut self,
+        oid: ObjectId,
+        needed: &HashSet<ObjectId>,
+        technique: TransferTechnique,
+    ) {
+        delegate!(self, o => o.fetch_for_join(oid, needed, technique))
     }
 
     fn occupied_pages(&self) -> u64 {
@@ -254,6 +222,10 @@ impl OrganizationModel for Organization {
 
     fn num_objects(&self) -> usize {
         delegate!(self, o => o.num_objects())
+    }
+
+    fn contains(&self, oid: ObjectId) -> bool {
+        delegate!(self, o => o.contains(oid))
     }
 
     fn disk(&self) -> DiskHandle {

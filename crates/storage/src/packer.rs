@@ -150,10 +150,22 @@ mod tests {
     fn byte_packer_dense() {
         let mut p = BytePacker::new();
         let a = p.place(3000, 4096);
-        assert_eq!(a, Placement { first_page: 0, num_pages: 1 });
+        assert_eq!(
+            a,
+            Placement {
+                first_page: 0,
+                num_pages: 1
+            }
+        );
         let b = p.place(3000, 4096);
         // Straddles pages 0 and 1.
-        assert_eq!(b, Placement { first_page: 0, num_pages: 2 });
+        assert_eq!(
+            b,
+            Placement {
+                first_page: 0,
+                num_pages: 2
+            }
+        );
         assert_eq!(p.used_bytes(), 6000);
         assert_eq!(p.pages_used(4096), 2);
     }
@@ -175,7 +187,13 @@ mod tests {
         let mut p = BytePacker::new();
         p.place(4096, 4096);
         let b = p.place(8192, 4096);
-        assert_eq!(b, Placement { first_page: 1, num_pages: 2 });
+        assert_eq!(
+            b,
+            Placement {
+                first_page: 1,
+                num_pages: 2
+            }
+        );
     }
 
     #[test]
@@ -185,13 +203,25 @@ mod tests {
         let b = p.place(1000);
         let c = p.place(1000);
         let d = p.place(1000);
-        assert_eq!(a, Placement { first_page: 0, num_pages: 1 });
+        assert_eq!(
+            a,
+            Placement {
+                first_page: 0,
+                num_pages: 1
+            }
+        );
         assert_eq!(b, a);
         assert_eq!(c, a);
         assert_eq!(d, a);
         // The fifth no longer fits (96 bytes free).
         let e = p.place(1000);
-        assert_eq!(e, Placement { first_page: 1, num_pages: 1 });
+        assert_eq!(
+            e,
+            Placement {
+                first_page: 1,
+                num_pages: 1
+            }
+        );
         assert_eq!(p.pages_used(), 2);
     }
 
@@ -199,11 +229,23 @@ mod tests {
     fn large_object_spans_consecutive_pages() {
         let mut p = PagePacker::new(4096);
         let a = p.place(10_000);
-        assert_eq!(a, Placement { first_page: 0, num_pages: 3 });
+        assert_eq!(
+            a,
+            Placement {
+                first_page: 0,
+                num_pages: 3
+            }
+        );
         // The tail page has 4096*3-10000 = 2288 free bytes: next small
         // object shares it.
         let b = p.place(2000);
-        assert_eq!(b, Placement { first_page: 2, num_pages: 1 });
+        assert_eq!(
+            b,
+            Placement {
+                first_page: 2,
+                num_pages: 1
+            }
+        );
     }
 
     #[test]
@@ -232,7 +274,13 @@ mod tests {
         let mut p = PagePacker::new(4096);
         p.place(100); // page 0, lots of free space
         let b = p.place_exclusive(5000);
-        assert_eq!(b, Placement { first_page: 1, num_pages: 2 });
+        assert_eq!(
+            b,
+            Placement {
+                first_page: 1,
+                num_pages: 2
+            }
+        );
     }
 
     #[test]
@@ -248,7 +296,10 @@ mod tests {
 
     #[test]
     fn page_offsets_iterate() {
-        let pl = Placement { first_page: 4, num_pages: 3 };
+        let pl = Placement {
+            first_page: 4,
+            num_pages: 3,
+        };
         let v: Vec<u64> = pl.page_offsets().collect();
         assert_eq!(v, vec![4, 5, 6]);
     }

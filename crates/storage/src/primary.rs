@@ -9,12 +9,11 @@
 //! maintained. Such objects occupied their individual pages exclusively"*
 //! (§5.2).
 
-use crate::model::{OrganizationModel, QueryStats, SharedPool, WindowTechnique};
+use crate::model::{QueryStats, SharedPool, WindowTechnique};
 use crate::object::ObjectRecord;
 use crate::packer::PagePacker;
-use spatialdb_disk::{
-    DiskHandle, IoKind, PageId, PageRun, RegionId, SeekPolicy, PAGE_SIZE,
-};
+use crate::store::SpatialStore;
+use spatialdb_disk::{DiskHandle, IoKind, PageId, PageRun, RegionId, SeekPolicy, PAGE_SIZE};
 use spatialdb_geom::{Point, Rect};
 use spatialdb_rtree::config::ENTRY_BYTES;
 use spatialdb_rtree::{LeafEntry, ObjectId, RStarTree, RTreeConfig};
@@ -85,7 +84,7 @@ impl PrimaryOrganization {
     }
 }
 
-impl OrganizationModel for PrimaryOrganization {
+impl SpatialStore for PrimaryOrganization {
     fn name(&self) -> &'static str {
         "prim. org."
     }
@@ -154,9 +153,7 @@ impl OrganizationModel for PrimaryOrganization {
 
     fn point_query(&mut self, point: &Point) -> QueryStats {
         let before = self.disk.stats();
-        let candidates = self
-            .tree
-            .point_entries(point, &mut *self.pool.borrow_mut());
+        let candidates = self.tree.point_entries(point, &mut *self.pool.borrow_mut());
         let oids: Vec<ObjectId> = candidates.iter().map(|e| e.oid).collect();
         let over: Vec<ObjectId> = oids
             .iter()
@@ -186,12 +183,15 @@ impl OrganizationModel for PrimaryOrganization {
     }
 
     fn occupied_pages(&self) -> u64 {
-        self.tree.allocated_pages() + self.overflow_packer.pages_used()
-            - self.freed_overflow_pages
+        self.tree.allocated_pages() + self.overflow_packer.pages_used() - self.freed_overflow_pages
     }
 
     fn num_objects(&self) -> usize {
         self.sizes.len()
+    }
+
+    fn contains(&self, oid: ObjectId) -> bool {
+        self.sizes.contains_key(&oid)
     }
 
     fn disk(&self) -> DiskHandle {
@@ -232,9 +232,7 @@ impl OrganizationModel for PrimaryOrganization {
             .find(|e| e.oid == oid)
             .map(|e| e.mbr)
             .expect("leaf tracking out of sync");
-        let outcome = self
-            .tree
-            .delete(oid, &mbr, &mut *self.pool.borrow_mut());
+        let outcome = self.tree.delete(oid, &mbr, &mut *self.pool.borrow_mut());
         debug_assert!(outcome.removed);
         self.leaf_of.remove(&oid);
         self.sizes.remove(&oid);

@@ -8,12 +8,11 @@
 //! access to an exact object representation needs an additional seek
 //! operation"*.
 
-use crate::model::{OrganizationModel, QueryStats, SharedPool, WindowTechnique};
+use crate::model::{QueryStats, SharedPool, WindowTechnique};
 use crate::object::ObjectRecord;
 use crate::packer::PagePacker;
-use spatialdb_disk::{
-    DiskHandle, IoKind, PageId, PageRun, RegionId, SeekPolicy, PAGE_SIZE,
-};
+use crate::store::SpatialStore;
+use spatialdb_disk::{DiskHandle, IoKind, PageId, PageRun, RegionId, SeekPolicy, PAGE_SIZE};
 use spatialdb_geom::{Point, Rect};
 use spatialdb_rtree::{LeafEntry, ObjectId, RStarTree, RTreeConfig};
 use std::collections::HashMap;
@@ -81,7 +80,7 @@ impl SecondaryOrganization {
     }
 }
 
-impl OrganizationModel for SecondaryOrganization {
+impl SpatialStore for SecondaryOrganization {
     fn name(&self) -> &'static str {
         "sec. org."
     }
@@ -120,9 +119,7 @@ impl OrganizationModel for SecondaryOrganization {
 
     fn point_query(&mut self, point: &Point) -> QueryStats {
         let before = self.disk.stats();
-        let candidates = self
-            .tree
-            .point_entries(point, &mut *self.pool.borrow_mut());
+        let candidates = self.tree.point_entries(point, &mut *self.pool.borrow_mut());
         let oids: Vec<ObjectId> = candidates.iter().map(|e| e.oid).collect();
         self.read_objects(&oids);
         QueryStats {
@@ -145,6 +142,10 @@ impl OrganizationModel for SecondaryOrganization {
 
     fn num_objects(&self) -> usize {
         self.sizes.len()
+    }
+
+    fn contains(&self, oid: ObjectId) -> bool {
+        self.sizes.contains_key(&oid)
     }
 
     fn disk(&self) -> DiskHandle {
@@ -177,9 +178,7 @@ impl OrganizationModel for SecondaryOrganization {
         let Some(mbr) = self.mbrs.remove(&oid) else {
             return false;
         };
-        let outcome = self
-            .tree
-            .delete(oid, &mbr, &mut *self.pool.borrow_mut());
+        let outcome = self.tree.delete(oid, &mbr, &mut *self.pool.borrow_mut());
         debug_assert!(outcome.removed, "index out of sync for {oid}");
         self.locations.remove(&oid);
         if let Some(size) = self.sizes.remove(&oid) {

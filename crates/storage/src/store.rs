@@ -1,0 +1,155 @@
+//! [`SpatialStore`] — the pluggable storage interface of the engine.
+//!
+//! Every way of laying out a large set of spatial objects on disk — the
+//! paper's three organization models, the in-memory baseline
+//! ([`crate::memory::MemoryStore`]), or a user-supplied backend — is a
+//! `SpatialStore`. The query layer (`spatialdb-core`), the spatial join
+//! (`spatialdb-join`) and the experiment harness are all written against
+//! this trait, so a new organization is a one-file addition: implement
+//! the trait and hand a `Box<dyn SpatialStore>` to
+//! `Workspace::create_database_with`.
+//!
+//! The trait is deliberately **object safe**: everything downstream works
+//! with `&mut dyn SpatialStore`. The contract splits into three groups:
+//!
+//! 1. **Updates** — [`insert`](SpatialStore::insert),
+//!    [`bulk_load`](SpatialStore::bulk_load),
+//!    [`delete`](SpatialStore::delete);
+//! 2. **Queries** — [`window_query`](SpatialStore::window_query) /
+//!    [`point_query`](SpatialStore::point_query) perform the filter step
+//!    *and* transfer the exact representations, charging the simulated
+//!    disk and returning a per-call [`QueryStats`] delta;
+//!    [`window_candidates`](SpatialStore::window_candidates) /
+//!    [`point_candidates`](SpatialStore::point_candidates) re-read the
+//!    filter result from the (now warm) directory without charging I/O,
+//!    which is what the refinement step iterates over;
+//! 3. **Bookkeeping** — occupancy, object sizes, buffer control, and
+//!    access to the disk, pool and R\*-tree the store is built on.
+//!
+//! One part of the contract is not negotiable: every backend exposes an
+//! R\*-tree over the object MBRs ([`tree`](SpatialStore::tree)). It is
+//! the engine's spatial key index — the default candidate lookups read
+//! it, and the spatial join's MBR phase performs a synchronized
+//! traversal of both operands' trees (\[BKS93b\]). A backend is free to
+//! organize the *exact representations* however it likes (that is the
+//! dimension the paper varies); the MBR index always rides along.
+//! [`crate::memory::MemoryStore`] shows the minimal embedding.
+
+use crate::model::{QueryStats, SharedPool, TransferTechnique, WindowTechnique};
+use crate::object::ObjectRecord;
+use spatialdb_disk::DiskHandle;
+use spatialdb_geom::{Point, Rect};
+use spatialdb_rtree::{LeafEntry, NoIo, ObjectId, RStarTree};
+use std::collections::HashSet;
+
+/// A pluggable storage backend for spatial objects.
+///
+/// See the [module documentation](self) for the contract. The paper's
+/// three organization models ([`crate::SecondaryOrganization`],
+/// [`crate::PrimaryOrganization`], [`crate::ClusterOrganization`]), the
+/// run-time-chosen [`crate::Organization`] enum and the in-memory
+/// baseline [`crate::MemoryStore`] all implement it.
+pub trait SpatialStore {
+    /// Short name used in reports ("sec. org." / "prim. org." /
+    /// "cluster org." / "memory").
+    fn name(&self) -> &'static str;
+
+    /// Insert a new object (§4.2.2 for the cluster organization).
+    fn insert(&mut self, rec: &ObjectRecord);
+
+    /// Insert a batch of objects in order (unsorted input, §5.2).
+    ///
+    /// The default loops over [`insert`](SpatialStore::insert); stores
+    /// with a cheaper bulk path (sort-based packing, bottom-up build)
+    /// can override it.
+    fn bulk_load(&mut self, records: &[ObjectRecord]) {
+        for rec in records {
+            self.insert(rec);
+        }
+    }
+
+    /// Delete an object. Returns `false` if it was not stored. Inserts
+    /// and deletions can be intermixed with queries without any global
+    /// reorganization (§4.1).
+    fn delete(&mut self, oid: ObjectId) -> bool;
+
+    /// Window query: filter via the R\*-tree, then transfer the exact
+    /// representations of all candidates. `technique` selects the cluster
+    /// organization's transfer strategy; other stores ignore it.
+    ///
+    /// Returns the statistics of **this call alone** (not cumulative
+    /// counters): every implementation snapshots the disk before the
+    /// query and reports the delta.
+    fn window_query(&mut self, window: &Rect, technique: WindowTechnique) -> QueryStats;
+
+    /// Point query (§5.5): filter via the R\*-tree, then fetch the exact
+    /// representation of each candidate individually. Per-call stats,
+    /// like [`window_query`](SpatialStore::window_query).
+    fn point_query(&mut self, point: &Point) -> QueryStats;
+
+    /// The candidate entries of a window query, read from the in-memory
+    /// directory without charging I/O.
+    ///
+    /// Meant to be called *after* [`window_query`](SpatialStore::window_query)
+    /// transferred the exact representations: the refinement step
+    /// iterates over these candidates against the exact geometry.
+    fn window_candidates(&self, window: &Rect) -> Vec<LeafEntry> {
+        self.tree().window_entries(window, &mut NoIo)
+    }
+
+    /// The candidate entries of a point query, read without charging
+    /// I/O (see [`window_candidates`](SpatialStore::window_candidates)).
+    fn point_candidates(&self, point: &Point) -> Vec<LeafEntry> {
+        self.tree().point_entries(point, &mut NoIo)
+    }
+
+    /// Fetch one object's exact representation through the buffer (the
+    /// join's object-transfer step for non-clustered stores).
+    fn fetch_object(&mut self, oid: ObjectId);
+
+    /// The join's object transfer (§6.2): fetch `oid`, batching the
+    /// other join-relevant objects (`needed`) that live nearby according
+    /// to `technique`.
+    ///
+    /// The default ignores the batching hints and fetches the single
+    /// object; the cluster organization overrides it to transfer whole
+    /// cluster units / SLM schedules.
+    fn fetch_for_join(
+        &mut self,
+        oid: ObjectId,
+        needed: &HashSet<ObjectId>,
+        technique: TransferTechnique,
+    ) {
+        let _ = (needed, technique);
+        self.fetch_object(oid);
+    }
+
+    /// Total pages occupied (Figure 6's storage-utilization measure).
+    fn occupied_pages(&self) -> u64;
+
+    /// Number of stored objects.
+    fn num_objects(&self) -> usize;
+
+    /// `true` if `oid` is currently stored.
+    fn contains(&self, oid: ObjectId) -> bool;
+
+    /// The simulated disk.
+    fn disk(&self) -> DiskHandle;
+
+    /// The shared buffer pool.
+    fn pool(&self) -> SharedPool;
+
+    /// The R\*-tree (for the join's MBR phase and diagnostics).
+    fn tree(&self) -> &RStarTree;
+
+    /// Write back all dirty buffered pages (end of construction).
+    fn flush(&mut self);
+
+    /// Start a cold query: drop all object pages from the buffer and
+    /// (re-)pin the directory pages, which are assumed memory-resident
+    /// during query processing.
+    fn begin_query(&mut self);
+
+    /// Size in bytes of a stored object.
+    fn object_size(&self, oid: ObjectId) -> u32;
+}

@@ -1,3 +1,8 @@
+// Gated: requires the external `proptest` crate (not vendored in this
+// offline build). Enable with `--features proptest` after adding the
+// dev-dependency.
+#![cfg(feature = "proptest")]
+
 //! Property-based tests: the organization models stay consistent under
 //! arbitrary insert/delete interleavings, and their query results agree
 //! with each other and with brute force at the MBR level.
@@ -9,8 +14,7 @@ use spatialdb_rtree::validate::check_invariants;
 use spatialdb_rtree::ObjectId;
 use spatialdb_storage::{
     new_shared_pool, ClusterConfig, ClusterOrganization, ObjectRecord, Organization,
-    OrganizationKind, OrganizationModel, PrimaryOrganization, SecondaryOrganization,
-    WindowTechnique,
+    OrganizationKind, PrimaryOrganization, SecondaryOrganization, SpatialStore, WindowTechnique,
 };
 
 const SMAX: u64 = 16 * 1024;
@@ -33,11 +37,7 @@ fn arb_record(id: u64) -> impl Strategy<Value = ObjectRecord> {
 }
 
 fn arb_records(n: usize) -> impl Strategy<Value = Vec<ObjectRecord>> {
-    (1..n).prop_flat_map(|len| {
-        (0..len as u64)
-            .map(arb_record)
-            .collect::<Vec<_>>()
-    })
+    (1..n).prop_flat_map(|len| (0..len as u64).map(arb_record).collect::<Vec<_>>())
 }
 
 fn make(kind: OrganizationKind) -> Organization {

@@ -9,37 +9,40 @@
 //! Run with: `cargo run --release -p spatialdb-core --example map_overlay`
 
 use spatialdb::data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap, TigerRecord};
-use spatialdb::db::spatial_join;
-use spatialdb::{DbOptions, JoinConfig, OrganizationKind, Workspace};
+use spatialdb::{DbOptions, OrganizationKind, Workspace};
 
 fn main() {
     // Small maps with full vertex geometry retained.
     let streets_map = SpatialMap::generate(
-        DataSet { series: SeriesId::A, map: MapId::Map1 },
+        DataSet {
+            series: SeriesId::A,
+            map: MapId::Map1,
+        },
         0.004,
         GeometryMode::Full,
         2024,
     );
     let rivers_map = SpatialMap::generate(
-        DataSet { series: SeriesId::A, map: MapId::Map2 },
+        DataSet {
+            series: SeriesId::A,
+            map: MapId::Map2,
+        },
         0.004,
         GeometryMode::Full,
         2024,
     );
 
     let ws = Workspace::new(1024);
-    let mut streets = ws.create_database(
-        DbOptions::new(OrganizationKind::Cluster).smax_bytes(40 * 1024),
-    );
-    let mut waterways = ws.create_database(
-        DbOptions::new(OrganizationKind::Cluster).smax_bytes(40 * 1024),
-    );
+    let mut streets =
+        ws.create_database(DbOptions::new(OrganizationKind::Cluster).smax_bytes(40 * 1024));
+    let mut waterways =
+        ws.create_database(DbOptions::new(OrganizationKind::Cluster).smax_bytes(40 * 1024));
 
     for obj in &streets_map.objects {
-        streets.insert_polyline(obj.id, obj.geometry.clone().expect("full geometry"));
+        streets.insert(obj.id, obj.geometry.clone().expect("full geometry"));
     }
     for obj in &rivers_map.objects {
-        waterways.insert_polyline(obj.id, obj.geometry.clone().expect("full geometry"));
+        waterways.insert(obj.id, obj.geometry.clone().expect("full geometry"));
     }
     streets.finish_loading();
     waterways.finish_loading();
@@ -49,8 +52,11 @@ fn main() {
         waterways.len()
     );
 
-    // The overlay: a complete intersection join with exact refinement.
-    let (crossings, stats) = spatial_join(&mut streets, &mut waterways, JoinConfig::default());
+    // The overlay: a complete intersection join with exact refinement,
+    // streamed through the join cursor.
+    let cursor = streets.join(&mut waterways).run();
+    let stats = cursor.stats();
+    let crossings = cursor.pairs();
     println!(
         "MBR join produced {} candidate pairs; {} survive the exact test\n",
         stats.mbr_pairs,

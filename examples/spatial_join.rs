@@ -9,18 +9,24 @@ use spatialdb::disk::Disk;
 use spatialdb::experiments::{build_organization_on, records_of, ClusterSizing};
 use spatialdb::join::{JoinConfig, SpatialJoin};
 use spatialdb::report::{f, Table};
-use spatialdb::storage::{new_shared_pool, OrganizationKind, OrganizationModel, TransferTechnique};
+use spatialdb::storage::{new_shared_pool, OrganizationKind, SpatialStore, TransferTechnique};
 
 fn main() {
     let series = SeriesId::A;
     let m1 = SpatialMap::generate(
-        DataSet { series, map: MapId::Map1 },
+        DataSet {
+            series,
+            map: MapId::Map1,
+        },
         0.02,
         GeometryMode::MbrOnly,
         1994,
     );
     let m2 = SpatialMap::generate(
-        DataSet { series, map: MapId::Map2 },
+        DataSet {
+            series,
+            map: MapId::Map2,
+        },
         0.02,
         GeometryMode::MbrOnly,
         1994,
@@ -30,7 +36,12 @@ fn main() {
         m1.len(),
         m2.len()
     );
-    let smax = DataSet { series, map: MapId::Map1 }.spec().smax_bytes as u64;
+    let smax = DataSet {
+        series,
+        map: MapId::Map1,
+    }
+    .spec()
+    .smax_bytes as u64;
 
     let mut t = Table::new(vec![
         "organization",

@@ -9,7 +9,7 @@ use spatialdb::data::workload::WindowQuerySet;
 use spatialdb::data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
 use spatialdb::experiments::{build_organization, records_of, ClusterSizing};
 use spatialdb::report::{f, Table};
-use spatialdb::storage::{OrganizationKind, OrganizationModel, QueryStats, WindowTechnique};
+use spatialdb::storage::{OrganizationKind, QueryStats, SpatialStore, WindowTechnique};
 
 fn main() {
     // 2% of map 1, series A: ~2,600 streets in clustered counties.
@@ -43,8 +43,7 @@ fn main() {
             OrganizationKind::Primary,
             OrganizationKind::Cluster,
         ] {
-            let (mut org, _) =
-                build_organization(kind, &records, smax, ClusterSizing::Plain, 256);
+            let (mut org, _) = build_organization(kind, &records, smax, ClusterSizing::Plain, 256);
             let mut total = QueryStats::default();
             for w in &queries.windows {
                 org.begin_query();

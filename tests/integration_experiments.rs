@@ -40,7 +40,10 @@ fn experiments_are_deterministic() {
 #[test]
 fn different_seeds_change_io_but_not_shape() {
     let base = tiny();
-    let other = Scale { seed: 4242, ..tiny() };
+    let other = Scale {
+        seed: 4242,
+        ..tiny()
+    };
     let r1 = window_query_orgs(&base, &[a1()]);
     let r2 = window_query_orgs(&other, &[a1()]);
     // Different data → different absolute numbers…

@@ -2,8 +2,9 @@
 //! 16 and 17, plus join correctness through the public API.
 
 use spatialdb::data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
-use spatialdb::db::spatial_join;
-use spatialdb::experiments::{calibrate_versions, join_breakdown, join_orgs, join_techniques, Scale};
+use spatialdb::experiments::{
+    calibrate_versions, join_breakdown, join_orgs, join_techniques, Scale,
+};
 use spatialdb::{DbOptions, JoinConfig, OrganizationKind, Workspace};
 
 fn smoke() -> Scale {
@@ -66,8 +67,7 @@ fn figure14_cluster_wins_joins() {
 fn figure14_larger_buffers_never_hurt() {
     let rows = join_orgs(&smoke(), SeriesId::C);
     for version in ["a", "b"] {
-        let mut per_version: Vec<_> =
-            rows.iter().filter(|r| r.version == version).collect();
+        let mut per_version: Vec<_> = rows.iter().filter(|r| r.version == version).collect();
         per_version.sort_by_key(|r| r.buffer_pages);
         for pair in per_version.windows(2) {
             for k in 0..3 {
@@ -139,13 +139,19 @@ fn figure17_breakdown_shape() {
 #[test]
 fn join_exact_results_match_brute_force() {
     let m1 = SpatialMap::generate(
-        DataSet { series: SeriesId::A, map: MapId::Map1 },
+        DataSet {
+            series: SeriesId::A,
+            map: MapId::Map1,
+        },
         0.002,
         GeometryMode::Full,
         3,
     );
     let m2 = SpatialMap::generate(
-        DataSet { series: SeriesId::A, map: MapId::Map2 },
+        DataSet {
+            series: SeriesId::A,
+            map: MapId::Map2,
+        },
         0.002,
         GeometryMode::Full,
         3,
@@ -154,14 +160,16 @@ fn join_exact_results_match_brute_force() {
     let mut a = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
     let mut b = ws.create_database(DbOptions::new(OrganizationKind::Secondary));
     for o in &m1.objects {
-        a.insert_polyline(o.id, o.geometry.clone().unwrap());
+        a.insert(o.id, o.geometry.clone().unwrap());
     }
     for o in &m2.objects {
-        b.insert_polyline(o.id, o.geometry.clone().unwrap());
+        b.insert(o.id, o.geometry.clone().unwrap());
     }
     a.finish_loading();
     b.finish_loading();
-    let (got, stats) = spatial_join(&mut a, &mut b, JoinConfig::default());
+    let cursor = a.join(&mut b).config(JoinConfig::default()).run();
+    let stats = cursor.stats();
+    let got = cursor.pairs();
     let mut want = Vec::new();
     for x in &m1.objects {
         for y in &m2.objects {

@@ -7,7 +7,7 @@ use spatialdb::experiments::{
     build_organization, construction_suite, records_of, table1, ClusterSizing, Scale,
 };
 use spatialdb::rtree::validate::check_invariants;
-use spatialdb::storage::{OrganizationKind, OrganizationModel};
+use spatialdb::storage::{OrganizationKind, SpatialStore};
 
 fn smoke() -> Scale {
     Scale {
@@ -31,9 +31,15 @@ fn table1_matches_paper_statistics() {
     assert_eq!(rows.len(), 6);
     for row in rows {
         // Average object size within 8% of the paper's value.
-        let rel = (row.avg_object_bytes - row.paper_avg_bytes as f64).abs()
-            / row.paper_avg_bytes as f64;
-        assert!(rel < 0.08, "{}: avg {} vs paper {}", row.dataset, row.avg_object_bytes, row.paper_avg_bytes);
+        let rel =
+            (row.avg_object_bytes - row.paper_avg_bytes as f64).abs() / row.paper_avg_bytes as f64;
+        assert!(
+            rel < 0.08,
+            "{}: avg {} vs paper {}",
+            row.dataset,
+            row.avg_object_bytes,
+            row.paper_avg_bytes
+        );
         // Scaled total volume proportional to the paper's total.
         let expected_mb = row.paper_total_mb * 0.03;
         assert!(
@@ -57,8 +63,7 @@ fn every_organization_builds_consistently() {
         OrganizationKind::Primary,
         OrganizationKind::Cluster,
     ] {
-        let (org, stats) =
-            build_organization(kind, &records, smax, ClusterSizing::Plain, 64);
+        let (org, stats) = build_organization(kind, &records, smax, ClusterSizing::Plain, 64);
         assert_eq!(org.num_objects(), records.len(), "{kind:?}");
         assert_eq!(org.tree().len(), records.len(), "{kind:?}");
         check_invariants(org.tree()).unwrap();
@@ -85,8 +90,16 @@ fn figure5_construction_shape() {
     let rows = construction_suite(&scale, &sets);
     for row in &rows {
         let [sec, prim, clu] = row.io_seconds;
-        assert!(clu < sec, "{}: cluster {clu} !< secondary {sec}", row.dataset);
-        assert!(sec < prim, "{}: secondary {sec} !< primary {prim}", row.dataset);
+        assert!(
+            clu < sec,
+            "{}: cluster {clu} !< secondary {sec}",
+            row.dataset
+        );
+        assert!(
+            sec < prim,
+            "{}: secondary {sec} !< primary {prim}",
+            row.dataset
+        );
     }
     // Primary grows with object size; secondary and cluster stay within 25%.
     assert!(rows[1].io_seconds[1] > rows[0].io_seconds[1] * 1.3);

@@ -4,9 +4,7 @@
 
 use spatialdb::data::workload::WindowQuerySet;
 use spatialdb::data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
-use spatialdb::experiments::{
-    point_queries, window_query_orgs, window_query_techniques, Scale,
-};
+use spatialdb::experiments::{point_queries, window_query_orgs, window_query_techniques, Scale};
 use spatialdb::geom::{HasMbr, Rect};
 use spatialdb::{DbOptions, OrganizationKind, Workspace};
 
@@ -56,7 +54,11 @@ fn figure10_technique_ordering() {
         assert!(optimum <= threshold + 1e-9, "{}: opt > threshold", row.area);
         assert!(optimum <= slm + 1e-9, "{}: opt > slm", row.area);
         // Threshold and SLM never lose badly to complete.
-        assert!(threshold <= complete * 1.05, "{}: threshold worse", row.area);
+        assert!(
+            threshold <= complete * 1.05,
+            "{}: threshold worse",
+            row.area
+        );
         assert!(slm <= complete * 1.05, "{}: slm worse", row.area);
     }
     // For the most selective windows the sophisticated techniques help;
@@ -73,7 +75,11 @@ fn figure12_point_queries_cluster_not_penalized() {
     let row = &rows[0];
     // §5.5: almost no difference between secondary and cluster.
     let rel = (row.ms_per_4kb[2] - row.ms_per_4kb[0]).abs() / row.ms_per_4kb[0];
-    assert!(rel < 0.15, "cluster deviates {:.0}% from secondary", rel * 100.0);
+    assert!(
+        rel < 0.15,
+        "cluster deviates {:.0}% from secondary",
+        rel * 100.0
+    );
     // Primary is best for the smallest objects.
     assert!(row.ms_per_4kb[1] < row.ms_per_4kb[0]);
 }
@@ -91,12 +97,12 @@ fn window_queries_return_exact_answers() {
         let ws = Workspace::new(256);
         let mut db = ws.create_database(DbOptions::new(kind).smax_bytes(40 * 1024));
         for obj in &map.objects {
-            db.insert_polyline(obj.id, obj.geometry.clone().unwrap());
+            db.insert(obj.id, obj.geometry.clone().unwrap());
         }
         db.finish_loading();
         let queries = WindowQuerySet::generate(&map, 1e-2, 20, 3);
         for w in &queries.windows {
-            let got = db.window_query(w);
+            let got = db.query().window(*w).run().ids();
             let want: Vec<u64> = map
                 .objects
                 .iter()
@@ -121,7 +127,7 @@ fn refinement_filters_false_mbr_hits() {
     let ws = Workspace::new(256);
     let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
     for obj in &map.objects {
-        db.insert_polyline(obj.id, obj.geometry.clone().unwrap());
+        db.insert(obj.id, obj.geometry.clone().unwrap());
     }
     db.finish_loading();
     // Count candidate vs exact answers over a sample of windows: the MBR
@@ -133,7 +139,7 @@ fn refinement_filters_false_mbr_hits() {
     let mut candidates_total = 0usize;
     let mut answers_total = 0usize;
     for w in &queries.windows {
-        let answers = db.window_query(w);
+        let answers = db.query().window(*w).run().ids();
         let candidates = map
             .objects
             .iter()
@@ -169,9 +175,9 @@ fn queries_outside_data_space_are_cheap_and_empty() {
     let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
     let map = SpatialMap::generate(a1(), 0.001, GeometryMode::Full, 13);
     for obj in &map.objects {
-        db.insert_polyline(obj.id, obj.geometry.clone().unwrap());
+        db.insert(obj.id, obj.geometry.clone().unwrap());
     }
     db.finish_loading();
     let far = Rect::new(5.0, 5.0, 6.0, 6.0);
-    assert!(db.window_query(&far).is_empty());
+    assert!(db.query().window(far).run().ids().is_empty());
 }
