@@ -12,7 +12,7 @@ use spatialdb::disk::Disk;
 use spatialdb::experiments::{build_organization_on, records_of, ClusterSizing};
 use spatialdb::join::SpatialJoin;
 use spatialdb::storage::{
-    new_shared_pool, Organization, OrganizationKind, SpatialStore, TransferTechnique,
+    lock_pool, new_shared_pool, Organization, OrganizationKind, SpatialStore, TransferTechnique,
 };
 use std::hint::black_box;
 
@@ -66,10 +66,9 @@ fn bench_join_orgs(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    r.pool().borrow_mut().reset(640);
+                    lock_pool(&r.pool()).reset(640);
                     r.disk().reset_stats();
-                    let stats =
-                        SpatialJoin::new(&mut r, &mut s).run_io_only(TransferTechnique::Complete);
+                    let stats = SpatialJoin::new(&r, &s).run_io_only(TransferTechnique::Complete);
                     black_box(stats.mbr_pairs)
                 })
             },
@@ -90,9 +89,9 @@ fn bench_join_techniques(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                r.pool().borrow_mut().reset(640);
+                lock_pool(&r.pool()).reset(640);
                 r.disk().reset_stats();
-                let stats = SpatialJoin::new(&mut r, &mut s).run_io_only(tech);
+                let stats = SpatialJoin::new(&r, &s).run_io_only(tech);
                 black_box(stats.mbr_pairs)
             })
         });

@@ -1,0 +1,104 @@
+//! Parallel query-throughput scaling: end-to-end queries/sec of
+//! `Workspace::run_batch` at 1/2/4/8 threads over a window-query
+//! workload, emitted as `BENCH_parallel_scaling.json`.
+//!
+//! The filter step (simulated disk) is serialized by design — what
+//! scales with threads is the exact-geometry refinement, which is the
+//! CPU cost of a real query mix. Pass `--objects N` / `--queries N` to
+//! change the workload size, `--out PATH` for the report location.
+
+use spatialdb::geom::{Point, Polyline, Rect};
+use spatialdb::storage::OrganizationKind;
+use spatialdb::{DbOptions, SpatialDatabase, Workspace};
+use std::time::Instant;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load(ws: &Workspace, n: u64) -> SpatialDatabase {
+    let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+    let side = (n as f64).sqrt().ceil() as u64;
+    for i in 0..n {
+        let x = (i % side) as f64 / side as f64;
+        let y = (i / side) as f64 / side as f64;
+        db.insert(
+            i,
+            Polyline::new(vec![
+                Point::new(x, y),
+                Point::new(x + 0.6 / side as f64, y + 0.3 / side as f64),
+                Point::new(x + 1.2 / side as f64, y),
+            ]),
+        );
+    }
+    db.finish_loading();
+    db
+}
+
+/// Deterministic mix of window sizes sweeping the data space.
+fn workload(n_queries: usize) -> Vec<Rect> {
+    (0..n_queries)
+        .map(|i| {
+            let f = i as f64 / n_queries as f64;
+            let size = 0.05 + 0.30 * ((i % 7) as f64 / 7.0);
+            let x = (f * 13.0) % (1.0 - size);
+            let y = (f * 7.0) % (1.0 - size);
+            Rect::new(x, y, x + size, y + size)
+        })
+        .collect()
+}
+
+fn main() {
+    let n_objects: u64 = arg("--objects")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let n_queries: usize = arg("--queries").and_then(|s| s.parse().ok()).unwrap_or(256);
+    let out_path = arg("--out").unwrap_or_else(|| "BENCH_parallel_scaling.json".to_string());
+
+    let ws = Workspace::new(512);
+    let mut db = load(&ws, n_objects);
+    let windows = workload(n_queries);
+    println!("parallel scaling: {n_objects} objects, {n_queries} window queries");
+
+    let mut rows = Vec::new();
+    let mut baseline_ids: Option<Vec<Vec<u64>>> = None;
+    let mut baseline_qps = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        // Cold object buffer per run so every thread count does the
+        // same simulated I/O.
+        db.store_mut().begin_query();
+        let queries: Vec<_> = windows.iter().map(|w| db.query().window(*w)).collect();
+        let start = Instant::now();
+        let batch = ws.run_batch(queries, threads);
+        let secs = start.elapsed().as_secs_f64();
+        let ids: Vec<Vec<u64>> = batch.into_iter().map(|o| o.into_ids()).collect();
+        match &baseline_ids {
+            None => baseline_ids = Some(ids),
+            Some(base) => assert_eq!(base, &ids, "thread count changed the results"),
+        }
+        let qps = n_queries as f64 / secs;
+        if threads == 1 {
+            baseline_qps = qps;
+        }
+        println!(
+            "  {threads} thread(s): {secs:.3} s  {qps:8.1} queries/s  speedup {:.2}x",
+            qps / baseline_qps
+        );
+        rows.push(format!(
+            "    {{\"threads\": {threads}, \"seconds\": {secs:.6}, \
+             \"queries_per_sec\": {qps:.2}, \"speedup\": {:.4}}}",
+            qps / baseline_qps
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_scaling\",\n  \"objects\": {n_objects},\n  \
+         \"queries\": {n_queries},\n  \"organization\": \"cluster\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write bench report");
+    println!("wrote {out_path}");
+}

@@ -9,17 +9,20 @@
 //! paper's cost model prescribes.
 //!
 //! Queries go through the streaming builder: see
-//! [`SpatialDatabase::query`] and [`SpatialDatabase::join`].
+//! [`SpatialDatabase::query`] and [`SpatialDatabase::join`]. The store
+//! stack is `Send + Sync` with a `&self` read path, so queries and joins
+//! borrow the database immutably — any number of threads may query one
+//! database concurrently, and the parallel executor
+//! ([`crate::executor`]) fans batches across a scoped thread pool —
+//! while updates keep `&mut self`.
 
 use crate::query::{JoinQuery, Query};
 use spatialdb_disk::{Disk, DiskHandle, DiskParams, IoStats, PAGE_SIZE};
-use spatialdb_geom::{Geometry, HasMbr, Point, Polyline, Rect};
-use spatialdb_join::{JoinConfig, JoinStats};
+use spatialdb_geom::{Geometry, HasMbr};
 use spatialdb_rtree::ObjectId;
 use spatialdb_storage::{
     new_shared_pool, ClusterConfig, ClusterOrganization, ObjectRecord, OrganizationKind,
-    PrimaryOrganization, QueryStats, SecondaryOrganization, SharedPool, SpatialStore,
-    WindowTechnique,
+    PrimaryOrganization, SecondaryOrganization, SharedPool, SpatialStore, WindowTechnique,
 };
 use std::collections::HashMap;
 
@@ -131,6 +134,61 @@ impl Workspace {
         }
     }
 
+    /// Execute a batch of independent window/point queries, fanning the
+    /// refinement work across `n_threads` worker threads.
+    ///
+    /// Build the queries with [`SpatialDatabase::query`] (without calling
+    /// `run`) and hand them over; they may target different databases of
+    /// **this workspace**. The filter steps are issued in submission
+    /// order against the workspace's single simulated disk — see the
+    /// [`executor`](crate::executor) module docs for why that keeps every
+    /// per-query and aggregate statistic **identical to sequential
+    /// execution**, at any thread count — while the exact-geometry
+    /// refinement runs on the thread pool. (For a batch spanning several
+    /// workspaces, call [`executor::run_batch`](crate::executor::run_batch)
+    /// directly.)
+    ///
+    /// ```
+    /// # use spatialdb::{DbOptions, OrganizationKind, Workspace};
+    /// # use spatialdb::geom::{Point, Polyline, Rect};
+    /// # let ws = Workspace::new(256);
+    /// # let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+    /// # for i in 0..32u64 {
+    /// #     let x = (i % 8) as f64 / 8.0;
+    /// #     db.insert(i, Polyline::new(vec![Point::new(x, 0.1), Point::new(x + 0.05, 0.15)]));
+    /// # }
+    /// # db.finish_loading();
+    /// let batch = ws.run_batch(
+    ///     vec![
+    ///         db.query().window(Rect::new(0.0, 0.0, 0.5, 0.5)),
+    ///         db.query().window(Rect::new(0.5, 0.0, 1.0, 0.5)),
+    ///         db.query().point(Point::new(0.1, 0.1)),
+    ///     ],
+    ///     8,
+    /// );
+    /// assert_eq!(batch.len(), 3);
+    /// let total = batch.aggregate_stats();
+    /// # let _ = total;
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if a query targets a database of another workspace (its
+    /// store is not built on this workspace's disk).
+    pub fn run_batch(
+        &self,
+        queries: Vec<Query<'_>>,
+        n_threads: usize,
+    ) -> crate::executor::BatchOutcome {
+        for (i, q) in queries.iter().enumerate() {
+            assert!(
+                std::sync::Arc::ptr_eq(&q.db.store.disk(), &self.disk),
+                "query {i} targets a database of another workspace"
+            );
+        }
+        crate::executor::run_batch(queries, n_threads)
+    }
+
     /// Create a database on a caller-supplied [`SpatialStore`] backend —
     /// the extension point for organizations beyond the paper's three.
     ///
@@ -165,13 +223,13 @@ impl Workspace {
     ///     fn delete(&mut self, oid: ObjectId) -> bool {
     ///         self.0.delete(oid)
     ///     }
-    ///     fn window_query(&mut self, w: &Rect, t: WindowTechnique) -> QueryStats {
+    ///     fn window_query(&self, w: &Rect, t: WindowTechnique) -> QueryStats {
     ///         self.0.window_query(w, t)
     ///     }
-    ///     fn point_query(&mut self, p: &Point) -> QueryStats {
+    ///     fn point_query(&self, p: &Point) -> QueryStats {
     ///         self.0.point_query(p)
     ///     }
-    ///     fn fetch_object(&mut self, oid: ObjectId) {
+    ///     fn fetch_object(&self, oid: ObjectId) {
     ///         self.0.fetch_object(oid)
     ///     }
     ///     fn occupied_pages(&self) -> u64 {
@@ -256,12 +314,6 @@ impl SpatialDatabase {
         self.geometry.insert(id, geometry);
     }
 
-    /// Insert a polyline object under `id`.
-    #[deprecated(note = "use `insert`, which accepts any geometry")]
-    pub fn insert_polyline(&mut self, id: u64, line: Polyline) {
-        self.insert(id, line);
-    }
-
     /// Delete an object. Returns `false` when `id` was not stored.
     /// Insertions and deletions can be intermixed with queries without
     /// any global reorganization (§4.1 of the paper).
@@ -302,37 +354,17 @@ impl SpatialDatabase {
     ///     println!("{id}: {:?}", geometry.mbr());
     /// }
     /// ```
-    pub fn query(&mut self) -> Query<'_> {
+    pub fn query(&self) -> Query<'_> {
         Query::new(self)
     }
 
     /// Start building an intersection join against `other` (same
     /// workspace). Finish with [`run`](crate::query::JoinQuery::run) to
-    /// obtain a lazy [`JoinCursor`](crate::query::JoinCursor).
-    pub fn join<'a>(&'a mut self, other: &'a mut SpatialDatabase) -> JoinQuery<'a> {
+    /// obtain a lazy [`JoinCursor`](crate::query::JoinCursor), or with
+    /// [`run_par`](crate::query::JoinQuery::run_par) to partition the
+    /// MBR phase across threads.
+    pub fn join<'a>(&'a self, other: &'a SpatialDatabase) -> JoinQuery<'a> {
         JoinQuery::new(self, other)
-    }
-
-    /// Window query with exact refinement: ids of all objects sharing a
-    /// point with `window`, sorted ascending.
-    #[deprecated(note = "use `db.query().window(..).run()`")]
-    pub fn window_query(&mut self, window: &Rect) -> Vec<u64> {
-        self.query().window(*window).run().ids()
-    }
-
-    /// Window query returning only the I/O statistics (no refinement) —
-    /// the measurement mode of the paper's experiments.
-    #[deprecated(note = "use `db.query().window(..).run().stats()`")]
-    pub fn window_query_stats(&mut self, window: &Rect) -> QueryStats {
-        let technique = self.technique;
-        self.store.window_query(window, technique)
-    }
-
-    /// Point query with exact refinement: ids of all objects containing
-    /// `point`, sorted ascending.
-    #[deprecated(note = "use `db.query().point(..).run()`")]
-    pub fn point_query(&mut self, point: &Point) -> Vec<u64> {
-        self.query().point(*point).run().ids()
     }
 
     /// Accumulated I/O statistics of the workspace disk — cumulative
@@ -389,23 +421,10 @@ impl SpatialDatabase {
     }
 }
 
-/// Complete intersection join of two databases of the same workspace:
-/// returns the exact intersecting pairs plus the cost breakdown of §6.3.
-#[deprecated(note = "use `left.join(right).run()`")]
-pub fn spatial_join(
-    left: &mut SpatialDatabase,
-    right: &mut SpatialDatabase,
-    config: JoinConfig,
-) -> (Vec<(u64, u64)>, JoinStats) {
-    let cursor = left.join(right).config(config).run();
-    let stats = cursor.stats();
-    (cursor.pairs(), stats)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spatialdb_geom::Polygon;
+    use spatialdb_geom::{Point, Polygon, Polyline, Rect};
     use spatialdb_storage::MemoryStore;
 
     fn street(x: f64, y: f64) -> Polyline {
@@ -562,7 +581,7 @@ mod tests {
     #[should_panic(expected = "needs .window(..) or .point(..)")]
     fn query_without_target_panics() {
         let ws = Workspace::new(64);
-        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Secondary));
+        let db = ws.create_database(DbOptions::new(OrganizationKind::Secondary));
         let _ = db.query().run();
     }
 
@@ -581,7 +600,7 @@ mod tests {
         }
         a.finish_loading();
         b.finish_loading();
-        let cursor = a.join(&mut b).run();
+        let cursor = a.join(&b).run();
         let stats = cursor.stats();
         let pairs = cursor.pairs();
         assert!(stats.mbr_pairs > 0);
@@ -635,24 +654,5 @@ mod tests {
         let hits = db.query().window(Rect::new(0.0, 0.0, 1.0, 1.0)).run();
         assert_eq!(hits.stats().io_ms, 0.0, "memory store charges no I/O");
         assert_eq!(hits.ids().len(), 20);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_answer() {
-        let ws = Workspace::new(256);
-        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
-        db.insert_polyline(1, street(0.1, 0.1));
-        db.finish_loading();
-        let w = Rect::new(0.0, 0.0, 0.5, 0.5);
-        assert_eq!(db.window_query(&w), vec![1]);
-        assert!(db.window_query_stats(&w).candidates == 1);
-        assert_eq!(db.point_query(&Point::new(0.1, 0.1)), vec![1]);
-        let mut rivers = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
-        rivers.insert(9, street(0.1, 0.1));
-        rivers.finish_loading();
-        let (pairs, stats) = spatial_join(&mut db, &mut rivers, JoinConfig::default());
-        assert_eq!(pairs, vec![(1, 9)]);
-        assert!(stats.mbr_pairs >= 1);
     }
 }

@@ -1,0 +1,237 @@
+//! The parallel query executor.
+//!
+//! The engine splits a query into the paper's two steps, and they
+//! parallelize very differently:
+//!
+//! * the **filter step** (R\*-tree walk + object transfer) charges the
+//!   simulated disk — a single arm with one LRU buffer. Its cost model
+//!   is inherently serial: which accesses become requests depends on the
+//!   exact order pages enter the shared buffer. The executor therefore
+//!   issues the filter steps of a batch **in submission order** on the
+//!   calling thread, which makes the per-query and aggregate
+//!   [`QueryStats`]/[`IoStats`] *identical* to running the same queries
+//!   sequentially — deterministic at every thread count.
+//! * the **refinement step** (exact geometry tests) is pure CPU over
+//!   immutable state, and is fanned across a scoped thread pool.
+//!
+//! Entry points: [`Query::run_par`](crate::query::Query::run_par) for
+//! one query, [`Workspace::run_batch`](crate::db::Workspace::run_batch)
+//! for a batch (the queries may target different databases — anything
+//! `Send + Sync`, which every [`SpatialStore`](spatialdb_storage::SpatialStore)
+//! is).
+
+use crate::query::{candidate_ids, execute_filter, refined_geometry, Query, Target};
+use spatialdb_disk::IoStats;
+use spatialdb_rtree::LeafEntry;
+use spatialdb_storage::QueryStats;
+
+/// Materialized result of one query executed by the parallel executor.
+///
+/// Carries exactly what the sequential
+/// [`ResultCursor`](crate::query::ResultCursor) would have produced:
+/// the refined ids in ascending order and the per-query cost deltas.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    ids: Vec<u64>,
+    stats: QueryStats,
+    io: IoStats,
+}
+
+impl QueryOutcome {
+    /// The exact answers (ids of objects surviving refinement), sorted
+    /// ascending — byte-identical to the sequential cursor's
+    /// [`ids`](crate::query::ResultCursor::ids).
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Consume the outcome, returning the sorted ids.
+    pub fn into_ids(self) -> Vec<u64> {
+        self.ids
+    }
+
+    /// Filter-step statistics of this query alone.
+    pub fn stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// Detailed I/O counters of this query alone.
+    pub fn io_stats(&self) -> IoStats {
+        self.io
+    }
+}
+
+/// Results of a batch run: one [`QueryOutcome`] per submitted query, in
+/// submission order, plus deterministic aggregates.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    outcomes: Vec<QueryOutcome>,
+}
+
+impl BatchOutcome {
+    /// Per-query outcomes in submission order.
+    pub fn outcomes(&self) -> &[QueryOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of queries executed.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// `true` if the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Aggregate [`QueryStats`] accumulated in submission order —
+    /// identical to accumulating the stats of a sequential loop over the
+    /// same queries (same values, same floating-point summation order).
+    pub fn aggregate_stats(&self) -> QueryStats {
+        let mut total = QueryStats::default();
+        for o in &self.outcomes {
+            total.accumulate(&o.stats);
+        }
+        total
+    }
+
+    /// Aggregate I/O counters, summed in submission order.
+    pub fn aggregate_io(&self) -> IoStats {
+        let mut total = IoStats::new();
+        for o in &self.outcomes {
+            total = total.plus(&o.io);
+        }
+        total
+    }
+}
+
+impl IntoIterator for BatchOutcome {
+    type Item = QueryOutcome;
+    type IntoIter = std::vec::IntoIter<QueryOutcome>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.outcomes.into_iter()
+    }
+}
+
+/// One query after its filter step: everything refinement needs.
+struct Prepared<'a> {
+    db: &'a crate::db::SpatialDatabase,
+    target: Target,
+    /// Sorted candidate ids from the warm directory (no I/O charged).
+    candidates: Vec<u64>,
+    stats: QueryStats,
+    io: IoStats,
+}
+
+/// Execute the filter steps in submission order on the calling thread,
+/// reusing one candidate scratch buffer across the whole batch. Both
+/// the filter execution and the candidate re-read are the cursor path's
+/// own helpers ([`execute_filter`], [`candidate_ids`]), so the executor
+/// cannot drift from `Query::run`.
+fn filter_phase(queries: Vec<Query<'_>>) -> Vec<Prepared<'_>> {
+    let mut scratch: Vec<LeafEntry> = Vec::new();
+    queries
+        .into_iter()
+        .map(|q| {
+            let db = q.db;
+            let target = q
+                .target
+                .expect("Query::run() needs .window(..) or .point(..) first");
+            let technique = q.technique.unwrap_or(db.technique);
+            let (stats, io) = execute_filter(db, &target, technique);
+            let candidates = candidate_ids(db, &target, &mut scratch);
+            Prepared {
+                db,
+                target,
+                candidates,
+                stats,
+                io,
+            }
+        })
+        .collect()
+}
+
+/// Refine a slice of sorted candidate ids with the cursor path's
+/// [`refined_geometry`] predicate.
+fn refine(db: &crate::db::SpatialDatabase, target: &Target, candidates: &[u64]) -> Vec<u64> {
+    candidates
+        .iter()
+        .copied()
+        .filter(|&id| refined_geometry(db, target, id).is_some())
+        .collect()
+}
+
+/// Run a batch: serial deterministic filter phase, then refinement
+/// fanned across `n_threads` scoped worker threads (contiguous chunks of
+/// the batch, merged back in submission order).
+pub fn run_batch(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutcome {
+    let prepared = filter_phase(queries);
+    if prepared.is_empty() {
+        return BatchOutcome {
+            outcomes: Vec::new(),
+        };
+    }
+    let threads = n_threads.clamp(1, prepared.len());
+    let per = prepared.len().div_ceil(threads);
+    let refined: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = prepared
+            .chunks(per)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|p| refine(p.db, &p.target, &p.candidates))
+                        .collect::<Vec<Vec<u64>>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("refinement worker panicked"))
+            .collect()
+    });
+    let outcomes = prepared
+        .into_iter()
+        .zip(refined)
+        .map(|(p, ids)| QueryOutcome {
+            ids,
+            stats: p.stats,
+            io: p.io,
+        })
+        .collect();
+    BatchOutcome { outcomes }
+}
+
+/// Run one query with its refinement partitioned across `n_threads`
+/// (contiguous chunks of the sorted candidate list — concatenation
+/// preserves the ascending id order).
+pub(crate) fn run_one_par(query: Query<'_>, n_threads: usize) -> QueryOutcome {
+    let mut prepared = filter_phase(vec![query]);
+    let p = prepared.pop().expect("one query in, one prepared out");
+    if p.candidates.is_empty() {
+        return QueryOutcome {
+            ids: Vec::new(),
+            stats: p.stats,
+            io: p.io,
+        };
+    }
+    let threads = n_threads.clamp(1, p.candidates.len());
+    let per = p.candidates.len().div_ceil(threads);
+    let ids: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = p
+            .candidates
+            .chunks(per)
+            .map(|chunk| scope.spawn(|| refine(p.db, &p.target, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("refinement worker panicked"))
+            .collect()
+    });
+    QueryOutcome {
+        ids,
+        stats: p.stats,
+        io: p.io,
+    }
+}

@@ -6,7 +6,8 @@ use spatialdb_data::{DataSet, MapId, SeriesId};
 use spatialdb_disk::Disk;
 use spatialdb_join::{JoinConfig, SpatialJoin};
 use spatialdb_storage::{
-    new_shared_pool, ObjectRecord, Organization, OrganizationKind, SpatialStore, TransferTechnique,
+    lock_pool, new_shared_pool, ObjectRecord, Organization, OrganizationKind, SpatialStore,
+    TransferTechnique,
 };
 
 /// One calibrated join version (§6.1: version *a* ≈ 0.65 intersections
@@ -142,7 +143,7 @@ pub fn join_orgs(scale: &Scale, series: SeriesId) -> Vec<JoinOrgRow> {
             let mut mbr_pairs = 0u64;
             for (i, (r, s)) in per_kind.iter_mut().enumerate() {
                 let disk = r.disk();
-                r.pool().borrow_mut().reset(buffer);
+                lock_pool(&r.pool()).reset(buffer);
                 disk.reset_stats();
                 let stats = SpatialJoin::new(r, s).run_io_only(TransferTechnique::Complete);
                 io_seconds[i] = stats.io_seconds();
@@ -185,15 +186,14 @@ pub fn join_techniques(scale: &Scale, series: SeriesId) -> Vec<JoinTechRow> {
     let (va, vb) = calibrate_versions(scale, series);
     let mut rows = Vec::new();
     for version in [va, vb] {
-        let (mut r, mut s) =
-            build_join_pair(scale, series, version.inflation, OrganizationKind::Cluster);
+        let (r, s) = build_join_pair(scale, series, version.inflation, OrganizationKind::Cluster);
         for &buffer in &scale.join_buffers {
             let mut io_seconds = [0.0f64; 4];
             for (i, tech) in FIG16_TECHNIQUES.iter().enumerate() {
                 let disk = r.disk();
-                r.pool().borrow_mut().reset(buffer);
+                lock_pool(&r.pool()).reset(buffer);
                 disk.reset_stats();
-                let stats = SpatialJoin::new(&mut r, &mut s).run_io_only(*tech);
+                let stats = SpatialJoin::new(&r, &s).run_io_only(*tech);
                 io_seconds[i] = stats.io_seconds();
             }
             rows.push(JoinTechRow {
@@ -240,11 +240,11 @@ pub fn join_breakdown(scale: &Scale, buffer_pages: usize) -> Vec<JoinBreakdownRo
     let mut rows = Vec::new();
     for version in [va, vb] {
         for kind in [OrganizationKind::Secondary, OrganizationKind::Cluster] {
-            let (mut r, mut s) = build_join_pair(scale, series, version.inflation, kind);
+            let (r, s) = build_join_pair(scale, series, version.inflation, kind);
             let disk = r.disk();
-            r.pool().borrow_mut().reset(buffer_pages);
+            lock_pool(&r.pool()).reset(buffer_pages);
             disk.reset_stats();
-            let stats = SpatialJoin::new(&mut r, &mut s).run(JoinConfig {
+            let stats = SpatialJoin::new(&r, &s).run(JoinConfig {
                 transfer: TransferTechnique::Complete,
                 exact_test_ms: 0.75,
             });

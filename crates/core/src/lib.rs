@@ -65,19 +65,20 @@
 //! | [`join`] | the spatial join pipeline |
 //! | [`data`] | synthetic TIGER-like maps & workloads (Table 1) |
 //! | [`query`] | the streaming `Query` builder and cursors |
+//! | [`executor`] | the parallel query executor (`run_par`, `run_batch`) |
 //! | [`experiments`] | drivers regenerating every table/figure of the paper |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod db;
+pub mod executor;
 pub mod experiments;
 pub mod query;
 pub mod report;
 
-#[allow(deprecated)]
-pub use db::spatial_join;
 pub use db::{DbOptions, SpatialDatabase, Workspace};
+pub use executor::{BatchOutcome, QueryOutcome};
 pub use query::{JoinCursor, JoinQuery, Query, ResultCursor};
 
 pub use spatialdb_data as data;

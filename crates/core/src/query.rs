@@ -41,24 +41,90 @@ use spatialdb_storage::{QueryStats, TransferTechnique, WindowTechnique};
 
 /// What a [`Query`] searches for.
 #[derive(Clone, Copy, Debug)]
-enum Target {
+pub(crate) enum Target {
     /// All objects sharing a point with the window.
     Window(Rect),
     /// All objects containing the point.
     Point(Point),
 }
 
+/// The filter step: run the store query for `target` and capture both
+/// per-query deltas against the calling thread's I/O tally — so the
+/// reported cost is this query's alone even while other threads query
+/// concurrently. One implementation shared by the sequential cursor
+/// ([`Query::run`]) and the parallel executor.
+pub(crate) fn execute_filter(
+    db: &SpatialDatabase,
+    target: &Target,
+    technique: WindowTechnique,
+) -> (QueryStats, IoStats) {
+    let disk = db.store.disk();
+    let io_before = disk.local_stats();
+    let stats = match target {
+        Target::Window(w) => db.store.window_query(w, technique),
+        Target::Point(p) => db.store.point_query(p),
+    };
+    let io = disk.local_stats().since(&io_before);
+    (stats, io)
+}
+
+/// The refinement predicate: the exact geometry of `id` if it really
+/// answers `target`, `None` if the candidate was a false MBR hit.
+/// Shared by the sequential cursor and the parallel executor so the two
+/// paths cannot drift.
+///
+/// # Panics
+///
+/// Objects loaded through `SpatialDatabase::insert` always have exact
+/// geometry. Records bulk-loaded directly into the store are
+/// filter-only: they cannot be refined, so refining such a database is
+/// a usage error in every build profile.
+pub(crate) fn refined_geometry<'g>(
+    db: &'g SpatialDatabase,
+    target: &Target,
+    id: u64,
+) -> Option<&'g Geometry> {
+    let Some(geometry) = db.geometry.get(&id) else {
+        panic!(
+            "candidate {id} has no exact geometry; records bulk-loaded \
+             via store_mut() are filter-only — read the query's stats() \
+             instead of refining it, or insert through SpatialDatabase::insert"
+        );
+    };
+    let hit = match target {
+        Target::Window(w) => geometry.intersects_rect(w),
+        Target::Point(p) => geometry.contains_point(p),
+    };
+    hit.then_some(geometry)
+}
+
+/// Sorted candidate ids of `target`, re-read from the warm directory
+/// without charging I/O, using `scratch` as the entry buffer.
+pub(crate) fn candidate_ids(
+    db: &SpatialDatabase,
+    target: &Target,
+    scratch: &mut Vec<spatialdb_rtree::LeafEntry>,
+) -> Vec<u64> {
+    match target {
+        Target::Window(w) => db.store.window_candidates_into(w, scratch),
+        Target::Point(p) => db.store.point_candidates_into(p, scratch),
+    }
+    let mut ids: Vec<u64> = scratch.iter().map(|e| e.oid.0).collect();
+    ids.sort_unstable();
+    ids
+}
+
 /// A fluent query under construction. Created by
 /// [`SpatialDatabase::query`]; consumed by [`Query::run`].
 #[must_use = "a Query does nothing until .run()"]
 pub struct Query<'a> {
-    db: &'a mut SpatialDatabase,
-    target: Option<Target>,
-    technique: Option<WindowTechnique>,
+    pub(crate) db: &'a SpatialDatabase,
+    pub(crate) target: Option<Target>,
+    pub(crate) technique: Option<WindowTechnique>,
 }
 
 impl<'a> Query<'a> {
-    pub(crate) fn new(db: &'a mut SpatialDatabase) -> Self {
+    pub(crate) fn new(db: &'a SpatialDatabase) -> Self {
         Query {
             db,
             target: None,
@@ -101,16 +167,7 @@ impl<'a> Query<'a> {
         } = self;
         let target = target.expect("Query::run() needs .window(..) or .point(..) first");
         let technique = technique.unwrap_or(db.technique);
-        // Filter step + object transfer, charged to the simulated disk;
-        // both stats are deltas around this call, so the cursor reports
-        // the cost of this query alone.
-        let io_before = db.store.disk().stats();
-        let stats = match &target {
-            Target::Window(w) => db.store.window_query(w, technique),
-            Target::Point(p) => db.store.point_query(p),
-        };
-        let io = db.store.disk().stats().since(&io_before);
-        let db: &'a SpatialDatabase = db;
+        let (stats, io) = execute_filter(db, &target, technique);
         ResultCursor {
             db,
             target,
@@ -121,6 +178,20 @@ impl<'a> Query<'a> {
             stats,
             io,
         }
+    }
+
+    /// Execute the query with the refinement step fanned across
+    /// `n_threads` worker threads.
+    ///
+    /// The filter step (the part that charges the simulated disk) runs
+    /// exactly as in [`run`](Query::run) — the disk is one arm, its cost
+    /// model is inherently serial — and the CPU-bound exact-geometry
+    /// tests are partitioned across a scoped thread pool. The returned
+    /// [`QueryOutcome`](crate::executor::QueryOutcome) therefore carries
+    /// the **same result set and the same per-query stats** as the
+    /// sequential cursor, materialized.
+    pub fn run_par(self, n_threads: usize) -> crate::executor::QueryOutcome {
+        crate::executor::run_one_par(self, n_threads)
     }
 }
 
@@ -171,18 +242,9 @@ impl<'a> ResultCursor<'a> {
     }
 
     fn candidates(&mut self) -> &[u64] {
-        let candidates = self.candidates.get_or_insert_with(|| {
-            let mut ids: Vec<u64> = match &self.target {
-                Target::Window(w) => self.db.store.window_candidates(w),
-                Target::Point(p) => self.db.store.point_candidates(p),
-            }
-            .into_iter()
-            .map(|e| e.oid.0)
-            .collect();
-            ids.sort_unstable();
-            ids
-        });
-        candidates
+        let (db, target) = (self.db, &self.target);
+        self.candidates
+            .get_or_insert_with(|| candidate_ids(db, target, &mut Vec::new()))
     }
 }
 
@@ -194,22 +256,7 @@ impl<'a> Iterator for ResultCursor<'a> {
             let i = self.next;
             let &id = self.candidates().get(i)?;
             self.next += 1;
-            // Objects loaded through `SpatialDatabase::insert` always
-            // have exact geometry. Records bulk-loaded directly into the
-            // store are filter-only: they cannot be refined, so iterating
-            // such a database is a usage error in every build profile.
-            let Some(geometry) = self.db.geometry.get(&id) else {
-                panic!(
-                    "candidate {id} has no exact geometry; records bulk-loaded \
-                     via store_mut() are filter-only — read the cursor's stats() \
-                     instead of iterating, or insert through SpatialDatabase::insert"
-                );
-            };
-            let hit = match &self.target {
-                Target::Window(w) => geometry.intersects_rect(w),
-                Target::Point(p) => geometry.contains_point(p),
-            };
-            if hit {
+            if let Some(geometry) = refined_geometry(self.db, &self.target, id) {
                 return Some((id, geometry));
             }
         }
@@ -228,13 +275,13 @@ impl<'a> Iterator for ResultCursor<'a> {
 /// [`SpatialDatabase::join`]; consumed by [`JoinQuery::run`].
 #[must_use = "a JoinQuery does nothing until .run()"]
 pub struct JoinQuery<'a> {
-    left: &'a mut SpatialDatabase,
-    right: &'a mut SpatialDatabase,
+    left: &'a SpatialDatabase,
+    right: &'a SpatialDatabase,
     config: JoinConfig,
 }
 
 impl<'a> JoinQuery<'a> {
-    pub(crate) fn new(left: &'a mut SpatialDatabase, right: &'a mut SpatialDatabase) -> Self {
+    pub(crate) fn new(left: &'a SpatialDatabase, right: &'a SpatialDatabase) -> Self {
         JoinQuery {
             left,
             right,
@@ -275,9 +322,36 @@ impl<'a> JoinQuery<'a> {
             config,
         } = self;
         let (pairs, stats) =
-            SpatialJoin::new(left.store.as_mut(), right.store.as_mut()).run_with_pairs(config);
-        let left: &'a SpatialDatabase = left;
-        let right: &'a SpatialDatabase = right;
+            SpatialJoin::new(left.store.as_ref(), right.store.as_ref()).run_with_pairs(config);
+        JoinCursor {
+            left,
+            right,
+            pairs,
+            next: 0,
+            stats,
+        }
+    }
+
+    /// Run the join with the MBR phase partitioned across `n_threads`
+    /// threads (see
+    /// [`SpatialJoin::run_par`](spatialdb_join::SpatialJoin::run_par)).
+    ///
+    /// The candidate pairs — and therefore the refined results — are
+    /// identical to [`run`](JoinQuery::run); the MBR-phase I/O cost is
+    /// accounted on per-partition scratch disks and merged
+    /// deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two databases do not share one workspace.
+    pub fn run_par(self, n_threads: usize) -> JoinCursor<'a> {
+        let JoinQuery {
+            left,
+            right,
+            config,
+        } = self;
+        let (pairs, stats) = SpatialJoin::new(left.store.as_ref(), right.store.as_ref())
+            .run_par_with_pairs(config, n_threads);
         JoinCursor {
             left,
             right,

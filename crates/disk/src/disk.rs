@@ -2,16 +2,26 @@
 
 use crate::model::{DiskParams, PageRun, RegionId};
 use crate::stats::{IoKind, IoStats};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::cell::Cell;
+use std::sync::{Arc, Mutex};
 
 /// A shared handle to a [`Disk`].
 ///
 /// All components of one experiment (organization models, buffers,
 /// allocators, the join) share a single disk so that the reported I/O time
-/// is the total the paper reports. `Rc` because the simulator is
-/// deliberately single-threaded (determinism — see the crate docs).
-pub type DiskHandle = Rc<Disk>;
+/// is the total the paper reports. `Arc` because the storage stack is
+/// `Send + Sync`: queries may run on several threads, all charging the
+/// same disk.
+pub type DiskHandle = Arc<Disk>;
+
+thread_local! {
+    /// Per-thread I/O tally: every charge on *this* thread is mirrored
+    /// here, whichever disk it hits. A query snapshots the tally before
+    /// and after its I/O and reports the difference — a delta that stays
+    /// correct when other threads charge the same disk concurrently
+    /// (a global-counter delta would attribute their requests to us).
+    static THREAD_TALLY: Cell<IoStats> = Cell::new(IoStats::new());
+}
 
 /// The simulated disk: cost parameters plus accumulated statistics.
 ///
@@ -19,10 +29,15 @@ pub type DiskHandle = Rc<Disk>;
 /// I/O cost, and the storage layer keeps its own in-memory state. What the
 /// disk provides is (a) region id allocation and (b) request cost
 /// accounting via [`Disk::charge`].
+///
+/// The cumulative counters live behind a [`Mutex`], so a `Disk` can be
+/// charged from any thread. Per-query deltas should be taken against
+/// [`Disk::local_stats`] (the calling thread's tally), not against the
+/// global [`Disk::stats`].
 #[derive(Debug)]
 pub struct Disk {
     params: DiskParams,
-    state: RefCell<DiskState>,
+    state: Mutex<DiskState>,
 }
 
 #[derive(Debug, Default)]
@@ -35,9 +50,9 @@ struct DiskState {
 impl Disk {
     /// Create a disk with the given parameters.
     pub fn new(params: DiskParams) -> DiskHandle {
-        Rc::new(Disk {
+        Arc::new(Disk {
             params,
-            state: RefCell::new(DiskState::default()),
+            state: Mutex::new(DiskState::default()),
         })
     }
 
@@ -55,7 +70,7 @@ impl Disk {
 
     /// Allocate a fresh region (an independent file / storage area).
     pub fn create_region(&self, name: &str) -> RegionId {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock().expect("disk state poisoned");
         let id = RegionId(st.next_region);
         st.next_region = st
             .next_region
@@ -67,7 +82,20 @@ impl Disk {
 
     /// Name a region was created with (for diagnostics).
     pub fn region_name(&self, region: RegionId) -> String {
-        self.state.borrow().region_names[region.0 as usize].clone()
+        self.state.lock().expect("disk state poisoned").region_names[region.0 as usize].clone()
+    }
+
+    fn record(&self, kind: IoKind, pages: u64, cost_ms: f64, seeked: bool) {
+        self.state
+            .lock()
+            .expect("disk state poisoned")
+            .stats
+            .record(kind, pages, cost_ms, seeked);
+        THREAD_TALLY.with(|t| {
+            let mut local = t.get();
+            local.record(kind, pages, cost_ms, seeked);
+            t.set(local);
+        });
     }
 
     /// Charge one request transferring the `run`, paying seek + latency +
@@ -79,10 +107,7 @@ impl Disk {
             return 0.0;
         }
         let cost = self.params.request_ms(run.len, skip_seek);
-        self.state
-            .borrow_mut()
-            .stats
-            .record(kind, run.len, cost, !skip_seek);
+        self.record(kind, run.len, cost, !skip_seek);
         cost
     }
 
@@ -93,20 +118,43 @@ impl Disk {
     /// number of transfers — a cost that does not correspond to a real
     /// run of consecutive pages.
     pub fn charge_raw(&self, kind: IoKind, pages: u64, cost_ms: f64, seeked: bool) {
-        self.state
-            .borrow_mut()
-            .stats
-            .record(kind, pages, cost_ms, seeked);
+        self.record(kind, pages, cost_ms, seeked);
     }
 
-    /// Snapshot of the accumulated statistics.
+    /// Merge an externally accumulated statistics block into this disk
+    /// (and into the calling thread's tally).
+    ///
+    /// The parallel MBR join accounts each partition on a private scratch
+    /// disk and then absorbs the deterministic sum into the real disk, so
+    /// cumulative workspace accounting still covers the join.
+    pub fn absorb(&self, stats: &IoStats) {
+        {
+            let mut st = self.state.lock().expect("disk state poisoned");
+            st.stats = st.stats.plus(stats);
+        }
+        THREAD_TALLY.with(|t| t.set(t.get().plus(stats)));
+    }
+
+    /// Snapshot of the accumulated statistics (all threads).
     pub fn stats(&self) -> IoStats {
-        self.state.borrow().stats
+        self.state.lock().expect("disk state poisoned").stats
+    }
+
+    /// Snapshot of the calling thread's I/O tally.
+    ///
+    /// The tally is monotone and thread-local: take it before and after a
+    /// query and subtract ([`IoStats::since`]) to get the cost of exactly
+    /// that query, immune to concurrent charges from other threads.
+    pub fn local_stats(&self) -> IoStats {
+        THREAD_TALLY.with(|t| t.get())
     }
 
     /// Reset the statistics to zero (region allocations are kept).
+    ///
+    /// Only the global counters are reset; thread tallies are monotone
+    /// (deltas against them are unaffected by resets).
     pub fn reset_stats(&self) {
-        self.state.borrow_mut().stats = IoStats::new();
+        self.state.lock().expect("disk state poisoned").stats = IoStats::new();
     }
 }
 
@@ -174,5 +222,42 @@ mod tests {
         let s = disk.stats();
         assert_eq!(s.pages_read, 7);
         assert_eq!(s.io_ms, 22.0);
+    }
+
+    #[test]
+    fn local_tally_isolated_per_thread() {
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("x");
+        let before = disk.local_stats();
+        disk.charge(IoKind::Read, PageRun::new(PageId::new(r, 0), 2), false);
+        // A charge from another thread grows the global counters but not
+        // this thread's tally.
+        let d2 = disk.clone();
+        std::thread::spawn(move || {
+            d2.charge(IoKind::Read, PageRun::new(PageId::new(r, 10), 5), false);
+        })
+        .join()
+        .unwrap();
+        let local = disk.local_stats().since(&before);
+        assert_eq!(local.pages_read, 2);
+        assert_eq!(disk.stats().pages_read, 7);
+    }
+
+    #[test]
+    fn absorb_merges_scratch_stats() {
+        let disk = Disk::with_defaults();
+        let mut scratch = IoStats::new();
+        scratch.record(IoKind::Read, 3, 18.0, true);
+        let before = disk.local_stats();
+        disk.absorb(&scratch);
+        assert_eq!(disk.stats().pages_read, 3);
+        assert_eq!(disk.local_stats().since(&before).io_ms, 18.0);
+    }
+
+    #[test]
+    fn disk_handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DiskHandle>();
+        assert_send_sync::<Disk>();
     }
 }

@@ -26,9 +26,14 @@
 //!   request bridges gaps of non-requested pages shorter than
 //!   `l = t_l/t_t − 1/2`.
 //!
-//! The simulator is deterministic and single-threaded: identical inputs
-//! produce identical I/O counts, which is what makes the reproduced
-//! figures meaningful.
+//! The simulator is deterministic: identical request sequences produce
+//! identical I/O counts, which is what makes the reproduced figures
+//! meaningful. Since the thread-safety refactor every type here is
+//! `Send + Sync` — the disk's counters live behind a mutex (with a
+//! thread-local tally for per-query deltas, see
+//! [`disk::Disk::local_stats`]), and a [`buffer::BufferPool`] is shared
+//! between threads behind `Arc<Mutex<…>>` (the storage layer's
+//! `SharedPool`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,8 +1,9 @@
-//! Step 1: the MBR join on two R\*-trees (\[BKS93b\]).
+//! Step 1: the MBR join on two R\*-trees (\[BKS93b\]), sequential and
+//! partition-parallel.
 
-use spatialdb_disk::BufferPool;
+use spatialdb_disk::{BufferPool, Disk, DiskParams, IoStats};
 use spatialdb_geom::Rect;
-use spatialdb_rtree::{NodeId, NodeKind, ObjectId, RStarTree};
+use spatialdb_rtree::{DirEntry, NodeId, NodeKind, ObjectId, RStarTree};
 
 /// Result of the MBR join.
 #[derive(Clone, Debug, Default)]
@@ -34,6 +35,149 @@ pub fn mbr_join(r: &RStarTree, s: &RStarTree, pool: &mut BufferPool) -> MbrJoinR
 fn read_node(tree: &RStarTree, id: NodeId, out: &mut MbrJoinResult, pool: &mut BufferPool) {
     out.node_accesses += 1;
     pool.read_page(tree.node_page(id));
+}
+
+/// The \[BKS93b\] processing order of the qualifying child pairs of two
+/// directory nodes: grouped by the `r` child (ascending xmin of its MBR,
+/// then entry index — the *pinning* groups), pairs within one group in
+/// ascending order of the intersection's smallest x-coordinate.
+fn ordered_child_pairs(re: &[DirEntry], se: &[DirEntry]) -> Vec<(usize, usize)> {
+    let mut order: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, rc) in re.iter().enumerate() {
+        for (j, sc) in se.iter().enumerate() {
+            if rc.mbr.intersects(&sc.mbr) {
+                let xlow = rc.mbr.xmin.max(sc.mbr.xmin);
+                order.push((xlow, i, j));
+            }
+        }
+    }
+    order.sort_by(|a, b| {
+        let ra = &re[a.1].mbr;
+        let rb = &re[b.1].mbr;
+        ra.xmin
+            .total_cmp(&rb.xmin)
+            .then(a.1.cmp(&b.1))
+            .then(a.0.total_cmp(&b.0))
+    });
+    order.into_iter().map(|(_, i, j)| (i, j)).collect()
+}
+
+/// Partition-parallel MBR join.
+///
+/// The synchronized traversal is partitioned by the qualifying top-level
+/// `(r-subtree, s-subtree)` pairs, taken in the exact \[BKS93b\] order the
+/// sequential join would process them in; each worker thread processes a
+/// contiguous chunk of that list against a **private scratch disk and
+/// buffer pool** (capacity `buffer_capacity`, the shared pool's size).
+/// Results are merged in partition order, so for a given `n_threads`:
+///
+/// * the candidate **pairs are byte-identical to the sequential join**,
+///   in the same order (the traversal is pure; buffering never changes
+///   which pairs are found), and
+/// * the returned [`IoStats`] are **deterministic** — every partition's
+///   cost depends only on its chunk, and the merge sums the per-partition
+///   stats in partition index order.
+///
+/// The node-I/O cost differs from the sequential join's: partitions do
+/// not share buffered pages, so nodes read by several partitions are
+/// charged once per partition (the price of scaling the traversal across
+/// threads). Callers should [`absorb`](spatialdb_disk::Disk::absorb) the
+/// returned stats into the real disk for cumulative accounting.
+///
+/// Falls back to a single partition (one worker, still on a scratch
+/// disk) when either root is a leaf, the trees differ in height, or the
+/// top level yields fewer than two qualifying pairs.
+pub fn mbr_join_par(
+    r: &RStarTree,
+    s: &RStarTree,
+    params: DiskParams,
+    buffer_capacity: usize,
+    n_threads: usize,
+) -> (MbrJoinResult, IoStats) {
+    if r.is_empty() || s.is_empty() {
+        return (MbrJoinResult::default(), IoStats::new());
+    }
+    let rnode = r.node(r.root());
+    let snode = s.node(s.root());
+    let top: Option<Vec<(usize, usize)>> = match (&rnode.kind, &snode.kind) {
+        (NodeKind::Dir(re), NodeKind::Dir(se)) if rnode.level == snode.level => {
+            Some(ordered_child_pairs(re, se))
+        }
+        _ => None,
+    };
+    let threads = n_threads.max(1);
+    // One partition per worker: contiguous chunks of the ordered list.
+    let chunks: Vec<Vec<(NodeId, NodeId)>> = match &top {
+        Some(pairs) if pairs.len() >= 2 && threads >= 2 => {
+            let (re, se) = (rnode.dir_entries(), snode.dir_entries());
+            let per = pairs.len().div_ceil(threads);
+            pairs
+                .chunks(per)
+                .map(|c| c.iter().map(|&(i, j)| (re[i].child, se[j].child)).collect())
+                .collect()
+        }
+        _ => Vec::new(),
+    };
+    if chunks.is_empty() {
+        // Sequential shape on a scratch disk: identical pairs, private
+        // accounting. Run it on a worker thread like the partitioned
+        // path, so the scratch charges land on the worker's (dying)
+        // thread tally — charging on the calling thread would make the
+        // caller's `Disk::local_stats` delta count this I/O twice once
+        // the stats are absorbed into the real disk.
+        let (out, stats) = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let scratch = Disk::new(params);
+                    let mut pool = BufferPool::new(scratch.clone(), buffer_capacity);
+                    let mut out = MbrJoinResult::default();
+                    join_nodes(r, s, r.root(), s.root(), &mut out, &mut pool);
+                    let stats = scratch.stats();
+                    (out, stats)
+                })
+                .join()
+                .expect("mbr join worker panicked")
+        });
+        return (out, stats);
+    }
+    let results: Vec<(MbrJoinResult, IoStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let scratch = Disk::new(params);
+                    let mut pool = BufferPool::new(scratch.clone(), buffer_capacity);
+                    let mut out = MbrJoinResult::default();
+                    // Mirror the sequential root level: the pinned r
+                    // child is read once per pinning group, the s child
+                    // once per pair.
+                    let mut last_r: Option<NodeId> = None;
+                    for &(rn, sn) in chunk {
+                        if last_r != Some(rn) {
+                            read_node(r, rn, &mut out, &mut pool);
+                            last_r = Some(rn);
+                        }
+                        read_node(s, sn, &mut out, &mut pool);
+                        join_nodes(r, s, rn, sn, &mut out, &mut pool);
+                    }
+                    (out, scratch.stats())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mbr join worker panicked"))
+            .collect()
+    });
+    // Deterministic merge: partition index order.
+    let mut merged = MbrJoinResult::default();
+    let mut stats = IoStats::new();
+    for (part, part_stats) in results {
+        merged.pairs.extend(part.pairs);
+        merged.node_accesses += part.node_accesses;
+        stats = stats.plus(&part_stats);
+    }
+    (merged, stats)
 }
 
 /// Recursive synchronized traversal of the subtrees rooted at `rn`/`sn`.
@@ -83,28 +227,8 @@ fn join_nodes(
             }
         }
         (NodeKind::Dir(re), NodeKind::Dir(se)) if rnode.level == snode.level => {
-            // Qualifying child pairs in ascending x, pinning the r child.
-            let mut order: Vec<(f64, usize, usize)> = Vec::new();
-            for (i, rc) in re.iter().enumerate() {
-                for (j, sc) in se.iter().enumerate() {
-                    if rc.mbr.intersects(&sc.mbr) {
-                        let xlow = rc.mbr.xmin.max(sc.mbr.xmin);
-                        order.push((xlow, i, j));
-                    }
-                }
-            }
-            // Sort by the r child's own xmin first (the pinning group),
-            // then by the pair's intersection xlow.
-            order.sort_by(|a, b| {
-                let ra = &re[a.1].mbr;
-                let rb = &re[b.1].mbr;
-                ra.xmin
-                    .total_cmp(&rb.xmin)
-                    .then(a.1.cmp(&b.1))
-                    .then(a.0.total_cmp(&b.0))
-            });
             let mut read_r = vec![false; re.len()];
-            for (_, i, j) in order {
+            for (i, j) in ordered_child_pairs(re, se) {
                 if !read_r[i] {
                     read_node(r, re[i].child, out, pool);
                     read_r[i] = true;
@@ -248,6 +372,43 @@ mod tests {
         let (tb, _) = build(&rb);
         let mut pool = BufferPool::new(disk, 64);
         assert!(mbr_join(&ta, &tb, &mut pool).pairs.is_empty());
+    }
+
+    #[test]
+    fn parallel_join_pairs_identical_to_sequential() {
+        let ra = grid(400, 0.0, 0.7);
+        let rb = grid(350, 0.3, 0.7);
+        let (ta, disk) = build(&ra);
+        let (tb, _) = build(&rb);
+        let mut pool = BufferPool::new(disk.clone(), 256);
+        let seq = mbr_join(&ta, &tb, &mut pool);
+        for threads in [1, 2, 4, 8] {
+            let (par, stats) = mbr_join_par(&ta, &tb, disk.params(), 256, threads);
+            // Byte-identical pairs, in the same order.
+            assert_eq!(par.pairs, seq.pairs, "{threads} threads");
+            assert!(stats.io_ms > 0.0);
+            // Determinism: a second run merges to the same stats.
+            let (_, again) = mbr_join_par(&ta, &tb, disk.params(), 256, threads);
+            assert_eq!(stats, again, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_join_handles_degenerate_trees() {
+        // Leaf root on one side (height mismatch + tiny tree).
+        let ra = grid(500, 0.0, 0.7);
+        let rb = grid(4, 0.2, 0.7);
+        let (ta, disk) = build(&ra);
+        let (tb, _) = build(&rb);
+        let mut pool = BufferPool::new(disk.clone(), 256);
+        let seq = mbr_join(&ta, &tb, &mut pool);
+        let (par, _) = mbr_join_par(&ta, &tb, disk.params(), 256, 4);
+        assert_eq!(par.pairs, seq.pairs);
+        // Empty operand.
+        let (te, _) = build(&[]);
+        let (empty, stats) = mbr_join_par(&te, &ta, disk.params(), 256, 4);
+        assert!(empty.pairs.is_empty());
+        assert_eq!(stats, IoStats::new());
     }
 
     #[test]

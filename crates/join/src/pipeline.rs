@@ -1,8 +1,10 @@
-//! Step 3 and the complete intersection-join pipeline (§6.3).
+//! Step 3 and the complete intersection-join pipeline (§6.3),
+//! sequential ([`SpatialJoin::run`]) and parallel
+//! ([`SpatialJoin::run_par`]).
 
-use crate::mbr_join::mbr_join;
+use crate::mbr_join::{mbr_join, mbr_join_par};
 use crate::transfer::transfer_objects;
-use spatialdb_storage::{SpatialStore, TransferTechnique};
+use spatialdb_storage::{lock_pool, SpatialStore, TransferTechnique};
 
 /// Configuration of a complete spatial join.
 #[derive(Clone, Copy, Debug)]
@@ -58,9 +60,12 @@ impl JoinStats {
 
 /// A spatial join between two [`SpatialStore`] backends sharing one disk
 /// and one buffer pool.
+///
+/// Joins are pure reads: the operands are borrowed immutably, all I/O
+/// state lives behind the shared pool/disk locks.
 pub struct SpatialJoin<'a> {
-    r: &'a mut dyn SpatialStore,
-    s: &'a mut dyn SpatialStore,
+    r: &'a dyn SpatialStore,
+    s: &'a dyn SpatialStore,
 }
 
 impl<'a> SpatialJoin<'a> {
@@ -71,27 +76,27 @@ impl<'a> SpatialJoin<'a> {
     /// # Panics
     ///
     /// Panics if the stores do not share disk and pool.
-    pub fn new(r: &'a mut dyn SpatialStore, s: &'a mut dyn SpatialStore) -> Self {
+    pub fn new(r: &'a dyn SpatialStore, s: &'a dyn SpatialStore) -> Self {
         assert!(
-            std::rc::Rc::ptr_eq(&r.pool(), &s.pool()),
+            std::sync::Arc::ptr_eq(&r.pool(), &s.pool()),
             "join operands must share one buffer pool"
         );
         assert!(
-            std::rc::Rc::ptr_eq(&r.disk(), &s.disk()),
+            std::sync::Arc::ptr_eq(&r.disk(), &s.disk()),
             "join operands must share one disk"
         );
         SpatialJoin { r, s }
     }
 
     /// Run the complete three-step intersection join.
-    pub fn run(&mut self, config: JoinConfig) -> JoinStats {
+    pub fn run(&self, config: JoinConfig) -> JoinStats {
         self.run_with_pairs(config).1
     }
 
     /// Run the join and also return the candidate pairs (for callers that
     /// perform the exact refinement themselves).
     pub fn run_with_pairs(
-        &mut self,
+        &self,
         config: JoinConfig,
     ) -> (
         Vec<(spatialdb_rtree::ObjectId, spatialdb_rtree::ObjectId)>,
@@ -99,13 +104,64 @@ impl<'a> SpatialJoin<'a> {
     ) {
         let disk = self.r.disk();
         // Step 1: MBR join.
-        let before = disk.stats();
+        let before = disk.local_stats();
         let pool = self.r.pool();
         let mbr = {
-            let mut pool = pool.borrow_mut();
+            let mut pool = lock_pool(&pool);
             mbr_join(self.r.tree(), self.s.tree(), &mut pool)
         };
-        let mbr_join_ms = disk.stats().since(&before).io_ms;
+        let mbr_join_ms = disk.local_stats().since(&before).io_ms;
+        self.finish(mbr, mbr_join_ms, config)
+    }
+
+    /// Run the join with the MBR phase partitioned across `n_threads`
+    /// worker threads (see [`mbr_join_par`]), then the sequential object
+    /// transfer and the exact-test cost estimate.
+    ///
+    /// The candidate pairs are **identical to the sequential join's**, in
+    /// the same order. The [`JoinStats`] are deterministic for a given
+    /// `n_threads`, but the MBR-phase I/O differs from the sequential
+    /// figure: partitions traverse on private cold buffers (nodes shared
+    /// between partitions are re-read), and the shared buffer is not
+    /// warmed by the traversal. The merged MBR-phase cost is absorbed
+    /// into the workspace disk so cumulative accounting stays complete.
+    pub fn run_par(&self, config: JoinConfig, n_threads: usize) -> JoinStats {
+        self.run_par_with_pairs(config, n_threads).1
+    }
+
+    /// [`run_par`](SpatialJoin::run_par) also returning the candidate
+    /// pairs.
+    pub fn run_par_with_pairs(
+        &self,
+        config: JoinConfig,
+        n_threads: usize,
+    ) -> (
+        Vec<(spatialdb_rtree::ObjectId, spatialdb_rtree::ObjectId)>,
+        JoinStats,
+    ) {
+        let disk = self.r.disk();
+        let capacity = lock_pool(&self.r.pool()).buffer().capacity();
+        let (mbr, scratch) = mbr_join_par(
+            self.r.tree(),
+            self.s.tree(),
+            disk.params(),
+            capacity,
+            n_threads,
+        );
+        disk.absorb(&scratch);
+        self.finish(mbr, scratch.io_ms, config)
+    }
+
+    /// Steps 2 and 3, shared by the sequential and parallel pipelines.
+    fn finish(
+        &self,
+        mbr: crate::mbr_join::MbrJoinResult,
+        mbr_join_ms: f64,
+        config: JoinConfig,
+    ) -> (
+        Vec<(spatialdb_rtree::ObjectId, spatialdb_rtree::ObjectId)>,
+        JoinStats,
+    ) {
         // Step 2: object transfer.
         let transfer_ms = transfer_objects(self.r, self.s, &mbr.pairs, config.transfer);
         // Step 3: exact geometry test, one per candidate pair.
@@ -121,7 +177,7 @@ impl<'a> SpatialJoin<'a> {
 
     /// Run only the MBR join and object transfer (the I/O part measured
     /// by Figures 14 and 16).
-    pub fn run_io_only(&mut self, technique: TransferTechnique) -> JoinStats {
+    pub fn run_io_only(&self, technique: TransferTechnique) -> JoinStats {
         self.run(JoinConfig {
             transfer: technique,
             exact_test_ms: 0.0,
@@ -184,8 +240,8 @@ mod tests {
 
     #[test]
     fn pipeline_produces_pairs_and_costs() {
-        let (mut r, mut s, _) = build_pair(512, false);
-        let stats = SpatialJoin::new(&mut r, &mut s).run(JoinConfig::default());
+        let (r, s, _) = build_pair(512, false);
+        let stats = SpatialJoin::new(&r, &s).run(JoinConfig::default());
         assert!(stats.mbr_pairs > 0);
         assert!(stats.mbr_join_ms > 0.0);
         assert!(stats.transfer_ms > 0.0);
@@ -195,10 +251,10 @@ mod tests {
 
     #[test]
     fn cluster_join_cheaper_than_secondary() {
-        let (mut rs, mut ss, _) = build_pair(256, false);
-        let sec = SpatialJoin::new(&mut rs, &mut ss).run_io_only(TransferTechnique::Complete);
-        let (mut rc, mut sc, _) = build_pair(256, true);
-        let clu = SpatialJoin::new(&mut rc, &mut sc).run_io_only(TransferTechnique::Complete);
+        let (rs, ss, _) = build_pair(256, false);
+        let sec = SpatialJoin::new(&rs, &ss).run_io_only(TransferTechnique::Complete);
+        let (rc, sc, _) = build_pair(256, true);
+        let clu = SpatialJoin::new(&rc, &sc).run_io_only(TransferTechnique::Complete);
         assert_eq!(sec.mbr_pairs, clu.mbr_pairs, "same candidates");
         assert!(
             clu.transfer_ms < sec.transfer_ms,
@@ -210,12 +266,58 @@ mod tests {
 
     #[test]
     fn pair_count_independent_of_buffer_size() {
-        let (mut a, mut b, _) = build_pair(128, true);
-        let small = SpatialJoin::new(&mut a, &mut b).run_io_only(TransferTechnique::Complete);
-        let (mut c, mut d, _) = build_pair(4096, true);
-        let big = SpatialJoin::new(&mut c, &mut d).run_io_only(TransferTechnique::Complete);
+        let (a, b, _) = build_pair(128, true);
+        let small = SpatialJoin::new(&a, &b).run_io_only(TransferTechnique::Complete);
+        let (c, d, _) = build_pair(4096, true);
+        let big = SpatialJoin::new(&c, &d).run_io_only(TransferTechnique::Complete);
         assert_eq!(small.mbr_pairs, big.mbr_pairs);
         assert!(big.io_seconds() <= small.io_seconds() + 1e-9);
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_sequential_pairs() {
+        let (r, s, _) = build_pair(512, true);
+        let (seq_pairs, seq_stats) = SpatialJoin::new(&r, &s).run_with_pairs(JoinConfig::default());
+        for threads in [2, 8] {
+            let (r2, s2, _) = build_pair(512, true);
+            let (par_pairs, par_stats) =
+                SpatialJoin::new(&r2, &s2).run_par_with_pairs(JoinConfig::default(), threads);
+            assert_eq!(par_pairs, seq_pairs, "{threads} threads");
+            assert_eq!(par_stats.mbr_pairs, seq_stats.mbr_pairs);
+            assert_eq!(par_stats.exact_test_ms, seq_stats.exact_test_ms);
+            assert!(par_stats.mbr_join_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn run_par_fallback_does_not_double_count_local_tally() {
+        // threads == 1 takes the single-partition fallback; its scratch
+        // charges must reach the caller's thread tally exactly once
+        // (via absorb), not twice.
+        let (r, s, _) = build_pair(512, true);
+        let disk = r.disk();
+        let before = disk.local_stats();
+        let stats = SpatialJoin::new(&r, &s).run_par(JoinConfig::default(), 1);
+        let delta = disk.local_stats().since(&before);
+        assert!(
+            (delta.io_ms - (stats.mbr_join_ms + stats.transfer_ms)).abs() < 1e-9,
+            "local delta {} vs mbr {} + transfer {}",
+            delta.io_ms,
+            stats.mbr_join_ms,
+            stats.transfer_ms
+        );
+    }
+
+    #[test]
+    fn parallel_mbr_cost_absorbed_into_workspace_disk() {
+        let (r, s, _) = build_pair(512, true);
+        let disk = r.disk();
+        let before = disk.stats();
+        let stats = SpatialJoin::new(&r, &s).run_par(JoinConfig::default(), 4);
+        let grown = disk.stats().since(&before);
+        // The scratch-accounted MBR phase plus the shared-pool transfer
+        // both land in the cumulative workspace counters.
+        assert!(grown.io_ms >= stats.mbr_join_ms + stats.transfer_ms - 1e-9);
     }
 
     #[test]
@@ -224,8 +326,8 @@ mod tests {
         let disk = Disk::with_defaults();
         let pool_a = new_shared_pool(disk.clone(), 64);
         let pool_b = new_shared_pool(disk.clone(), 64);
-        let mut a = Organization::Secondary(SecondaryOrganization::new(disk.clone(), pool_a));
-        let mut b = Organization::Secondary(SecondaryOrganization::new(disk, pool_b));
-        let _ = SpatialJoin::new(&mut a, &mut b);
+        let a = Organization::Secondary(SecondaryOrganization::new(disk.clone(), pool_a));
+        let b = Organization::Secondary(SecondaryOrganization::new(disk, pool_b));
+        let _ = SpatialJoin::new(&a, &b);
     }
 }

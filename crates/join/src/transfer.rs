@@ -13,13 +13,13 @@ use std::collections::HashSet;
 /// primary organizations have a single natural access path and ignore
 /// it. Returns the I/O time in milliseconds.
 pub fn transfer_objects(
-    r_org: &mut dyn SpatialStore,
-    s_org: &mut dyn SpatialStore,
+    r_org: &dyn SpatialStore,
+    s_org: &dyn SpatialStore,
     pairs: &[(ObjectId, ObjectId)],
     technique: TransferTechnique,
 ) -> f64 {
     let disk = r_org.disk();
-    let before = disk.stats();
+    let before = disk.local_stats();
     // The join knows up front which objects it will need (the candidate
     // set of the MBR join); cluster-unit transfers batch accordingly.
     let needed_r: HashSet<ObjectId> = pairs.iter().map(|(a, _)| *a).collect();
@@ -28,7 +28,7 @@ pub fn transfer_objects(
         r_org.fetch_for_join(*a, &needed_r, technique);
         s_org.fetch_for_join(*b, &needed_s, technique);
     }
-    disk.stats().since(&before).io_ms
+    disk.local_stats().since(&before).io_ms
 }
 
 #[cfg(test)]
@@ -82,9 +82,9 @@ mod tests {
 
     #[test]
     fn transfer_charges_io() {
-        let (mut r, mut s, pairs) = setup(512);
+        let (mut r, s, pairs) = setup(512);
         r.begin_query();
-        let ms = transfer_objects(&mut r, &mut s, &pairs, TransferTechnique::Complete);
+        let ms = transfer_objects(&r, &s, &pairs, TransferTechnique::Complete);
         assert!(ms > 0.0);
     }
 
@@ -92,9 +92,9 @@ mod tests {
     fn larger_buffer_never_slower() {
         let mut costs = Vec::new();
         for pages in [32, 128, 1024] {
-            let (mut r, mut s, pairs) = setup(pages);
+            let (mut r, s, pairs) = setup(pages);
             r.begin_query();
-            let ms = transfer_objects(&mut r, &mut s, &pairs, TransferTechnique::Complete);
+            let ms = transfer_objects(&r, &s, &pairs, TransferTechnique::Complete);
             costs.push(ms);
         }
         assert!(costs[0] >= costs[1] - 1e-9);
@@ -103,21 +103,21 @@ mod tests {
 
     #[test]
     fn optimum_not_more_expensive_than_complete() {
-        let (mut r1, mut s1, pairs) = setup(256);
+        let (mut r1, s1, pairs) = setup(256);
         r1.begin_query();
-        let complete = transfer_objects(&mut r1, &mut s1, &pairs, TransferTechnique::Complete);
-        let (mut r2, mut s2, pairs2) = setup(256);
+        let complete = transfer_objects(&r1, &s1, &pairs, TransferTechnique::Complete);
+        let (mut r2, s2, pairs2) = setup(256);
         r2.begin_query();
-        let opt = transfer_objects(&mut r2, &mut s2, &pairs2, TransferTechnique::Optimum);
+        let opt = transfer_objects(&r2, &s2, &pairs2, TransferTechnique::Optimum);
         assert!(opt <= complete + 1e-9, "opt {opt} vs complete {complete}");
     }
 
     #[test]
     fn repeated_transfer_with_big_buffer_is_free() {
-        let (mut r, mut s, pairs) = setup(8192);
+        let (mut r, s, pairs) = setup(8192);
         r.begin_query();
-        transfer_objects(&mut r, &mut s, &pairs, TransferTechnique::Complete);
-        let again = transfer_objects(&mut r, &mut s, &pairs, TransferTechnique::Complete);
+        transfer_objects(&r, &s, &pairs, TransferTechnique::Complete);
+        let again = transfer_objects(&r, &s, &pairs, TransferTechnique::Complete);
         assert_eq!(again, 0.0);
     }
 }

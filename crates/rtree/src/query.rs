@@ -22,6 +22,21 @@ impl RStarTree {
     /// `window`. Visited node pages are charged to `io`.
     pub fn window_entries(&self, window: &Rect, io: &mut impl NodeIo) -> Vec<LeafEntry> {
         let mut out = Vec::new();
+        self.window_entries_into(window, io, &mut out);
+        out
+    }
+
+    /// [`window_entries`](RStarTree::window_entries) appending into a
+    /// caller-supplied scratch buffer instead of allocating a fresh `Vec`
+    /// per call — the form the refinement hot path iterates with. `out`
+    /// is cleared first.
+    pub fn window_entries_into(
+        &self,
+        window: &Rect,
+        io: &mut impl NodeIo,
+        out: &mut Vec<LeafEntry>,
+    ) {
+        out.clear();
         let mut stack = vec![self.root()];
         while let Some(id) = stack.pop() {
             let node = self.node(id);
@@ -40,7 +55,6 @@ impl RStarTree {
                 }
             }
         }
-        out
     }
 
     /// Window query over data pages: the ids of all leaves that contain at
@@ -88,6 +102,13 @@ impl RStarTree {
     pub fn point_entries(&self, p: &Point, io: &mut impl NodeIo) -> Vec<LeafEntry> {
         let window = Rect::new(p.x, p.y, p.x, p.y);
         self.window_entries(&window, io)
+    }
+
+    /// [`point_entries`](RStarTree::point_entries) appending into a
+    /// caller-supplied scratch buffer (cleared first).
+    pub fn point_entries_into(&self, p: &Point, io: &mut impl NodeIo, out: &mut Vec<LeafEntry>) {
+        let window = Rect::new(p.x, p.y, p.x, p.y);
+        self.window_entries_into(&window, io, out)
     }
 
     /// Number of node pages a window query would read (filter-step I/O),
@@ -214,6 +235,18 @@ mod tests {
         t.window_entries(&Rect::new(0.0, 0.0, 20.0, 20.0), &mut io_big);
         assert!(io_small.reads < io_big.reads);
         assert_eq!(io_big.reads as usize, t.num_nodes());
+    }
+
+    #[test]
+    fn into_variants_reuse_scratch_and_match() {
+        let t = build_grid(10);
+        let w = Rect::new(2.0, 2.0, 4.2, 3.2);
+        let mut scratch = Vec::new();
+        t.window_entries_into(&w, &mut NoIo, &mut scratch);
+        assert_eq!(scratch, t.window_entries(&w, &mut NoIo));
+        // Reuse across calls: the buffer is cleared, not appended to.
+        t.point_entries_into(&Point::new(3.25, 4.25), &mut NoIo, &mut scratch);
+        assert_eq!(scratch, t.point_entries(&Point::new(3.25, 4.25), &mut NoIo));
     }
 
     #[test]

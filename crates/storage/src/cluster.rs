@@ -20,7 +20,7 @@
 //! `Smax`, reproducing the storage utilization of Figure 6, while the
 //! restricted buddy system of Figure 7 adapts the physical unit size.
 
-use crate::model::{QueryStats, SharedPool, TransferTechnique, WindowTechnique};
+use crate::model::{lock_pool, QueryStats, SharedPool, TransferTechnique, WindowTechnique};
 use crate::object::ObjectRecord;
 use crate::packer::{BytePacker, Placement};
 use crate::store::SpatialStore;
@@ -174,7 +174,7 @@ impl ClusterOrganization {
     /// Drop an extent's pages from the buffer (the extent is being freed
     /// or rewritten; stale copies must not produce buffer hits).
     fn drop_from_buffer(&self, extent: PageRun) {
-        let mut pool = self.pool.borrow_mut();
+        let mut pool = lock_pool(&self.pool);
         for p in extent.pages() {
             pool.buffer_mut().remove(&p);
         }
@@ -296,7 +296,7 @@ impl ClusterOrganization {
     /// the window-query technique. Returns nothing; all costs are charged
     /// to the disk through the pool.
     fn transfer_for_window(
-        &mut self,
+        &self,
         leaf: NodeId,
         hits: &[LeafEntry],
         window: &Rect,
@@ -328,15 +328,13 @@ impl ClusterOrganization {
             WindowTechnique::Slm => {
                 let offsets = self.hit_offsets(leaf, hits);
                 let gap = slm_gap_limit(&self.disk.params());
-                self.pool
-                    .borrow_mut()
-                    .read_extent_slm(used, &offsets, gap, ReadMode::Normal, true);
+                lock_pool(&self.pool).read_extent_slm(used, &offsets, gap, ReadMode::Normal, true);
             }
             WindowTechnique::Optimum => {
                 // 1 seek + 1 latency per cluster unit + minimal transfers.
                 let offsets = self.hit_offsets(leaf, hits);
                 let missing: Vec<u64> = {
-                    let pool = self.pool.borrow();
+                    let pool = lock_pool(&self.pool);
                     offsets
                         .iter()
                         .copied()
@@ -348,7 +346,7 @@ impl ClusterOrganization {
                     let k = missing.len() as u64;
                     let cost = params.seek_ms + params.latency_ms + params.transfer_ms * k as f64;
                     self.disk.charge_raw(IoKind::Read, k, cost, true);
-                    let mut pool = self.pool.borrow_mut();
+                    let mut pool = lock_pool(&self.pool);
                     for o in missing {
                         let page = used.page(o);
                         let ev = pool.buffer_mut().insert(page, false);
@@ -373,10 +371,10 @@ impl ClusterOrganization {
 
     /// The simplest technique (§5.4): transfer the complete cluster unit
     /// as soon as any qualifying object needs I/O.
-    fn read_complete_if_needed(&mut self, leaf: NodeId, hits: &[LeafEntry]) {
+    fn read_complete_if_needed(&self, leaf: NodeId, hits: &[LeafEntry]) {
         let unit = &self.units[&leaf];
         let needed: Vec<PageId> = hits.iter().flat_map(|e| unit.member_pages(e.oid)).collect();
-        let mut pool = self.pool.borrow_mut();
+        let mut pool = lock_pool(&self.pool);
         let all_buffered = needed.iter().all(|p| pool.buffer().contains(p));
         if all_buffered {
             for p in &needed {
@@ -389,11 +387,11 @@ impl ClusterOrganization {
 
     /// Page-by-page: one request per qualifying object, one seek per
     /// cluster unit (§5.4.1's `t_page` access pattern).
-    fn read_page_by_page(&mut self, leaf: NodeId, hits: &[LeafEntry]) {
+    fn read_page_by_page(&self, leaf: NodeId, hits: &[LeafEntry]) {
         let mut seek_pending = true;
         for e in hits {
             let pages = self.units[&leaf].member_pages(e.oid);
-            let out = self.pool.borrow_mut().read_set(
+            let out = lock_pool(&self.pool).read_set(
                 &pages,
                 SeekPolicy::WithinCluster {
                     initial_seek: seek_pending,
@@ -409,7 +407,7 @@ impl ClusterOrganization {
     /// join-relevant objects of the same cluster unit according to the
     /// technique. `needed` is the set of objects the join still requires.
     pub fn fetch_for_join(
-        &mut self,
+        &self,
         oid: ObjectId,
         needed: &HashSet<ObjectId>,
         technique: TransferTechnique,
@@ -418,7 +416,7 @@ impl ClusterOrganization {
         let unit = &self.units[&leaf];
         let my_pages = unit.member_pages(oid);
         {
-            let mut pool = self.pool.borrow_mut();
+            let mut pool = lock_pool(&self.pool);
             if my_pages.iter().all(|p| pool.buffer().contains(p)) {
                 for p in &my_pages {
                     pool.buffer_mut().touch(p);
@@ -429,7 +427,7 @@ impl ClusterOrganization {
         let used = unit.used_extent();
         match technique {
             TransferTechnique::Complete => {
-                self.pool.borrow_mut().read_full_extent(used);
+                lock_pool(&self.pool).read_full_extent(used);
             }
             TransferTechnique::Read | TransferTechnique::VectorRead => {
                 let mode = if technique == TransferTechnique::Read {
@@ -446,9 +444,7 @@ impl ClusterOrganization {
                 offsets.sort_unstable();
                 offsets.dedup();
                 let gap = slm_gap_limit(&self.disk.params());
-                self.pool
-                    .borrow_mut()
-                    .read_extent_slm(used, &offsets, gap, mode, true);
+                lock_pool(&self.pool).read_extent_slm(used, &offsets, gap, mode, true);
             }
             TransferTechnique::Optimum => {
                 let mut offsets: Vec<u64> = unit
@@ -460,7 +456,7 @@ impl ClusterOrganization {
                 offsets.sort_unstable();
                 offsets.dedup();
                 let missing: Vec<u64> = {
-                    let pool = self.pool.borrow();
+                    let pool = lock_pool(&self.pool);
                     offsets
                         .into_iter()
                         .filter(|&o| !pool.buffer().contains(&used.page(o)))
@@ -471,7 +467,7 @@ impl ClusterOrganization {
                     let k = missing.len() as u64;
                     let cost = params.seek_ms + params.latency_ms + params.transfer_ms * k as f64;
                     self.disk.charge_raw(IoKind::Read, k, cost, true);
-                    let mut pool = self.pool.borrow_mut();
+                    let mut pool = lock_pool(&self.pool);
                     for o in missing {
                         pool.buffer_mut().insert(used.page(o), false);
                     }
@@ -547,7 +543,7 @@ impl SpatialStore for ClusterOrganization {
         // Steps 1 + 2: determine the data page and insert the MBR entry
         // (the modified R*-tree may already split — step 4).
         let entry = LeafEntry::new(rec.mbr, rec.oid, rec.size_bytes);
-        let outcome = self.tree.insert(entry, &mut *self.pool.borrow_mut());
+        let outcome = self.tree.insert(entry, &mut *lock_pool(&self.pool));
         debug_assert!(outcome.leaf_reinserts.is_empty());
         if outcome.leaf_splits.is_empty() {
             // Step 3: append the object to the cluster unit.
@@ -570,11 +566,9 @@ impl SpatialStore for ClusterOrganization {
         }
     }
 
-    fn window_query(&mut self, window: &Rect, technique: WindowTechnique) -> QueryStats {
-        let before = self.disk.stats();
-        let per_leaf = self
-            .tree
-            .window_leaves(window, &mut *self.pool.borrow_mut());
+    fn window_query(&self, window: &Rect, technique: WindowTechnique) -> QueryStats {
+        let before = self.disk.local_stats();
+        let per_leaf = self.tree.window_leaves(window, &mut *lock_pool(&self.pool));
         let mut stats = QueryStats::default();
         for (leaf, hits) in &per_leaf {
             stats.candidates += hits.len();
@@ -584,22 +578,20 @@ impl SpatialStore for ClusterOrganization {
                 .sum::<u64>();
             self.transfer_for_window(*leaf, hits, window, technique);
         }
-        stats.io_ms = self.disk.stats().since(&before).io_ms;
+        stats.io_ms = self.disk.local_stats().since(&before).io_ms;
         stats
     }
 
-    fn point_query(&mut self, point: &Point) -> QueryStats {
-        let before = self.disk.stats();
-        let candidates = self.tree.point_entries(point, &mut *self.pool.borrow_mut());
+    fn point_query(&self, point: &Point) -> QueryStats {
+        let before = self.disk.local_stats();
+        let candidates = self.tree.point_entries(point, &mut *lock_pool(&self.pool));
         // Selective access: read just the objects' pages, not the units
         // (§5.5 — the cluster organization must not penalize selective
         // queries).
         for e in &candidates {
             let leaf = self.location[&e.oid];
             let pages = self.units[&leaf].member_pages(e.oid);
-            self.pool
-                .borrow_mut()
-                .read_set(&pages, SeekPolicy::PerRequest);
+            lock_pool(&self.pool).read_set(&pages, SeekPolicy::PerRequest);
         }
         QueryStats {
             candidates: candidates.len(),
@@ -607,20 +599,18 @@ impl SpatialStore for ClusterOrganization {
                 .iter()
                 .map(|e| u64::from(self.sizes[&e.oid]))
                 .sum(),
-            io_ms: self.disk.stats().since(&before).io_ms,
+            io_ms: self.disk.local_stats().since(&before).io_ms,
         }
     }
 
-    fn fetch_object(&mut self, oid: ObjectId) {
+    fn fetch_object(&self, oid: ObjectId) {
         let leaf = self.location[&oid];
         let pages = self.units[&leaf].member_pages(oid);
-        self.pool
-            .borrow_mut()
-            .read_set(&pages, SeekPolicy::PerRequest);
+        lock_pool(&self.pool).read_set(&pages, SeekPolicy::PerRequest);
     }
 
     fn fetch_for_join(
-        &mut self,
+        &self,
         oid: ObjectId,
         needed: &HashSet<ObjectId>,
         technique: TransferTechnique,
@@ -654,11 +644,11 @@ impl SpatialStore for ClusterOrganization {
     }
 
     fn flush(&mut self) {
-        self.pool.borrow_mut().flush();
+        lock_pool(&self.pool).flush();
     }
 
     fn begin_query(&mut self) {
-        let mut pool = self.pool.borrow_mut();
+        let mut pool = lock_pool(&self.pool);
         pool.invalidate_regions(&[self.tree_region, self.buddy.region()]);
         crate::model::warm_directory(&mut pool, &self.tree);
     }
@@ -679,7 +669,7 @@ impl SpatialStore for ClusterOrganization {
             .find(|e| e.oid == oid)
             .map(|e| e.mbr)
             .expect("cluster location out of sync");
-        let outcome = self.tree.delete(oid, &mbr, &mut *self.pool.borrow_mut());
+        let outcome = self.tree.delete(oid, &mbr, &mut *lock_pool(&self.pool));
         debug_assert!(outcome.removed);
         self.location.remove(&oid);
         self.sizes.remove(&oid);
@@ -892,8 +882,8 @@ mod tests {
         let needed: HashSet<ObjectId> = [oid].into_iter().collect();
         a.fetch_for_join(oid, &needed, TransferTechnique::Read);
         b.fetch_for_join(oid, &needed, TransferTechnique::VectorRead);
-        let kept_a = a.pool().borrow().buffer().len();
-        let kept_b = b.pool().borrow().buffer().len();
+        let kept_a = lock_pool(&a.pool()).buffer().len();
+        let kept_b = lock_pool(&b.pool()).buffer().len();
         assert!(kept_a >= kept_b);
     }
 

@@ -64,7 +64,7 @@ impl SpatialStore for MemoryStore {
         true
     }
 
-    fn window_query(&mut self, window: &Rect, _technique: WindowTechnique) -> QueryStats {
+    fn window_query(&self, window: &Rect, _technique: WindowTechnique) -> QueryStats {
         let candidates = self.tree.window_entries(window, &mut NoIo);
         QueryStats {
             candidates: candidates.len(),
@@ -76,7 +76,7 @@ impl SpatialStore for MemoryStore {
         }
     }
 
-    fn point_query(&mut self, point: &Point) -> QueryStats {
+    fn point_query(&self, point: &Point) -> QueryStats {
         let candidates = self.tree.point_entries(point, &mut NoIo);
         QueryStats {
             candidates: candidates.len(),
@@ -88,7 +88,7 @@ impl SpatialStore for MemoryStore {
         }
     }
 
-    fn fetch_object(&mut self, _oid: ObjectId) {
+    fn fetch_object(&self, _oid: ObjectId) {
         // Already resident.
     }
 
@@ -154,7 +154,7 @@ mod tests {
 
     #[test]
     fn queries_are_free_and_correct() {
-        let mut s = store_with(60);
+        let s = store_with(60);
         check_invariants(s.tree()).unwrap();
         let io_before = s.disk().stats();
         let q = s.window_query(&Rect::new(0.0, 0.0, 0.5, 0.5), WindowTechnique::Complete);

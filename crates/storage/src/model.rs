@@ -13,19 +13,30 @@ use crate::store::SpatialStore;
 use spatialdb_disk::{BufferPool, DiskHandle};
 use spatialdb_geom::{Point, Rect};
 use spatialdb_rtree::{ObjectId, RStarTree};
-use std::cell::RefCell;
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A buffer pool shared between the components of one experiment
 /// (both maps of a join share one pool, as in §6.1).
 ///
-/// The simulator is single-threaded by design, hence `Rc<RefCell<…>>`.
-pub type SharedPool = Rc<RefCell<BufferPool>>;
+/// The pool is the engine's single page-replacement state; queries on any
+/// thread funnel their page accesses through this lock, which is what
+/// keeps the simulated LRU behaviour coherent. `Arc<Mutex<…>>` so the
+/// whole storage stack is `Send + Sync`.
+pub type SharedPool = Arc<Mutex<BufferPool>>;
 
 /// Create a shared pool of `capacity` pages over `disk`.
 pub fn new_shared_pool(disk: DiskHandle, capacity: usize) -> SharedPool {
-    Rc::new(RefCell::new(BufferPool::new(disk, capacity)))
+    Arc::new(Mutex::new(BufferPool::new(disk, capacity)))
+}
+
+/// Lock a [`SharedPool`] for one batch of page accesses.
+///
+/// Thin wrapper over `Mutex::lock` that maps poisoning to a panic with a
+/// storage-layer message (a poisoned pool means a query thread panicked
+/// mid-I/O; the simulation state is unusable either way).
+pub fn lock_pool(pool: &SharedPool) -> std::sync::MutexGuard<'_, BufferPool> {
+    pool.lock().expect("shared buffer pool poisoned")
 }
 
 /// Technique for transferring the objects of a window query from a
@@ -192,23 +203,23 @@ impl SpatialStore for Organization {
         delegate!(self, o => o.bulk_load(records))
     }
 
-    fn window_query(&mut self, window: &Rect, technique: WindowTechnique) -> QueryStats {
+    fn window_query(&self, window: &Rect, technique: WindowTechnique) -> QueryStats {
         delegate!(self, o => o.window_query(window, technique))
     }
 
-    fn point_query(&mut self, point: &Point) -> QueryStats {
+    fn point_query(&self, point: &Point) -> QueryStats {
         delegate!(self, o => o.point_query(point))
     }
 
     // window_candidates / point_candidates use the trait defaults: they
     // read tree(), which already delegates to the variant.
 
-    fn fetch_object(&mut self, oid: ObjectId) {
+    fn fetch_object(&self, oid: ObjectId) {
         delegate!(self, o => o.fetch_object(oid))
     }
 
     fn fetch_for_join(
-        &mut self,
+        &self,
         oid: ObjectId,
         needed: &HashSet<ObjectId>,
         technique: TransferTechnique,
@@ -288,6 +299,15 @@ mod tests {
         assert_eq!(a.candidates, 3);
         assert_eq!(a.result_bytes, 400);
         assert_eq!(a.io_ms, 12.0);
+    }
+
+    #[test]
+    fn storage_stack_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedPool>();
+        assert_send_sync::<Organization>();
+        assert_send_sync::<Box<dyn SpatialStore>>();
+        assert_send_sync::<crate::MemoryStore>();
     }
 
     #[test]

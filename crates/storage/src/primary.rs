@@ -9,7 +9,7 @@
 //! maintained. Such objects occupied their individual pages exclusively"*
 //! (§5.2).
 
-use crate::model::{QueryStats, SharedPool, WindowTechnique};
+use crate::model::{lock_pool, QueryStats, SharedPool, WindowTechnique};
 use crate::object::ObjectRecord;
 use crate::packer::PagePacker;
 use crate::store::SpatialStore;
@@ -69,7 +69,7 @@ impl PrimaryOrganization {
         self.overflow.contains_key(&oid)
     }
 
-    fn read_overflow_objects(&mut self, oids: &[ObjectId]) {
+    fn read_overflow_objects(&self, oids: &[ObjectId]) {
         // One pointer chase per overflow object (like the secondary
         // organization's object accesses); the buffer absorbs repeats.
         for oid in oids {
@@ -77,9 +77,7 @@ impl PrimaryOrganization {
                 continue;
             };
             let pages: Vec<PageId> = run.pages().collect();
-            self.pool
-                .borrow_mut()
-                .read_set(&pages, SeekPolicy::PerRequest);
+            lock_pool(&self.pool).read_set(&pages, SeekPolicy::PerRequest);
         }
     }
 }
@@ -97,7 +95,7 @@ impl SpatialStore for PrimaryOrganization {
             ENTRY_BYTES as u32
         };
         let entry = LeafEntry::new(rec.mbr, rec.oid, payload);
-        let outcome = self.tree.insert(entry, &mut *self.pool.borrow_mut());
+        let outcome = self.tree.insert(entry, &mut *lock_pool(&self.pool));
         // Track which data page each object ends up in, following the
         // relocations caused by forced reinserts and splits.
         if let Some(leaf) = outcome.leaf {
@@ -130,13 +128,13 @@ impl SpatialStore for PrimaryOrganization {
         self.sizes.insert(rec.oid, rec.size_bytes);
     }
 
-    fn window_query(&mut self, window: &Rect, _technique: WindowTechnique) -> QueryStats {
-        let before = self.disk.stats();
+    fn window_query(&self, window: &Rect, _technique: WindowTechnique) -> QueryStats {
+        let before = self.disk.local_stats();
         // Reading the qualifying data pages *is* reading the inline
         // objects; the tree charges those page reads.
         let candidates = self
             .tree
-            .window_entries(window, &mut *self.pool.borrow_mut());
+            .window_entries(window, &mut *lock_pool(&self.pool));
         let oids: Vec<ObjectId> = candidates.iter().map(|e| e.oid).collect();
         let over: Vec<ObjectId> = oids
             .iter()
@@ -147,13 +145,13 @@ impl SpatialStore for PrimaryOrganization {
         QueryStats {
             candidates: oids.len(),
             result_bytes: oids.iter().map(|o| u64::from(self.sizes[o])).sum(),
-            io_ms: self.disk.stats().since(&before).io_ms,
+            io_ms: self.disk.local_stats().since(&before).io_ms,
         }
     }
 
-    fn point_query(&mut self, point: &Point) -> QueryStats {
-        let before = self.disk.stats();
-        let candidates = self.tree.point_entries(point, &mut *self.pool.borrow_mut());
+    fn point_query(&self, point: &Point) -> QueryStats {
+        let before = self.disk.local_stats();
+        let candidates = self.tree.point_entries(point, &mut *lock_pool(&self.pool));
         let oids: Vec<ObjectId> = candidates.iter().map(|e| e.oid).collect();
         let over: Vec<ObjectId> = oids
             .iter()
@@ -164,21 +162,19 @@ impl SpatialStore for PrimaryOrganization {
         QueryStats {
             candidates: oids.len(),
             result_bytes: oids.iter().map(|o| u64::from(self.sizes[o])).sum(),
-            io_ms: self.disk.stats().since(&before).io_ms,
+            io_ms: self.disk.local_stats().since(&before).io_ms,
         }
     }
 
-    fn fetch_object(&mut self, oid: ObjectId) {
+    fn fetch_object(&self, oid: ObjectId) {
         // The data page holds the entry and (for inline objects) the
         // representation itself.
         let leaf = self.leaf_of[&oid];
         let page = self.tree.node_page(leaf);
-        self.pool.borrow_mut().read_page(page);
+        lock_pool(&self.pool).read_page(page);
         if let Some(run) = self.overflow.get(&oid) {
             let pages: Vec<PageId> = run.pages().collect();
-            self.pool
-                .borrow_mut()
-                .read_set(&pages, SeekPolicy::PerRequest);
+            lock_pool(&self.pool).read_set(&pages, SeekPolicy::PerRequest);
         }
     }
 
@@ -207,11 +203,11 @@ impl SpatialStore for PrimaryOrganization {
     }
 
     fn flush(&mut self) {
-        self.pool.borrow_mut().flush();
+        lock_pool(&self.pool).flush();
     }
 
     fn begin_query(&mut self) {
-        let mut pool = self.pool.borrow_mut();
+        let mut pool = lock_pool(&self.pool);
         pool.invalidate_regions(&[self.tree_region, self.overflow_region]);
         crate::model::warm_directory(&mut pool, &self.tree);
     }
@@ -232,7 +228,7 @@ impl SpatialStore for PrimaryOrganization {
             .find(|e| e.oid == oid)
             .map(|e| e.mbr)
             .expect("leaf tracking out of sync");
-        let outcome = self.tree.delete(oid, &mbr, &mut *self.pool.borrow_mut());
+        let outcome = self.tree.delete(oid, &mbr, &mut *lock_pool(&self.pool));
         debug_assert!(outcome.removed);
         self.leaf_of.remove(&oid);
         self.sizes.remove(&oid);

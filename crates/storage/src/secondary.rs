@@ -8,7 +8,7 @@
 //! access to an exact object representation needs an additional seek
 //! operation"*.
 
-use crate::model::{QueryStats, SharedPool, WindowTechnique};
+use crate::model::{lock_pool, QueryStats, SharedPool, WindowTechnique};
 use crate::object::ObjectRecord;
 use crate::packer::PagePacker;
 use crate::store::SpatialStore;
@@ -70,12 +70,10 @@ impl SecondaryOrganization {
     /// additional seek operation"*. The buffer absorbs objects sharing a
     /// page; no cross-object request merging happens (the system chases
     /// one pointer per candidate).
-    fn read_objects(&mut self, oids: &[ObjectId]) {
+    fn read_objects(&self, oids: &[ObjectId]) {
         for oid in oids {
             let pages = self.object_pages(*oid);
-            self.pool
-                .borrow_mut()
-                .read_set(&pages, SeekPolicy::PerRequest);
+            lock_pool(&self.pool).read_set(&pages, SeekPolicy::PerRequest);
         }
     }
 }
@@ -88,7 +86,7 @@ impl SpatialStore for SecondaryOrganization {
     fn insert(&mut self, rec: &ObjectRecord) {
         // 1. Insert the MBR + pointer into the regular R*-tree.
         let entry = LeafEntry::new(rec.mbr, rec.oid, 0);
-        self.tree.insert(entry, &mut *self.pool.borrow_mut());
+        self.tree.insert(entry, &mut *lock_pool(&self.pool));
         // 2. Append the exact representation to the sequential file.
         //    The arm has moved (tree I/O in between), so every append is
         //    its own request.
@@ -103,37 +101,35 @@ impl SpatialStore for SecondaryOrganization {
         self.mbrs.insert(rec.oid, rec.mbr);
     }
 
-    fn window_query(&mut self, window: &Rect, _technique: WindowTechnique) -> QueryStats {
-        let before = self.disk.stats();
+    fn window_query(&self, window: &Rect, _technique: WindowTechnique) -> QueryStats {
+        let before = self.disk.local_stats();
         let candidates = self
             .tree
-            .window_entries(window, &mut *self.pool.borrow_mut());
+            .window_entries(window, &mut *lock_pool(&self.pool));
         let oids: Vec<ObjectId> = candidates.iter().map(|e| e.oid).collect();
         self.read_objects(&oids);
         QueryStats {
             candidates: oids.len(),
             result_bytes: oids.iter().map(|o| u64::from(self.sizes[o])).sum(),
-            io_ms: self.disk.stats().since(&before).io_ms,
+            io_ms: self.disk.local_stats().since(&before).io_ms,
         }
     }
 
-    fn point_query(&mut self, point: &Point) -> QueryStats {
-        let before = self.disk.stats();
-        let candidates = self.tree.point_entries(point, &mut *self.pool.borrow_mut());
+    fn point_query(&self, point: &Point) -> QueryStats {
+        let before = self.disk.local_stats();
+        let candidates = self.tree.point_entries(point, &mut *lock_pool(&self.pool));
         let oids: Vec<ObjectId> = candidates.iter().map(|e| e.oid).collect();
         self.read_objects(&oids);
         QueryStats {
             candidates: oids.len(),
             result_bytes: oids.iter().map(|o| u64::from(self.sizes[o])).sum(),
-            io_ms: self.disk.stats().since(&before).io_ms,
+            io_ms: self.disk.local_stats().since(&before).io_ms,
         }
     }
 
-    fn fetch_object(&mut self, oid: ObjectId) {
+    fn fetch_object(&self, oid: ObjectId) {
         let pages = self.object_pages(oid);
-        self.pool
-            .borrow_mut()
-            .read_set(&pages, SeekPolicy::PerRequest);
+        lock_pool(&self.pool).read_set(&pages, SeekPolicy::PerRequest);
     }
 
     fn occupied_pages(&self) -> u64 {
@@ -161,11 +157,11 @@ impl SpatialStore for SecondaryOrganization {
     }
 
     fn flush(&mut self) {
-        self.pool.borrow_mut().flush();
+        lock_pool(&self.pool).flush();
     }
 
     fn begin_query(&mut self) {
-        let mut pool = self.pool.borrow_mut();
+        let mut pool = lock_pool(&self.pool);
         pool.invalidate_regions(&[self.tree_region, self.file_region]);
         crate::model::warm_directory(&mut pool, &self.tree);
     }
@@ -178,7 +174,7 @@ impl SpatialStore for SecondaryOrganization {
         let Some(mbr) = self.mbrs.remove(&oid) else {
             return false;
         };
-        let outcome = self.tree.delete(oid, &mbr, &mut *self.pool.borrow_mut());
+        let outcome = self.tree.delete(oid, &mbr, &mut *lock_pool(&self.pool));
         debug_assert!(outcome.removed, "index out of sync for {oid}");
         self.locations.remove(&oid);
         if let Some(size) = self.sizes.remove(&oid) {

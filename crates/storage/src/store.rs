@@ -10,19 +10,29 @@
 //! `Workspace::create_database_with`.
 //!
 //! The trait is deliberately **object safe**: everything downstream works
-//! with `&mut dyn SpatialStore`. The contract splits into three groups:
+//! with `&dyn SpatialStore` (queries) or `&mut dyn SpatialStore`
+//! (updates). It is also `Send + Sync`: the contract splits into a
+//! **read path** that takes `&self` — all interior state a query touches
+//! (buffer pool, disk counters) lives behind shared locks, so any number
+//! of threads may query one store concurrently — and a **write path**
+//! that keeps `&mut self`, serializing structural updates through Rust's
+//! ownership rules. The groups:
 //!
-//! 1. **Updates** — [`insert`](SpatialStore::insert),
+//! 1. **Updates** (`&mut self`) — [`insert`](SpatialStore::insert),
 //!    [`bulk_load`](SpatialStore::bulk_load),
-//!    [`delete`](SpatialStore::delete);
-//! 2. **Queries** — [`window_query`](SpatialStore::window_query) /
+//!    [`delete`](SpatialStore::delete), [`flush`](SpatialStore::flush),
+//!    [`begin_query`](SpatialStore::begin_query);
+//! 2. **Queries** (`&self`) — [`window_query`](SpatialStore::window_query) /
 //!    [`point_query`](SpatialStore::point_query) perform the filter step
 //!    *and* transfer the exact representations, charging the simulated
-//!    disk and returning a per-call [`QueryStats`] delta;
+//!    disk and returning a per-call [`QueryStats`] delta (measured
+//!    against the calling thread's I/O tally, so deltas stay correct
+//!    under concurrency);
 //!    [`window_candidates`](SpatialStore::window_candidates) /
 //!    [`point_candidates`](SpatialStore::point_candidates) re-read the
 //!    filter result from the (now warm) directory without charging I/O,
-//!    which is what the refinement step iterates over;
+//!    which is what the refinement step iterates over — the `_into`
+//!    variants accept a scratch buffer so the hot path allocates nothing;
 //! 3. **Bookkeeping** — occupancy, object sizes, buffer control, and
 //!    access to the disk, pool and R\*-tree the store is built on.
 //!
@@ -44,12 +54,14 @@ use std::collections::HashSet;
 
 /// A pluggable storage backend for spatial objects.
 ///
-/// See the [module documentation](self) for the contract. The paper's
-/// three organization models ([`crate::SecondaryOrganization`],
-/// [`crate::PrimaryOrganization`], [`crate::ClusterOrganization`]), the
-/// run-time-chosen [`crate::Organization`] enum and the in-memory
-/// baseline [`crate::MemoryStore`] all implement it.
-pub trait SpatialStore {
+/// See the [module documentation](self) for the contract — in short:
+/// query methods take `&self` and may be called from any thread, update
+/// methods take `&mut self`. The paper's three organization models
+/// ([`crate::SecondaryOrganization`], [`crate::PrimaryOrganization`],
+/// [`crate::ClusterOrganization`]), the run-time-chosen
+/// [`crate::Organization`] enum and the in-memory baseline
+/// [`crate::MemoryStore`] all implement it.
+pub trait SpatialStore: Send + Sync {
     /// Short name used in reports ("sec. org." / "prim. org." /
     /// "cluster org." / "memory").
     fn name(&self) -> &'static str;
@@ -78,34 +90,68 @@ pub trait SpatialStore {
     /// organization's transfer strategy; other stores ignore it.
     ///
     /// Returns the statistics of **this call alone** (not cumulative
-    /// counters): every implementation snapshots the disk before the
-    /// query and reports the delta.
-    fn window_query(&mut self, window: &Rect, technique: WindowTechnique) -> QueryStats;
+    /// counters): every implementation measures the delta against the
+    /// calling thread's I/O tally
+    /// ([`Disk::local_stats`](spatialdb_disk::Disk::local_stats)), so the
+    /// delta is exact even while other threads charge the same disk.
+    fn window_query(&self, window: &Rect, technique: WindowTechnique) -> QueryStats;
 
     /// Point query (§5.5): filter via the R\*-tree, then fetch the exact
     /// representation of each candidate individually. Per-call stats,
     /// like [`window_query`](SpatialStore::window_query).
-    fn point_query(&mut self, point: &Point) -> QueryStats;
+    fn point_query(&self, point: &Point) -> QueryStats;
 
     /// The candidate entries of a window query, read from the in-memory
-    /// directory without charging I/O.
+    /// directory without charging I/O, appended into a caller-supplied
+    /// scratch buffer (cleared first).
     ///
     /// Meant to be called *after* [`window_query`](SpatialStore::window_query)
     /// transferred the exact representations: the refinement step
-    /// iterates over these candidates against the exact geometry.
-    fn window_candidates(&self, window: &Rect) -> Vec<LeafEntry> {
-        self.tree().window_entries(window, &mut NoIo)
+    /// iterates over these candidates against the exact geometry,
+    /// reusing one buffer across queries instead of allocating per call.
+    ///
+    /// **This is the method the engine calls** (the query cursor and the
+    /// parallel executor). A backend that sources candidates from
+    /// somewhere other than [`tree`](SpatialStore::tree) must override
+    /// the `_into` form; overriding only the allocating
+    /// [`window_candidates`](SpatialStore::window_candidates) wrapper
+    /// does not change what queries see.
+    fn window_candidates_into(&self, window: &Rect, out: &mut Vec<LeafEntry>) {
+        self.tree().window_entries_into(window, &mut NoIo, out)
     }
 
     /// The candidate entries of a point query, read without charging
-    /// I/O (see [`window_candidates`](SpatialStore::window_candidates)).
+    /// I/O, appended into a scratch buffer. Like
+    /// [`window_candidates_into`](SpatialStore::window_candidates_into),
+    /// this `_into` form is the engine's call point — override it, not
+    /// the allocating wrapper.
+    fn point_candidates_into(&self, point: &Point, out: &mut Vec<LeafEntry>) {
+        self.tree().point_entries_into(point, &mut NoIo, out)
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`window_candidates_into`](SpatialStore::window_candidates_into).
+    /// Not called by the engine; do not override it to change candidate
+    /// sourcing.
+    fn window_candidates(&self, window: &Rect) -> Vec<LeafEntry> {
+        let mut out = Vec::new();
+        self.window_candidates_into(window, &mut out);
+        out
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`point_candidates_into`](SpatialStore::point_candidates_into).
+    /// Not called by the engine; do not override it to change candidate
+    /// sourcing.
     fn point_candidates(&self, point: &Point) -> Vec<LeafEntry> {
-        self.tree().point_entries(point, &mut NoIo)
+        let mut out = Vec::new();
+        self.point_candidates_into(point, &mut out);
+        out
     }
 
     /// Fetch one object's exact representation through the buffer (the
     /// join's object-transfer step for non-clustered stores).
-    fn fetch_object(&mut self, oid: ObjectId);
+    fn fetch_object(&self, oid: ObjectId);
 
     /// The join's object transfer (§6.2): fetch `oid`, batching the
     /// other join-relevant objects (`needed`) that live nearby according
@@ -115,7 +161,7 @@ pub trait SpatialStore {
     /// object; the cluster organization overrides it to transfer whole
     /// cluster units / SLM schedules.
     fn fetch_for_join(
-        &mut self,
+        &self,
         oid: ObjectId,
         needed: &HashSet<ObjectId>,
         technique: TransferTechnique,

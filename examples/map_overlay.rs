@@ -54,7 +54,7 @@ fn main() {
 
     // The overlay: a complete intersection join with exact refinement,
     // streamed through the join cursor.
-    let cursor = streets.join(&mut waterways).run();
+    let cursor = streets.join(&waterways).run();
     let stats = cursor.stats();
     let crossings = cursor.pairs();
     println!(

@@ -76,7 +76,7 @@ fn main() {
     rivers.finish_loading();
 
     // Spatial join: which streets cross which rivers?
-    let bridges = streets.join(&mut rivers).run();
+    let bridges = streets.join(&rivers).run();
     let stats = bridges.stats();
     let pairs = bridges.pairs();
     println!("street x river crossings: {pairs:?}");

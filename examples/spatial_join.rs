@@ -9,7 +9,9 @@ use spatialdb::disk::Disk;
 use spatialdb::experiments::{build_organization_on, records_of, ClusterSizing};
 use spatialdb::join::{JoinConfig, SpatialJoin};
 use spatialdb::report::{f, Table};
-use spatialdb::storage::{new_shared_pool, OrganizationKind, SpatialStore, TransferTechnique};
+use spatialdb::storage::{
+    lock_pool, new_shared_pool, OrganizationKind, SpatialStore, TransferTechnique,
+};
 
 fn main() {
     let series = SeriesId::A;
@@ -57,7 +59,7 @@ fn main() {
         // 640-page LRU buffer.
         let disk = Disk::with_defaults();
         let pool = new_shared_pool(disk.clone(), 640);
-        let (mut r, _) = build_organization_on(
+        let (r, _) = build_organization_on(
             kind,
             &records_of(&m1.objects),
             smax,
@@ -65,7 +67,7 @@ fn main() {
             disk.clone(),
             pool.clone(),
         );
-        let (mut s, _) = build_organization_on(
+        let (s, _) = build_organization_on(
             kind,
             &records_of(&m2.objects),
             smax,
@@ -73,9 +75,9 @@ fn main() {
             disk.clone(),
             pool,
         );
-        r.pool().borrow_mut().reset(640);
+        lock_pool(&r.pool()).reset(640);
         disk.reset_stats();
-        let stats = SpatialJoin::new(&mut r, &mut s).run(JoinConfig {
+        let stats = SpatialJoin::new(&r, &s).run(JoinConfig {
             transfer: TransferTechnique::Complete,
             exact_test_ms: 0.75,
         });

@@ -167,7 +167,7 @@ fn join_exact_results_match_brute_force() {
     }
     a.finish_loading();
     b.finish_loading();
-    let cursor = a.join(&mut b).config(JoinConfig::default()).run();
+    let cursor = a.join(&b).config(JoinConfig::default()).run();
     let stats = cursor.stats();
     let got = cursor.pairs();
     let mut want = Vec::new();

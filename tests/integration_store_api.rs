@@ -147,7 +147,7 @@ fn per_query_io_isolated_between_databases_of_one_workspace() {
 fn cursor_streams_geometry_references() {
     let map = SpatialMap::generate(a1(), 0.002, GeometryMode::Full, 11);
     let ws = Workspace::new(256);
-    let mut db = load(&ws, OrganizationKind::Cluster, &map);
+    let db = load(&ws, OrganizationKind::Cluster, &map);
     let w = Rect::new(0.1, 0.1, 0.9, 0.9);
     for (id, geometry) in db.query().window(w).run() {
         // Every yielded geometry really intersects and matches the map's.
@@ -169,7 +169,7 @@ fn point_queries_agree_across_stores() {
     let mut per_kind = Vec::new();
     for kind in ALL_KINDS {
         let ws = Workspace::new(256);
-        let mut db = load(&ws, kind, &map);
+        let db = load(&ws, kind, &map);
         let answers: Vec<Vec<u64>> = points
             .iter()
             .map(|p| db.query().point(*p).run().ids())
