@@ -12,7 +12,7 @@ use spatialdb::disk::Disk;
 use spatialdb::experiments::{build_organization_on, records_of, ClusterSizing};
 use spatialdb::join::SpatialJoin;
 use spatialdb::storage::{
-    lock_pool, new_shared_pool, Organization, OrganizationKind, SpatialStore, TransferTechnique,
+    new_shared_pool, Organization, OrganizationKind, SpatialStore, TransferTechnique,
 };
 use std::hint::black_box;
 
@@ -66,7 +66,7 @@ fn bench_join_orgs(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    lock_pool(&r.pool()).reset(640);
+                    r.pool().reset(640);
                     r.disk().reset_stats();
                     let stats = SpatialJoin::new(&r, &s).run_io_only(TransferTechnique::Complete);
                     black_box(stats.mbr_pairs)
@@ -89,7 +89,7 @@ fn bench_join_techniques(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                lock_pool(&r.pool()).reset(640);
+                r.pool().reset(640);
                 r.disk().reset_stats();
                 let stats = SpatialJoin::new(&r, &s).run_io_only(tech);
                 black_box(stats.mbr_pairs)

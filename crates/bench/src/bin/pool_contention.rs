@@ -1,0 +1,108 @@
+//! Buffer-pool lock-contention benchmark: hit-path page-access
+//! throughput of the sharded pool over a threads × shards grid,
+//! emitted as `BENCH_pool_contention.json`.
+//!
+//! The workload isolates the replacement-state lock: every worker
+//! re-reads a pre-warmed working set, so each access is a buffer hit
+//! (shard lock + LRU touch, no disk-mutex traffic). With one shard all
+//! threads serialize on one lock — the pre-sharding engine's behaviour;
+//! with more shards the page hash spreads the accesses over
+//! independent locks. Each cell reports two measures:
+//!
+//! * `accesses_per_sec` — wall-clock throughput (scales with the shard
+//!   count on multi-core machines);
+//! * `blocked_acquisitions` — shard-lock acquisitions that found the
+//!   lock held by another thread
+//!   ([`ShardedPool::lock_contentions`]), the hardware-independent
+//!   contention measure: it drops with the shard count even when the
+//!   machine's core count hides the effect from wall-clock time.
+//!
+//! Pass `--ops N` for accesses per thread, `--out PATH` for the report
+//! location.
+
+use spatialdb::disk::{Disk, PageId, ShardedPool};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Pages per thread in the warm working set.
+const PAGES_PER_THREAD: u64 = 256;
+
+fn run_cell(threads: usize, shards: usize, ops_per_thread: u64) -> (f64, u64) {
+    let disk = Disk::with_defaults();
+    let region = disk.create_region("contention");
+    // Budget sized so the whole working set stays resident in every
+    // shard (2x slack for the page-hash imbalance).
+    let capacity = (threads as u64 * PAGES_PER_THREAD * 2) as usize;
+    let pool = Arc::new(ShardedPool::with_shards(disk.clone(), capacity, shards));
+    let total_pages = threads as u64 * PAGES_PER_THREAD;
+    for o in 0..total_pages {
+        pool.read_page(PageId::new(region, o));
+    }
+    assert_eq!(
+        pool.len() as u64,
+        total_pages,
+        "working set must stay resident"
+    );
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            let pool = pool.clone();
+            scope.spawn(move || {
+                // Each thread walks the whole working set with its own
+                // stride, so accesses interleave across all shards.
+                let stride = 2 * t + 1;
+                let mut o = t * PAGES_PER_THREAD;
+                for _ in 0..ops_per_thread {
+                    let hit = pool.read_page(PageId::new(region, o % total_pages));
+                    debug_assert!(hit, "warm page must hit");
+                    o = o.wrapping_add(stride);
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let ops_per_sec = (threads as u64 * ops_per_thread) as f64 / secs;
+    (ops_per_sec, pool.lock_contentions())
+}
+
+fn main() {
+    let ops_per_thread: u64 = arg("--ops").and_then(|s| s.parse().ok()).unwrap_or(400_000);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let out_path = arg("--out").unwrap_or_else(|| "BENCH_pool_contention.json".to_string());
+    let thread_grid = [1usize, 2, 4, 8];
+    let shard_grid = [1usize, 2, 4, 8, 16];
+
+    println!("pool contention: {ops_per_thread} hit-path accesses per thread");
+    let mut rows = Vec::new();
+    for &threads in &thread_grid {
+        for &shards in &shard_grid {
+            // Warm-up pass to stabilize the cell, then the measured run.
+            run_cell(threads, shards, ops_per_thread / 8);
+            let (ops_per_sec, blocked) = run_cell(threads, shards, ops_per_thread);
+            println!(
+                "  {threads} thread(s) x {shards:2} shard(s): {ops_per_sec:12.0} accesses/s  \
+                 {blocked:9} blocked acquisitions"
+            );
+            rows.push(format!(
+                "    {{\"threads\": {threads}, \"shards\": {shards}, \
+                 \"accesses_per_sec\": {ops_per_sec:.0}, \"blocked_acquisitions\": {blocked}}}"
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pool_contention\",\n  \"ops_per_thread\": {ops_per_thread},\n  \
+         \"pages_per_thread\": {PAGES_PER_THREAD},\n  \"workload\": \"warm hit path\",\n  \
+         \"cores\": {cores},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write bench report");
+    println!("wrote {out_path}");
+}

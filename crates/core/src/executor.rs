@@ -8,17 +8,33 @@
 //!   is inherently serial: which accesses become requests depends on the
 //!   exact order pages enter the shared buffer. The executor therefore
 //!   issues the filter steps of a batch **in submission order** on the
-//!   calling thread, which makes the per-query and aggregate
+//!   calling thread by default, which makes the per-query and aggregate
 //!   [`QueryStats`]/[`IoStats`] *identical* to running the same queries
 //!   sequentially — deterministic at every thread count.
 //! * the **refinement step** (exact geometry tests) is pure CPU over
 //!   immutable state, and is fanned across a scoped thread pool.
 //!
+//! Since the buffer pool is sharded
+//! ([`ShardedPool`](spatialdb_disk::ShardedPool)), the filter steps *can*
+//! also overlap: [`FilterMode::Overlapped`] fans whole queries
+//! (filter + refinement) across the worker pool. Per-query deltas stay
+//! exact — each worker measures against its own thread-local I/O tally —
+//! and queries whose page sets hash to **disjoint shards** proceed
+//! without ever contending, producing the same hit/miss classification
+//! as the serialized order. Queries that do share pages may interleave
+//! in the shared LRU state, so aggregate `io_ms` is
+//! schedule-dependent; with `n_threads <= 1` the overlapped mode
+//! degenerates to submission order and stays byte-deterministic (the
+//! single-thread path). Use the default [`FilterMode::Serialized`]
+//! whenever reproducing the paper's figures.
+//!
 //! Entry points: [`Query::run_par`](crate::query::Query::run_par) for
 //! one query, [`Workspace::run_batch`](crate::db::Workspace::run_batch)
 //! for a batch (the queries may target different databases — anything
 //! `Send + Sync`, which every [`SpatialStore`](spatialdb_storage::SpatialStore)
-//! is).
+//! is), and
+//! [`Workspace::run_batch_overlapped`](crate::db::Workspace::run_batch_overlapped)
+//! for the concurrent filter phase.
 
 use crate::query::{candidate_ids, execute_filter, refined_geometry, Query, Target};
 use spatialdb_disk::IoStats;
@@ -124,31 +140,35 @@ struct Prepared<'a> {
     io: IoStats,
 }
 
+/// Execute one query's filter step and candidate re-read. Both are the
+/// cursor path's own helpers ([`execute_filter`], [`candidate_ids`]),
+/// and both the serialized and the overlapped scheduling go through
+/// this one function — neither executor path can drift from
+/// `Query::run` or from each other.
+fn prepare_one<'a>(q: Query<'a>, scratch: &mut Vec<LeafEntry>) -> Prepared<'a> {
+    let db = q.db;
+    let target = q
+        .target
+        .expect("Query::run() needs .window(..) or .point(..) first");
+    let technique = q.technique.unwrap_or(db.technique);
+    let (stats, io) = execute_filter(db, &target, technique);
+    let candidates = candidate_ids(db, &target, scratch);
+    Prepared {
+        db,
+        target,
+        candidates,
+        stats,
+        io,
+    }
+}
+
 /// Execute the filter steps in submission order on the calling thread,
-/// reusing one candidate scratch buffer across the whole batch. Both
-/// the filter execution and the candidate re-read are the cursor path's
-/// own helpers ([`execute_filter`], [`candidate_ids`]), so the executor
-/// cannot drift from `Query::run`.
+/// reusing one candidate scratch buffer across the whole batch.
 fn filter_phase(queries: Vec<Query<'_>>) -> Vec<Prepared<'_>> {
     let mut scratch: Vec<LeafEntry> = Vec::new();
     queries
         .into_iter()
-        .map(|q| {
-            let db = q.db;
-            let target = q
-                .target
-                .expect("Query::run() needs .window(..) or .point(..) first");
-            let technique = q.technique.unwrap_or(db.technique);
-            let (stats, io) = execute_filter(db, &target, technique);
-            let candidates = candidate_ids(db, &target, &mut scratch);
-            Prepared {
-                db,
-                target,
-                candidates,
-                stats,
-                io,
-            }
-        })
+        .map(|q| prepare_one(q, &mut scratch))
         .collect()
 }
 
@@ -162,10 +182,99 @@ fn refine(db: &crate::db::SpatialDatabase, target: &Target, candidates: &[u64]) 
         .collect()
 }
 
+/// How a batch's filter steps are scheduled (the refinement step always
+/// fans across the worker pool).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FilterMode {
+    /// Issue the filter steps in submission order on the calling
+    /// thread: per-query and aggregate stats are byte-identical to
+    /// sequential execution at every thread count. The default, and
+    /// the mode every paper figure runs under.
+    #[default]
+    Serialized,
+    /// Fan whole queries (filter + refinement) across the worker pool.
+    /// Per-query deltas stay exact (thread-local tallies); queries
+    /// whose page sets hit disjoint shards of the
+    /// [`ShardedPool`](spatialdb_disk::ShardedPool) never contend and
+    /// classify hits/misses as in submission order, while overlapping
+    /// page sets make the aggregate `io_ms` schedule-dependent. With
+    /// `n_threads <= 1` this degenerates to the serialized order
+    /// (deterministic single-thread path).
+    Overlapped,
+}
+
 /// Run a batch: serial deterministic filter phase, then refinement
 /// fanned across `n_threads` scoped worker threads (contiguous chunks of
 /// the batch, merged back in submission order).
 pub fn run_batch(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutcome {
+    run_batch_with(queries, n_threads, FilterMode::Serialized)
+}
+
+/// Run a batch under an explicit [`FilterMode`].
+pub fn run_batch_with(queries: Vec<Query<'_>>, n_threads: usize, mode: FilterMode) -> BatchOutcome {
+    match mode {
+        // Overlapped scheduling only differs once two workers exist;
+        // at one thread the serialized path *is* the overlap order,
+        // which keeps the single-thread path deterministic.
+        FilterMode::Overlapped if n_threads > 1 => run_batch_overlapped(queries, n_threads),
+        _ => run_batch_serialized(queries, n_threads),
+    }
+}
+
+/// Overlapped scheduling: contiguous chunks of the batch, each worker
+/// running filter + refinement per query against the shared (sharded)
+/// pool, outcomes merged back in submission order. Each worker measures
+/// its queries against its own thread-local I/O tally, so the per-query
+/// deltas are exact even while the workers charge the same disk
+/// concurrently.
+fn run_batch_overlapped(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutcome {
+    if queries.is_empty() {
+        return BatchOutcome {
+            outcomes: Vec::new(),
+        };
+    }
+    let threads = n_threads.clamp(1, queries.len());
+    let per = queries.len().div_ceil(threads);
+    let chunks: Vec<Vec<Query<'_>>> = {
+        let mut chunks = Vec::with_capacity(threads);
+        let mut rest = queries;
+        while !rest.is_empty() {
+            let tail = rest.split_off(per.min(rest.len()));
+            chunks.push(rest);
+            rest = tail;
+        }
+        chunks
+    };
+    let outcomes: Vec<QueryOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut scratch: Vec<LeafEntry> = Vec::new();
+                    chunk
+                        .into_iter()
+                        .map(|q| {
+                            let p = prepare_one(q, &mut scratch);
+                            let ids = refine(p.db, &p.target, &p.candidates);
+                            QueryOutcome {
+                                ids,
+                                stats: p.stats,
+                                io: p.io,
+                            }
+                        })
+                        .collect::<Vec<QueryOutcome>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("overlapped query worker panicked"))
+            .collect()
+    });
+    BatchOutcome { outcomes }
+}
+
+fn run_batch_serialized(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutcome {
     let prepared = filter_phase(queries);
     if prepared.is_empty() {
         return BatchOutcome {

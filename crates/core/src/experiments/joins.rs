@@ -6,8 +6,7 @@ use spatialdb_data::{DataSet, MapId, SeriesId};
 use spatialdb_disk::Disk;
 use spatialdb_join::{JoinConfig, SpatialJoin};
 use spatialdb_storage::{
-    lock_pool, new_shared_pool, ObjectRecord, Organization, OrganizationKind, SpatialStore,
-    TransferTechnique,
+    new_shared_pool, ObjectRecord, Organization, OrganizationKind, SpatialStore, TransferTechnique,
 };
 
 /// One calibrated join version (§6.1: version *a* ≈ 0.65 intersections
@@ -143,7 +142,11 @@ pub fn join_orgs(scale: &Scale, series: SeriesId) -> Vec<JoinOrgRow> {
             let mut mbr_pairs = 0u64;
             for (i, (r, s)) in per_kind.iter_mut().enumerate() {
                 let disk = r.disk();
-                lock_pool(&r.pool()).reset(buffer);
+                // Bin boundary: `reset` writes back any dirty pages
+                // *before* the counters are zeroed, so boundary
+                // writebacks are charged to the boundary (not silently
+                // dropped) and the measured bin stays join-only.
+                r.pool().reset(buffer);
                 disk.reset_stats();
                 let stats = SpatialJoin::new(r, s).run_io_only(TransferTechnique::Complete);
                 io_seconds[i] = stats.io_seconds();
@@ -191,7 +194,7 @@ pub fn join_techniques(scale: &Scale, series: SeriesId) -> Vec<JoinTechRow> {
             let mut io_seconds = [0.0f64; 4];
             for (i, tech) in FIG16_TECHNIQUES.iter().enumerate() {
                 let disk = r.disk();
-                lock_pool(&r.pool()).reset(buffer);
+                r.pool().reset(buffer);
                 disk.reset_stats();
                 let stats = SpatialJoin::new(&r, &s).run_io_only(*tech);
                 io_seconds[i] = stats.io_seconds();
@@ -242,7 +245,7 @@ pub fn join_breakdown(scale: &Scale, buffer_pages: usize) -> Vec<JoinBreakdownRo
         for kind in [OrganizationKind::Secondary, OrganizationKind::Cluster] {
             let (r, s) = build_join_pair(scale, series, version.inflation, kind);
             let disk = r.disk();
-            lock_pool(&r.pool()).reset(buffer_pages);
+            r.pool().reset(buffer_pages);
             disk.reset_stats();
             let stats = SpatialJoin::new(&r, &s).run(JoinConfig {
                 transfer: TransferTechnique::Complete,

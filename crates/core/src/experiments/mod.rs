@@ -25,7 +25,7 @@ pub mod windows;
 use spatialdb_data::{GeometryMode, MapObject, SpatialMap};
 use spatialdb_disk::{Disk, DiskHandle, IoStats};
 use spatialdb_storage::{
-    lock_pool, new_shared_pool, ClusterConfig, ClusterOrganization, ObjectRecord, Organization,
+    new_shared_pool, ClusterConfig, ClusterOrganization, ObjectRecord, Organization,
     OrganizationKind, PrimaryOrganization, SecondaryOrganization, SpatialStore,
 };
 
@@ -173,12 +173,12 @@ fn build_into(
     // (every relocated entry rewrites a data page) and lets the cluster
     // organization win Figure 5 despite copying objects on cluster
     // splits.
-    lock_pool(&org.pool()).set_write_through(true);
+    org.pool().set_write_through(true);
     for rec in records {
         org.insert(rec);
     }
     org.flush();
-    lock_pool(&org.pool()).set_write_through(false);
+    org.pool().set_write_through(false);
     let stats = disk.stats().since(&before);
     (org, stats)
 }

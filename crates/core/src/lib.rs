@@ -78,7 +78,7 @@ pub mod query;
 pub mod report;
 
 pub use db::{DbOptions, SpatialDatabase, Workspace};
-pub use executor::{BatchOutcome, QueryOutcome};
+pub use executor::{BatchOutcome, FilterMode, QueryOutcome};
 pub use query::{JoinCursor, JoinQuery, Query, ResultCursor};
 
 pub use spatialdb_data as data;

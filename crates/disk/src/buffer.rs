@@ -41,7 +41,7 @@ pub enum SeekPolicy {
 }
 
 impl SeekPolicy {
-    fn skip_seek(&self, request_index: u64) -> bool {
+    pub(crate) fn skip_seek(&self, request_index: u64) -> bool {
         match self {
             SeekPolicy::PerRequest => false,
             SeekPolicy::WithinCluster { initial_seek } => !(*initial_seek && request_index == 0),
@@ -560,13 +560,16 @@ impl BufferPool {
 
     /// Bulk sequential write of a fresh extent (e.g. a cluster split
     /// writing a new cluster unit): one request, bypassing the buffer.
+    ///
+    /// Buffered copies of the extent's pages are **evicted**: the write
+    /// replaced their contents on disk, so keeping them (even clean)
+    /// would let later reads hit on stale data. Their dirty flags are
+    /// dropped without a writeback — the extent write itself supersedes
+    /// whatever the buffered copy would have written back.
     pub fn write_extent(&mut self, extent: PageRun) {
         self.disk.charge(IoKind::Write, extent, false);
-        // Pages written this way replace any stale buffered copies.
         for p in extent.pages() {
-            if self.buf.contains(&p) {
-                self.buf.clear_dirty(&p);
-            }
+            self.buf.remove(&p);
         }
     }
 
@@ -581,16 +584,22 @@ impl BufferPool {
         }
     }
 
-    /// Drop every buffered page without writing anything (experiment
-    /// boundary where the buffer must start cold).
+    /// Drop every buffered page (experiment boundary where the buffer
+    /// must start cold), **writing back dirty pages first** — dropping
+    /// them silently would deflate the experiment's write counts by the
+    /// deferred writebacks the workload actually incurred.
     pub fn invalidate_all(&mut self) {
+        self.flush();
         let cap = self.buf.capacity();
         self.buf = LruBuffer::new(cap);
     }
 
     /// Replace the buffer with an empty one of `capacity` pages (the
     /// buffer-size sweeps of Figures 14 and 16 resize between runs).
+    /// Dirty pages are written back first, like
+    /// [`invalidate_all`](BufferPool::invalidate_all).
     pub fn reset(&mut self, capacity: usize) {
+        self.flush();
         self.buf = LruBuffer::new(capacity);
     }
 }
@@ -775,6 +784,56 @@ mod tests {
         assert_eq!(s.pages_written, 10);
         assert_eq!(s.io_ms, 25.0); // 9 + 6 + 10
         assert_eq!(pool.buffer().len(), 0);
+    }
+
+    #[test]
+    fn write_extent_evicts_stale_buffered_copies() {
+        let (disk, mut pool, r) = pool(8);
+        pool.read_page(pg(r, 2));
+        pool.update_page(pg(r, 3)); // buffered dirty
+        disk.reset_stats();
+        pool.write_extent(PageRun::new(pg(r, 0), 6));
+        // The replaced copies are gone: a subsequent read is a miss on
+        // the rewritten data, not a hit on the stale copy.
+        assert!(!pool.buffer().contains(&pg(r, 2)));
+        assert!(!pool.buffer().contains(&pg(r, 3)));
+        assert!(!pool.read_page(pg(r, 2)), "stale page must not hit");
+        // The dirty flag was superseded by the extent write: exactly one
+        // write request (the extent), no writeback of page 3.
+        assert_eq!(disk.stats().write_requests, 1);
+        assert_eq!(disk.stats().pages_written, 6);
+    }
+
+    #[test]
+    fn invalidate_all_writes_back_dirty_pages() {
+        let (disk, mut pool, r) = pool(8);
+        pool.write_page(pg(r, 0));
+        pool.write_page(pg(r, 1));
+        pool.read_page(pg(r, 5));
+        disk.reset_stats();
+        pool.invalidate_all();
+        // Experiment boundary: the deferred writebacks are charged (one
+        // run for the consecutive dirty pages), clean pages just drop.
+        let s = disk.stats();
+        assert_eq!(s.write_requests, 1);
+        assert_eq!(s.pages_written, 2);
+        assert_eq!(pool.buffer().len(), 0);
+    }
+
+    #[test]
+    fn reset_writes_back_dirty_pages_before_resizing() {
+        let (disk, mut pool, r) = pool(8);
+        pool.write_page(pg(r, 4));
+        disk.reset_stats();
+        pool.reset(16);
+        assert_eq!(disk.stats().write_requests, 1);
+        assert_eq!(disk.stats().pages_written, 1);
+        assert_eq!(pool.buffer().capacity(), 16);
+        assert_eq!(pool.buffer().len(), 0);
+        // A clean pool resets for free.
+        disk.reset_stats();
+        pool.reset(8);
+        assert_eq!(disk.stats().requests(), 0);
     }
 
     #[test]

@@ -31,9 +31,12 @@
 //! meaningful. Since the thread-safety refactor every type here is
 //! `Send + Sync` — the disk's counters live behind a mutex (with a
 //! thread-local tally for per-query deltas, see
-//! [`disk::Disk::local_stats`]), and a [`buffer::BufferPool`] is shared
-//! between threads behind `Arc<Mutex<…>>` (the storage layer's
-//! `SharedPool`).
+//! [`disk::Disk::local_stats`]), and the buffer shared between threads
+//! is the [`shard::ShardedPool`] (the storage layer's `SharedPool`):
+//! N page-hash shards, each its own lock and LRU list, under one
+//! capacity budget. With one shard it is byte-identical to the
+//! single-lock [`buffer::BufferPool`], which remains the reference
+//! implementation (and the private scratch pool of the parallel join).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,12 +47,14 @@ pub mod buffer;
 pub mod disk;
 pub mod model;
 pub mod schedule;
+pub mod shard;
 pub mod stats;
 
 pub use alloc::{ExtentAllocator, SequentialAllocator};
 pub use buddy::{BuddyAllocator, BuddyConfig};
 pub use buffer::{BufferPool, LruBuffer, ReadMode, SeekPolicy};
-pub use disk::{Disk, DiskHandle};
+pub use disk::{Disk, DiskHandle, ScratchTally};
 pub use model::{DiskParams, PageId, PageRun, RegionId, PAGE_SIZE};
 pub use schedule::{slm_gap_limit, slm_schedule, ScheduledRun};
+pub use shard::ShardedPool;
 pub use stats::{IoKind, IoStats};

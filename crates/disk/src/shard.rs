@@ -1,0 +1,847 @@
+//! The sharded buffer pool: N page-hash shards, each with its own lock
+//! and LRU state, under one global capacity budget.
+//!
+//! [`BufferPool`](crate::buffer::BufferPool) is the reference
+//! single-lock implementation; behind an `Arc<Mutex<…>>` every
+//! concurrent page access serializes on that one lock. [`ShardedPool`]
+//! splits the *replacement state* by page hash so that readers touching
+//! disjoint pages contend only on their shard's lock (cf. the
+//! directory-per-region buffers of classic multi-user grid-file
+//! systems), while the disk accounting stays global.
+//!
+//! ## The stats-determinism contract
+//!
+//! * **One shard** (the default of the storage layer): the single
+//!   shard's LRU is the global LRU, and every operation charges the
+//!   disk in exactly the order [`BufferPool`] would — a `ShardedPool`
+//!   with `shards == 1` produces **byte-identical
+//!   [`IoStats`](crate::stats::IoStats)** to the single-lock pool for
+//!   any single-threaded operation sequence (asserted by the mirror
+//!   test below). This is the configuration the paper's figures run
+//!   under.
+//! * **N shards**: the capacity budget is split into per-shard quotas
+//!   (rebalanced on [`reset`](ShardedPool::reset)), so the total
+//!   buffered pages never exceed the budget, and every page access is
+//!   still classified hit-or-miss exactly once — but *which* accesses
+//!   hit depends on the per-shard LRU horizon, so `io_ms` may differ
+//!   from the 1-shard figure. Use N > 1 for concurrent-throughput
+//!   workloads, 1 shard to reproduce the paper.
+//!
+//! Lock discipline: an operation holds at most one shard lock at a
+//! time, except the stop-the-world operations ([`flush`](ShardedPool::flush),
+//! [`invalidate_all`](ShardedPool::invalidate_all),
+//! [`reset`](ShardedPool::reset), [`dirty_pages`](ShardedPool::dirty_pages)),
+//! which acquire all shard locks in ascending index order. The disk's
+//! counter mutex is only ever taken *under* shard locks, never the
+//! reverse. This ordering is acyclic, so the pool cannot deadlock.
+
+use crate::buffer::{LruBuffer, ReadMode, ReadOutcome, SeekPolicy};
+use crate::disk::DiskHandle;
+use crate::model::{runs_of, PageId, PageRun, RegionId};
+use crate::schedule::{slm_schedule, ScheduledRun};
+use crate::stats::IoKind;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// An LRU page buffer sharded by page hash, safe to drive from `&self`
+/// on any number of threads.
+///
+/// Mirrors the full [`BufferPool`](crate::buffer::BufferPool) front-end
+/// API (reads, writes, extents, SLM schedules, flush/invalidate/reset)
+/// with interior locking. See the [module docs](self) for the
+/// determinism contract.
+#[derive(Debug)]
+pub struct ShardedPool {
+    disk: DiskHandle,
+    shards: Box<[Mutex<LruBuffer>]>,
+    /// Total capacity budget in pages (sum of the per-shard quotas).
+    capacity: AtomicUsize,
+    write_through: AtomicBool,
+    /// Page accesses served from the buffer (requested pages only).
+    hits: AtomicU64,
+    /// Page accesses that required a transfer (requested pages only).
+    misses: AtomicU64,
+    /// Shard-lock acquisitions that found the lock held by another
+    /// thread (the contention the sharding exists to eliminate).
+    contended: AtomicU64,
+}
+
+/// Per-shard quota of a `capacity`-page budget split `n` ways: the
+/// first `capacity % n` shards take the remainder pages.
+fn quota(capacity: usize, n: usize, shard: usize) -> usize {
+    capacity / n + usize::from(shard < capacity % n)
+}
+
+impl ShardedPool {
+    /// Create a pool of `capacity` pages over `disk` with a **single
+    /// shard** — the byte-compatible drop-in for the single-lock
+    /// [`BufferPool`](crate::buffer::BufferPool).
+    pub fn new(disk: DiskHandle, capacity: usize) -> Self {
+        Self::with_shards(disk, capacity, 1)
+    }
+
+    /// Create a pool of `capacity` total pages split across `shards`
+    /// page-hash shards (at least one).
+    pub fn with_shards(disk: DiskHandle, capacity: usize, shards: usize) -> Self {
+        let n = shards.max(1);
+        let shards: Vec<Mutex<LruBuffer>> = (0..n)
+            .map(|i| Mutex::new(LruBuffer::new(quota(capacity, n, i))))
+            .collect();
+        ShardedPool {
+            disk,
+            shards: shards.into_boxed_slice(),
+            capacity: AtomicUsize::new(capacity),
+            write_through: AtomicBool::new(false),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (fixed at construction).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity budget in pages.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Acquire)
+    }
+
+    /// Capacity quota of one shard.
+    pub fn shard_capacity(&self, shard: usize) -> usize {
+        quota(self.capacity(), self.shards.len(), shard)
+    }
+
+    /// The underlying disk handle.
+    #[inline]
+    pub fn disk(&self) -> &DiskHandle {
+        &self.disk
+    }
+
+    /// Switch between write-back (default) and write-through page
+    /// updates (see
+    /// [`BufferPool::set_write_through`](crate::buffer::BufferPool::set_write_through)).
+    pub fn set_write_through(&self, on: bool) {
+        self.write_through.store(on, Ordering::Release);
+    }
+
+    /// Whether write-through mode is active.
+    pub fn write_through(&self) -> bool {
+        self.write_through.load(Ordering::Acquire)
+    }
+
+    /// Cumulative requested-page accesses served from the buffer.
+    ///
+    /// Together with [`misses`](ShardedPool::misses) this counts every
+    /// requested-page access exactly once, whatever the shard count —
+    /// the conservation invariant the shard-equivalence tests assert.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative requested-page accesses that needed a transfer.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative shard-lock acquisitions that found the lock already
+    /// held by another thread and had to block.
+    ///
+    /// The hardware-independent contention measure of the
+    /// `pool_contention` benchmark: more shards spread concurrent
+    /// accesses over more locks, so this count drops as the shard
+    /// count grows — even on machines whose core count hides the
+    /// effect from wall-clock throughput.
+    pub fn lock_contentions(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    /// Shard index of a page (constant 0 for a 1-shard pool, so the
+    /// single shard sees the exact global access order).
+    #[inline]
+    fn shard_of(&self, page: &PageId) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        let key = ((page.region.0 as u64) << 48) ^ page.offset;
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((mixed >> 32) as usize) % self.shards.len()
+    }
+
+    #[inline]
+    fn shard(&self, page: &PageId) -> MutexGuard<'_, LruBuffer> {
+        let mutex = &self.shards[self.shard_of(page)];
+        match mutex.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                mutex.lock().expect("buffer shard poisoned")
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("buffer shard poisoned"),
+        }
+    }
+
+    /// Lock every shard in ascending index order (stop-the-world ops).
+    fn lock_all(&self) -> Vec<MutexGuard<'_, LruBuffer>> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("buffer shard poisoned"))
+            .collect()
+    }
+
+    /// Charge the writebacks of dirty evictions (clean evictions are
+    /// free), exactly like the single-lock pool.
+    fn charge_evictions(&self, evicted: Vec<(PageId, bool)>) {
+        for (page, dirty) in evicted {
+            if dirty {
+                self.disk
+                    .charge(IoKind::Write, PageRun::new(page, 1), false);
+            }
+        }
+    }
+
+    /// Insert into the page's shard, charging dirty evictions.
+    fn insert_charged(&self, page: PageId, dirty: bool) {
+        let ev = self.shard(&page).insert(page, dirty);
+        self.charge_evictions(ev);
+    }
+
+    /// Read a single page. Returns `true` on a buffer hit.
+    pub fn read_page(&self, page: PageId) -> bool {
+        if self.shard(&page).touch(&page) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.disk.charge(IoKind::Read, PageRun::new(page, 1), false);
+        self.insert_charged(page, false);
+        false
+    }
+
+    /// Blind single-page write (see
+    /// [`BufferPool::write_page`](crate::buffer::BufferPool::write_page)).
+    pub fn write_page(&self, page: PageId) {
+        if self.capacity() == 0 || self.write_through() {
+            self.disk
+                .charge(IoKind::Write, PageRun::new(page, 1), false);
+            if self.capacity() > 0 {
+                self.insert_charged(page, false);
+            }
+            return;
+        }
+        self.insert_charged(page, true);
+    }
+
+    /// Read-modify-write of a single page (see
+    /// [`BufferPool::update_page`](crate::buffer::BufferPool::update_page)).
+    ///
+    /// The whole read-modify-write holds the page's shard lock: were the
+    /// dirty flag set under a second acquisition, a concurrent eviction
+    /// in between would drop the page while still clean and the deferred
+    /// writeback would never be charged.
+    pub fn update_page(&self, page: PageId) -> bool {
+        if self.capacity() == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.disk.charge(IoKind::Read, PageRun::new(page, 1), false);
+            self.disk
+                .charge(IoKind::Write, PageRun::new(page, 1), false);
+            return false;
+        }
+        let mut shard = self.shard(&page);
+        let hit = shard.touch(&page);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.disk.charge(IoKind::Read, PageRun::new(page, 1), false);
+            let ev = shard.insert(page, false);
+            self.charge_evictions(ev);
+        }
+        if self.write_through() {
+            self.disk
+                .charge(IoKind::Write, PageRun::new(page, 1), false);
+        } else {
+            shard.mark_dirty(&page);
+        }
+        hit
+    }
+
+    /// Read a set of pages (sorted, deduplicated); missing pages are
+    /// grouped into maximal consecutive runs (see
+    /// [`BufferPool::read_set`](crate::buffer::BufferPool::read_set)).
+    pub fn read_set(&self, pages: &[PageId], seek: SeekPolicy) -> ReadOutcome {
+        debug_assert!(
+            pages.windows(2).all(|w| w[0] < w[1]),
+            "pages must be sorted"
+        );
+        let mut out = ReadOutcome::default();
+        let mut missing = Vec::new();
+        for p in pages {
+            if self.shard(p).touch(p) {
+                out.buffer_hits += 1;
+            } else {
+                missing.push(*p);
+            }
+        }
+        self.hits.fetch_add(out.buffer_hits, Ordering::Relaxed);
+        self.misses
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        for run in runs_of(&missing) {
+            self.disk
+                .charge(IoKind::Read, run, seek.skip_seek(out.requests));
+            out.requests += 1;
+            out.pages_transferred += run.len;
+        }
+        for p in missing {
+            self.insert_charged(p, false);
+        }
+        out
+    }
+
+    /// Insert pages without charging I/O, pinned against eviction (see
+    /// [`BufferPool::warm_pinned`](crate::buffer::BufferPool::warm_pinned)).
+    ///
+    /// A shard never pins past its quota: when every resident page of
+    /// the target shard is already pinned, inserting another pinned
+    /// page would overflow the global capacity budget for the life of
+    /// the warm set, so the page is dropped instead (it will be read on
+    /// demand). Unreachable with one shard for warm sets within the
+    /// budget — the single-lock pool's behaviour is unchanged.
+    pub fn warm_pinned(&self, pages: impl IntoIterator<Item = PageId>) {
+        for p in pages {
+            let quota = self.shard_capacity(self.shard_of(&p));
+            let ev = {
+                let mut shard = self.shard(&p);
+                let ev = shard.insert(p, false);
+                if shard.len() > quota {
+                    // Eviction failed (everything pinned): revert the
+                    // insert rather than exceed the budget.
+                    shard.remove(&p);
+                } else {
+                    shard.pin(&p);
+                }
+                ev
+            };
+            self.charge_evictions(ev);
+        }
+    }
+
+    /// Drop all buffered pages of the given regions without writing
+    /// anything (see
+    /// [`BufferPool::invalidate_regions`](crate::buffer::BufferPool::invalidate_regions)).
+    pub fn invalidate_regions(&self, regions: &[RegionId]) {
+        for shard in self.shards.iter() {
+            let mut buf = shard.lock().expect("buffer shard poisoned");
+            let victims: Vec<PageId> = buf
+                .pages()
+                .filter(|p| regions.contains(&p.region))
+                .collect();
+            for p in victims {
+                buf.remove(&p);
+            }
+        }
+    }
+
+    /// Read a complete extent with one request (see
+    /// [`BufferPool::read_full_extent`](crate::buffer::BufferPool::read_full_extent)).
+    pub fn read_full_extent(&self, extent: PageRun) -> ReadOutcome {
+        self.disk.charge(IoKind::Read, extent, false);
+        let mut out = ReadOutcome {
+            requests: 1,
+            pages_transferred: extent.len,
+            buffer_hits: 0,
+        };
+        if self.capacity() == 0 {
+            self.misses.fetch_add(extent.len, Ordering::Relaxed);
+            return out;
+        }
+        for p in extent.pages() {
+            let already = {
+                let mut shard = self.shard(&p);
+                shard.touch(&p)
+            };
+            if already {
+                out.buffer_hits += 1;
+            } else {
+                self.insert_charged(p, false);
+            }
+        }
+        self.hits.fetch_add(out.buffer_hits, Ordering::Relaxed);
+        self.misses
+            .fetch_add(extent.len - out.buffer_hits, Ordering::Relaxed);
+        out
+    }
+
+    /// Read the requested page offsets of `extent` with an SLM schedule
+    /// (see
+    /// [`BufferPool::read_extent_slm`](crate::buffer::BufferPool::read_extent_slm)).
+    pub fn read_extent_slm(
+        &self,
+        extent: PageRun,
+        requested_offsets: &[u64],
+        max_gap: u64,
+        mode: ReadMode,
+        initial_seek: bool,
+    ) -> ReadOutcome {
+        let mut out = ReadOutcome::default();
+        let mut missing = Vec::with_capacity(requested_offsets.len());
+        for &o in requested_offsets {
+            debug_assert!(o < extent.len, "offset {o} outside extent");
+            let p = extent.page(o);
+            if self.shard(&p).touch(&p) {
+                out.buffer_hits += 1;
+            } else {
+                missing.push(o);
+            }
+        }
+        self.hits.fetch_add(out.buffer_hits, Ordering::Relaxed);
+        self.misses
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        let schedule: Vec<ScheduledRun> = slm_schedule(&missing, max_gap);
+        for (i, run) in schedule.iter().enumerate() {
+            let skip = !(initial_seek && i == 0);
+            let page_run = PageRun::new(extent.page(run.start), run.len);
+            self.disk.charge(IoKind::Read, page_run, skip);
+            out.requests += 1;
+            out.pages_transferred += run.len;
+            if self.capacity() == 0 {
+                continue;
+            }
+            for off in run.start..run.start + run.len {
+                let requested = missing.binary_search(&off).is_ok();
+                if mode == ReadMode::Vector && !requested {
+                    continue;
+                }
+                let p = extent.page(off);
+                let mut shard = self.shard(&p);
+                if !shard.contains(&p) {
+                    let ev = shard.insert(p, false);
+                    drop(shard);
+                    self.charge_evictions(ev);
+                } else {
+                    shard.touch(&p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Bulk sequential write of a fresh extent, bypassing the buffer.
+    /// Buffered copies of the extent's pages are evicted — the write
+    /// replaced their contents, so keeping them would let later reads
+    /// hit on stale data (their dirty flags are superseded by this
+    /// write, not written back).
+    pub fn write_extent(&self, extent: PageRun) {
+        self.disk.charge(IoKind::Write, extent, false);
+        for p in extent.pages() {
+            self.shard(&p).remove(&p);
+        }
+    }
+
+    /// Insert a page as clean without charging a read (the *optimum*
+    /// baselines account their transfers via
+    /// [`Disk::charge_raw`](crate::disk::Disk::charge_raw)); dirty
+    /// evictions are still charged.
+    pub fn insert_clean(&self, page: PageId) {
+        self.insert_charged(page, false);
+    }
+
+    /// Touch a page (move to MRU) without any accounting. Returns
+    /// `true` if it was buffered.
+    pub fn touch_page(&self, page: &PageId) -> bool {
+        self.shard(page).touch(page)
+    }
+
+    /// `true` if the page is currently buffered.
+    pub fn contains_page(&self, page: &PageId) -> bool {
+        self.shard(page).contains(page)
+    }
+
+    /// Remove a page from the buffer without any accounting (node
+    /// releases, extents being freed), returning its dirty flag.
+    pub fn remove_page(&self, page: &PageId) -> Option<bool> {
+        self.shard(page).remove(page)
+    }
+
+    /// Unpin a buffered page. Returns `true` if present.
+    pub fn unpin_page(&self, page: &PageId) -> bool {
+        self.shard(page).unpin(page)
+    }
+
+    /// Number of buffered pages across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("buffer shard poisoned").len())
+            .sum()
+    }
+
+    /// `true` if no page is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All dirty pages across all shards, sorted by address.
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        let guards = self.lock_all();
+        let mut dirty: Vec<PageId> = guards.iter().flat_map(|g| g.dirty_pages()).collect();
+        dirty.sort_unstable();
+        dirty
+    }
+
+    /// Write back all dirty pages, grouped into maximal consecutive
+    /// runs across the *global* sorted dirty set — byte-identical run
+    /// formation to the single-lock pool at any shard count.
+    pub fn flush(&self) {
+        let mut guards = self.lock_all();
+        self.flush_locked(&mut guards);
+    }
+
+    fn flush_locked(&self, guards: &mut [MutexGuard<'_, LruBuffer>]) {
+        let mut dirty: Vec<PageId> = guards.iter().flat_map(|g| g.dirty_pages()).collect();
+        dirty.sort_unstable();
+        for run in runs_of(&dirty) {
+            self.disk.charge(IoKind::Write, run, false);
+        }
+        for p in dirty {
+            guards[self.shard_of(&p)].clear_dirty(&p);
+        }
+    }
+
+    /// Drop every buffered page (experiment boundary where the buffer
+    /// must start cold), **writing back dirty pages first** — dropping
+    /// them silently would deflate the experiment's write counts by the
+    /// deferred writebacks the workload actually incurred.
+    pub fn invalidate_all(&self) {
+        let cap = self.capacity();
+        let mut guards = self.lock_all();
+        self.flush_locked(&mut guards);
+        let n = guards.len();
+        for (i, g) in guards.iter_mut().enumerate() {
+            **g = LruBuffer::new(quota(cap, n, i));
+        }
+    }
+
+    /// Replace the buffer with an empty one of `capacity` total pages,
+    /// rebalancing the per-shard quotas (the buffer-size sweeps of
+    /// Figures 14 and 16 resize between runs). Dirty pages are written
+    /// back first, like [`invalidate_all`](ShardedPool::invalidate_all).
+    pub fn reset(&self, capacity: usize) {
+        let mut guards = self.lock_all();
+        self.flush_locked(&mut guards);
+        self.capacity.store(capacity, Ordering::Release);
+        let n = guards.len();
+        for (i, g) in guards.iter_mut().enumerate() {
+            **g = LruBuffer::new(quota(capacity, n, i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::disk::Disk;
+
+    fn pg(r: u16, o: u64) -> PageId {
+        PageId::new(RegionId(r), o)
+    }
+
+    /// Tiny deterministic xorshift for the mirror test (no external
+    /// rand dependency).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    #[test]
+    fn quotas_conserve_capacity() {
+        for cap in [0usize, 1, 7, 64, 1000] {
+            for n in [1usize, 2, 3, 4, 8, 16] {
+                let total: usize = (0..n).map(|i| quota(cap, n, i)).sum();
+                assert_eq!(total, cap, "capacity {cap} over {n} shards");
+                let pool = ShardedPool::with_shards(Disk::with_defaults(), cap, n);
+                let total: usize = (0..n).map(|i| pool.shard_capacity(i)).sum();
+                assert_eq!(total, cap);
+            }
+        }
+    }
+
+    /// The correctness anchor of the refactor: a 1-shard pool mirrors
+    /// the single-lock [`BufferPool`] byte-for-byte — identical disk
+    /// stats after every operation of a randomized op sequence.
+    #[test]
+    fn one_shard_mirrors_buffer_pool() {
+        let disk_a = Disk::with_defaults();
+        let disk_b = Disk::with_defaults();
+        let ra = disk_a.create_region("mirror");
+        let rb = disk_b.create_region("mirror");
+        assert_eq!(ra, rb);
+        let mut reference = BufferPool::new(disk_a.clone(), 16);
+        let sharded = ShardedPool::new(disk_b.clone(), 16);
+        let mut rng = Rng(0x1994_1994_1994_1994);
+        for step in 0..4000u32 {
+            let page = pg(0, rng.below(64));
+            match rng.below(10) {
+                0..=2 => {
+                    assert_eq!(
+                        reference.read_page(page),
+                        sharded.read_page(page),
+                        "step {step}"
+                    );
+                }
+                3 => {
+                    reference.write_page(page);
+                    sharded.write_page(page);
+                }
+                4 => {
+                    assert_eq!(
+                        reference.update_page(page),
+                        sharded.update_page(page),
+                        "step {step}"
+                    );
+                }
+                5 => {
+                    let mut pages: Vec<PageId> =
+                        (0..rng.below(6)).map(|_| pg(0, rng.below(64))).collect();
+                    pages.sort_unstable();
+                    pages.dedup();
+                    let seek = if rng.below(2) == 0 {
+                        SeekPolicy::PerRequest
+                    } else {
+                        SeekPolicy::WithinCluster { initial_seek: true }
+                    };
+                    assert_eq!(
+                        reference.read_set(&pages, seek),
+                        sharded.read_set(&pages, seek),
+                        "step {step}"
+                    );
+                }
+                6 => {
+                    let extent = PageRun::new(pg(0, rng.below(48)), 1 + rng.below(12));
+                    assert_eq!(
+                        reference.read_full_extent(extent),
+                        sharded.read_full_extent(extent),
+                        "step {step}"
+                    );
+                }
+                7 => {
+                    let extent = PageRun::new(pg(0, rng.below(40)), 16);
+                    let mut offsets: Vec<u64> = (0..1 + rng.below(5))
+                        .map(|_| rng.below(extent.len))
+                        .collect();
+                    offsets.sort_unstable();
+                    offsets.dedup();
+                    let mode = if rng.below(2) == 0 {
+                        ReadMode::Normal
+                    } else {
+                        ReadMode::Vector
+                    };
+                    assert_eq!(
+                        reference.read_extent_slm(extent, &offsets, 2, mode, true),
+                        sharded.read_extent_slm(extent, &offsets, 2, mode, true),
+                        "step {step}"
+                    );
+                }
+                8 => {
+                    let extent = PageRun::new(pg(0, rng.below(56)), 1 + rng.below(8));
+                    reference.write_extent(extent);
+                    sharded.write_extent(extent);
+                }
+                _ => match rng.below(4) {
+                    0 => {
+                        reference.flush();
+                        sharded.flush();
+                    }
+                    1 => {
+                        reference.invalidate_all();
+                        sharded.invalidate_all();
+                    }
+                    2 => {
+                        let cap = rng.below(24) as usize;
+                        reference.reset(cap);
+                        sharded.reset(cap);
+                    }
+                    _ => {
+                        let on = rng.below(2) == 0;
+                        reference.set_write_through(on);
+                        sharded.set_write_through(on);
+                    }
+                },
+            }
+            assert_eq!(
+                disk_a.stats(),
+                disk_b.stats(),
+                "stats diverged after step {step}"
+            );
+            assert_eq!(reference.buffer().len(), sharded.len(), "step {step}");
+        }
+        // The sequence exercised real I/O, not a no-op loop.
+        assert!(disk_a.stats().requests() > 1000);
+    }
+
+    #[test]
+    fn shards_partition_pages_and_respect_budget() {
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("data");
+        let pool = ShardedPool::with_shards(disk.clone(), 32, 4);
+        assert_eq!(pool.num_shards(), 4);
+        // Insert far more pages than the budget: the pool never holds
+        // more than its total capacity.
+        for o in 0..400u64 {
+            pool.read_page(PageId::new(r, o));
+        }
+        assert!(pool.len() <= 32, "len {} over budget", pool.len());
+        // Every access was classified exactly once.
+        assert_eq!(pool.hits() + pool.misses(), 400);
+        // Resize rebalances the quotas under the new budget.
+        pool.reset(13);
+        let total: usize = (0..4).map(|i| pool.shard_capacity(i)).sum();
+        assert_eq!(total, 13);
+        for o in 0..100u64 {
+            pool.read_page(PageId::new(r, o));
+        }
+        assert!(pool.len() <= 13);
+    }
+
+    #[test]
+    fn sharded_flush_groups_runs_globally() {
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("data");
+        let pool = ShardedPool::with_shards(disk.clone(), 64, 4);
+        // Consecutive dirty pages land in different shards; the flush
+        // must still form one run per consecutive group.
+        for o in [0u64, 1, 2, 3, 10, 11] {
+            pool.write_page(PageId::new(r, o));
+        }
+        pool.flush();
+        let s = disk.stats();
+        assert_eq!(s.write_requests, 2); // runs [0..4] and [10..12]
+        assert_eq!(s.pages_written, 6);
+        disk.reset_stats();
+        pool.flush();
+        assert_eq!(disk.stats().requests(), 0);
+    }
+
+    #[test]
+    fn sharded_invalidate_and_reset_charge_dirty_writebacks() {
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("data");
+        let pool = ShardedPool::with_shards(disk.clone(), 64, 4);
+        pool.write_page(PageId::new(r, 0));
+        pool.write_page(PageId::new(r, 7));
+        disk.reset_stats();
+        pool.invalidate_all();
+        assert_eq!(disk.stats().pages_written, 2);
+        assert_eq!(pool.len(), 0);
+        pool.write_page(PageId::new(r, 3));
+        disk.reset_stats();
+        pool.reset(32);
+        assert_eq!(disk.stats().pages_written, 1);
+        assert_eq!(pool.capacity(), 32);
+    }
+
+    #[test]
+    fn warm_pinned_never_overflows_the_budget() {
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("dir");
+        // Tiny quotas (2 pages/shard): the page hash necessarily lands
+        // more than a quota's worth of warm pages in some shard.
+        let pool = ShardedPool::with_shards(disk.clone(), 16, 8);
+        pool.warm_pinned((0..64).map(|o| PageId::new(r, o)));
+        assert!(
+            pool.len() <= 16,
+            "pinned warm set overflowed the budget: {} pages",
+            pool.len()
+        );
+        // With one shard the warm set fits (budget >= set size) and is
+        // fully resident — the single-lock pool's behaviour.
+        let pool1 = ShardedPool::new(disk.clone(), 16);
+        pool1.warm_pinned((0..8).map(|o| PageId::new(r, o)));
+        assert_eq!(pool1.len(), 8);
+        for o in 0..8 {
+            assert!(pool1.contains_page(&PageId::new(r, o)));
+        }
+    }
+
+    /// Concurrency invariant behind the single-lock-hold `update_page`:
+    /// every page that was ever updated in write-back mode is dirty
+    /// until a charged eviction or flush, so the final write count
+    /// covers every distinct page — a lost dirty flag (the page evicted
+    /// clean between touch and mark) would deflate it.
+    #[test]
+    fn concurrent_updates_never_lose_writebacks() {
+        let distinct_pages = 48u64;
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("data");
+        // Small budget: constant eviction pressure across the shards.
+        let pool = std::sync::Arc::new(ShardedPool::with_shards(disk.clone(), 16, 4));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let pool = pool.clone();
+                scope.spawn(move || {
+                    for i in 0..4000u64 {
+                        pool.update_page(PageId::new(r, (t * 13 + i) % distinct_pages));
+                    }
+                });
+            }
+        });
+        pool.flush();
+        assert!(
+            disk.stats().pages_written >= distinct_pages,
+            "lost writebacks: {} pages written for {distinct_pages} dirtied pages",
+            disk.stats().pages_written
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_pool() {
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("data");
+        // 2x capacity slack: the page hash spreads the 256-page working
+        // set unevenly, and no shard quota may overflow for the warm
+        // set to stay fully resident.
+        let pool = std::sync::Arc::new(ShardedPool::with_shards(disk.clone(), 512, 8));
+        // Warm every page, then hammer hits from many threads.
+        for o in 0..256u64 {
+            pool.read_page(PageId::new(r, o));
+        }
+        let before = disk.stats();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let pool = pool.clone();
+                scope.spawn(move || {
+                    for i in 0..2000u64 {
+                        let page = PageId::new(r, (t * 97 + i) % 256);
+                        assert!(pool.read_page(page), "warm page must hit");
+                    }
+                });
+            }
+        });
+        // All hits: no further disk requests.
+        assert_eq!(disk.stats(), before);
+        assert_eq!(pool.hits(), 8 * 2000);
+        assert_eq!(pool.misses(), 256);
+    }
+
+    #[test]
+    fn sharded_pool_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedPool>();
+    }
+}

@@ -1,9 +1,9 @@
 //! Step 1: the MBR join on two R\*-trees (\[BKS93b\]), sequential and
 //! partition-parallel.
 
-use spatialdb_disk::{BufferPool, Disk, DiskParams, IoStats};
+use spatialdb_disk::{BufferPool, DiskHandle, IoStats, ScratchTally};
 use spatialdb_geom::Rect;
-use spatialdb_rtree::{DirEntry, NodeId, NodeKind, ObjectId, RStarTree};
+use spatialdb_rtree::{DirEntry, NodeId, NodeIo, NodeKind, ObjectId, RStarTree};
 
 /// Result of the MBR join.
 #[derive(Clone, Debug, Default)]
@@ -21,20 +21,23 @@ pub struct MbrJoinResult {
 /// qualifying pairs of subtrees are processed in ascending order of the
 /// smallest x-coordinate of their intersection, and one subtree is
 /// processed with **all** of its partners before the next pair is taken
-/// up (*pinning*). Together with the LRU buffer behind `pool` this gives
-/// the close-to-optimal page-access behaviour the paper relies on.
-pub fn mbr_join(r: &RStarTree, s: &RStarTree, pool: &mut BufferPool) -> MbrJoinResult {
+/// up (*pinning*). Together with the LRU buffer behind `io` — a
+/// [`BufferPool`] scratch or the shared
+/// [`ShardedPool`](spatialdb_disk::ShardedPool) via `&mut pool.as_ref()`
+/// — this gives the close-to-optimal page-access behaviour the paper
+/// relies on.
+pub fn mbr_join(r: &RStarTree, s: &RStarTree, io: &mut impl NodeIo) -> MbrJoinResult {
     let mut out = MbrJoinResult::default();
     if r.is_empty() || s.is_empty() {
         return out;
     }
-    join_nodes(r, s, r.root(), s.root(), &mut out, pool);
+    join_nodes(r, s, r.root(), s.root(), &mut out, io);
     out
 }
 
-fn read_node(tree: &RStarTree, id: NodeId, out: &mut MbrJoinResult, pool: &mut BufferPool) {
+fn read_node(tree: &RStarTree, id: NodeId, out: &mut MbrJoinResult, io: &mut impl NodeIo) {
     out.node_accesses += 1;
-    pool.read_page(tree.node_page(id));
+    io.read(tree.node_page(id));
 }
 
 /// The \[BKS93b\] processing order of the qualifying child pairs of two
@@ -82,7 +85,15 @@ fn ordered_child_pairs(re: &[DirEntry], se: &[DirEntry]) -> Vec<(usize, usize)> 
 /// not share buffered pages, so nodes read by several partitions are
 /// charged once per partition (the price of scaling the traversal across
 /// threads). Callers should [`absorb`](spatialdb_disk::Disk::absorb) the
-/// returned stats into the real disk for cumulative accounting.
+/// returned stats into the real disk (`disk`) for cumulative accounting.
+///
+/// **Panic safety:** every worker accounts on a scratch disk guarded by
+/// a [`ScratchTally`]. If a worker unwinds, its guard absorbs the
+/// partial charges into `disk` directly, and the partitions that *did*
+/// complete are absorbed before the panic is propagated — a panicking
+/// worker cannot leak I/O charges out of the workspace's cumulative
+/// counters (on the normal path nothing is absorbed here; the caller
+/// absorbs the deterministic merge exactly as before).
 ///
 /// Falls back to a single partition (one worker, still on a scratch
 /// disk) when either root is a leaf, the trees differ in height, or the
@@ -90,7 +101,7 @@ fn ordered_child_pairs(re: &[DirEntry], se: &[DirEntry]) -> Vec<(usize, usize)> 
 pub fn mbr_join_par(
     r: &RStarTree,
     s: &RStarTree,
-    params: DiskParams,
+    disk: &DiskHandle,
     buffer_capacity: usize,
     n_threads: usize,
 ) -> (MbrJoinResult, IoStats) {
@@ -125,28 +136,32 @@ pub fn mbr_join_par(
         // thread tally — charging on the calling thread would make the
         // caller's `Disk::local_stats` delta count this I/O twice once
         // the stats are absorbed into the real disk.
-        let (out, stats) = std::thread::scope(|scope| {
+        let joined = std::thread::scope(|scope| {
             scope
                 .spawn(|| {
-                    let scratch = Disk::new(params);
-                    let mut pool = BufferPool::new(scratch.clone(), buffer_capacity);
+                    let guard = ScratchTally::new(disk.clone());
+                    let mut pool = BufferPool::new(guard.scratch().clone(), buffer_capacity);
                     let mut out = MbrJoinResult::default();
                     join_nodes(r, s, r.root(), s.root(), &mut out, &mut pool);
-                    let stats = scratch.stats();
+                    let stats = guard.finish();
                     (out, stats)
                 })
                 .join()
-                .expect("mbr join worker panicked")
         });
-        return (out, stats);
+        // On unwind the worker's guard already absorbed its partial
+        // charges into the real disk.
+        return match joined {
+            Ok(pair) => pair,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
     }
-    let results: Vec<(MbrJoinResult, IoStats)> = std::thread::scope(|scope| {
+    let results: Vec<std::thread::Result<(MbrJoinResult, IoStats)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
                 scope.spawn(move || {
-                    let scratch = Disk::new(params);
-                    let mut pool = BufferPool::new(scratch.clone(), buffer_capacity);
+                    let guard = ScratchTally::new(disk.clone());
+                    let mut pool = BufferPool::new(guard.scratch().clone(), buffer_capacity);
                     let mut out = MbrJoinResult::default();
                     // Mirror the sequential root level: the pinned r
                     // child is read once per pinning group, the s child
@@ -160,19 +175,32 @@ pub fn mbr_join_par(
                         read_node(s, sn, &mut out, &mut pool);
                         join_nodes(r, s, rn, sn, &mut out, &mut pool);
                     }
-                    (out, scratch.stats())
+                    (out, guard.finish())
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("mbr join worker panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join()).collect()
     });
+    if results.iter().any(|r| r.is_err()) {
+        // A worker panicked: its guard absorbed its partial charges on
+        // unwind. Absorb the completed partitions too (their stats
+        // would otherwise be dropped with this unwind), then propagate.
+        let mut salvaged = IoStats::new();
+        let mut payload = None;
+        for res in results {
+            match res {
+                Ok((_, part_stats)) => salvaged = salvaged.plus(&part_stats),
+                Err(p) => payload = Some(p),
+            }
+        }
+        disk.absorb(&salvaged);
+        std::panic::resume_unwind(payload.expect("at least one worker panicked"));
+    }
     // Deterministic merge: partition index order.
     let mut merged = MbrJoinResult::default();
     let mut stats = IoStats::new();
-    for (part, part_stats) in results {
+    for res in results {
+        let (part, part_stats) = res.expect("panics handled above");
         merged.pairs.extend(part.pairs);
         merged.node_accesses += part.node_accesses;
         stats = stats.plus(&part_stats);
@@ -187,7 +215,7 @@ fn join_nodes(
     rn: NodeId,
     sn: NodeId,
     out: &mut MbrJoinResult,
-    pool: &mut BufferPool,
+    io: &mut impl NodeIo,
 ) {
     let rnode = r.node(rn);
     let snode = s.node(sn);
@@ -230,11 +258,11 @@ fn join_nodes(
             let mut read_r = vec![false; re.len()];
             for (i, j) in ordered_child_pairs(re, se) {
                 if !read_r[i] {
-                    read_node(r, re[i].child, out, pool);
+                    read_node(r, re[i].child, out, io);
                     read_r[i] = true;
                 }
-                read_node(s, se[j].child, out, pool);
-                join_nodes(r, s, re[i].child, se[j].child, out, pool);
+                read_node(s, se[j].child, out, io);
+                join_nodes(r, s, re[i].child, se[j].child, out, io);
             }
         }
         _ => {
@@ -252,8 +280,8 @@ fn join_nodes(
                     .collect();
                 q.sort_by(|a, b| a.0.xmin.total_cmp(&b.0.xmin));
                 for (_, child) in q {
-                    read_node(r, child, out, pool);
-                    join_nodes(r, s, child, sn, out, pool);
+                    read_node(r, child, out, io);
+                    join_nodes(r, s, child, sn, out, io);
                 }
             } else {
                 let children: Vec<(Rect, NodeId)> = snode
@@ -268,8 +296,8 @@ fn join_nodes(
                     .collect();
                 q.sort_by(|a, b| a.0.xmin.total_cmp(&b.0.xmin));
                 for (_, child) in q {
-                    read_node(s, child, out, pool);
-                    join_nodes(r, s, rn, child, out, pool);
+                    read_node(s, child, out, io);
+                    join_nodes(r, s, rn, child, out, io);
                 }
             }
         }
@@ -383,12 +411,12 @@ mod tests {
         let mut pool = BufferPool::new(disk.clone(), 256);
         let seq = mbr_join(&ta, &tb, &mut pool);
         for threads in [1, 2, 4, 8] {
-            let (par, stats) = mbr_join_par(&ta, &tb, disk.params(), 256, threads);
+            let (par, stats) = mbr_join_par(&ta, &tb, &disk, 256, threads);
             // Byte-identical pairs, in the same order.
             assert_eq!(par.pairs, seq.pairs, "{threads} threads");
             assert!(stats.io_ms > 0.0);
             // Determinism: a second run merges to the same stats.
-            let (_, again) = mbr_join_par(&ta, &tb, disk.params(), 256, threads);
+            let (_, again) = mbr_join_par(&ta, &tb, &disk, 256, threads);
             assert_eq!(stats, again, "{threads} threads");
         }
     }
@@ -402,11 +430,11 @@ mod tests {
         let (tb, _) = build(&rb);
         let mut pool = BufferPool::new(disk.clone(), 256);
         let seq = mbr_join(&ta, &tb, &mut pool);
-        let (par, _) = mbr_join_par(&ta, &tb, disk.params(), 256, 4);
+        let (par, _) = mbr_join_par(&ta, &tb, &disk, 256, 4);
         assert_eq!(par.pairs, seq.pairs);
         // Empty operand.
         let (te, _) = build(&[]);
-        let (empty, stats) = mbr_join_par(&te, &ta, disk.params(), 256, 4);
+        let (empty, stats) = mbr_join_par(&te, &ta, &disk, 256, 4);
         assert!(empty.pairs.is_empty());
         assert_eq!(stats, IoStats::new());
     }

@@ -4,7 +4,7 @@
 
 use crate::mbr_join::{mbr_join, mbr_join_par};
 use crate::transfer::transfer_objects;
-use spatialdb_storage::{lock_pool, SpatialStore, TransferTechnique};
+use spatialdb_storage::{SpatialStore, TransferTechnique};
 
 /// Configuration of a complete spatial join.
 #[derive(Clone, Copy, Debug)]
@@ -103,13 +103,10 @@ impl<'a> SpatialJoin<'a> {
         JoinStats,
     ) {
         let disk = self.r.disk();
-        // Step 1: MBR join.
+        // Step 1: MBR join, over the shared (sharded) pool.
         let before = disk.local_stats();
         let pool = self.r.pool();
-        let mbr = {
-            let mut pool = lock_pool(&pool);
-            mbr_join(self.r.tree(), self.s.tree(), &mut pool)
-        };
+        let mbr = mbr_join(self.r.tree(), self.s.tree(), &mut pool.as_ref());
         let mbr_join_ms = disk.local_stats().since(&before).io_ms;
         self.finish(mbr, mbr_join_ms, config)
     }
@@ -140,14 +137,8 @@ impl<'a> SpatialJoin<'a> {
         JoinStats,
     ) {
         let disk = self.r.disk();
-        let capacity = lock_pool(&self.r.pool()).buffer().capacity();
-        let (mbr, scratch) = mbr_join_par(
-            self.r.tree(),
-            self.s.tree(),
-            disk.params(),
-            capacity,
-            n_threads,
-        );
+        let capacity = self.r.pool().capacity();
+        let (mbr, scratch) = mbr_join_par(self.r.tree(), self.s.tree(), &disk, capacity, n_threads);
         disk.absorb(&scratch);
         self.finish(mbr, scratch.io_ms, config)
     }

@@ -5,7 +5,7 @@
 //! become (buffered) disk requests; unit tests and in-memory use pass
 //! [`NoIo`].
 
-use spatialdb_disk::{BufferPool, PageId};
+use spatialdb_disk::{BufferPool, PageId, ShardedPool};
 
 /// Page size used to derive node capacities (the paper's 4 KB).
 pub const PAGE_BYTES: usize = spatialdb_disk::PAGE_SIZE;
@@ -54,6 +54,27 @@ impl NodeIo for BufferPool {
 
     fn release(&mut self, page: PageId) {
         self.buffer_mut().remove(&page);
+    }
+}
+
+/// The sharded pool locks internally, so the hook works through a
+/// shared reference — pass `&mut pool.as_ref()` from an
+/// `Arc<ShardedPool>`.
+impl NodeIo for &ShardedPool {
+    fn read(&mut self, page: PageId) {
+        self.read_page(page);
+    }
+
+    fn modify(&mut self, page: PageId) {
+        self.update_page(page);
+    }
+
+    fn fresh(&mut self, page: PageId) {
+        self.write_page(page);
+    }
+
+    fn release(&mut self, page: PageId) {
+        self.remove_page(&page);
     }
 }
 

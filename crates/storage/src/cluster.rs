@@ -20,7 +20,7 @@
 //! `Smax`, reproducing the storage utilization of Figure 6, while the
 //! restricted buddy system of Figure 7 adapts the physical unit size.
 
-use crate::model::{lock_pool, QueryStats, SharedPool, TransferTechnique, WindowTechnique};
+use crate::model::{QueryStats, SharedPool, TransferTechnique, WindowTechnique};
 use crate::object::ObjectRecord;
 use crate::packer::{BytePacker, Placement};
 use crate::store::SpatialStore;
@@ -174,9 +174,8 @@ impl ClusterOrganization {
     /// Drop an extent's pages from the buffer (the extent is being freed
     /// or rewritten; stale copies must not produce buffer hits).
     fn drop_from_buffer(&self, extent: PageRun) {
-        let mut pool = lock_pool(&self.pool);
         for p in extent.pages() {
-            pool.buffer_mut().remove(&p);
+            self.pool.remove_page(&p);
         }
     }
 
@@ -328,29 +327,24 @@ impl ClusterOrganization {
             WindowTechnique::Slm => {
                 let offsets = self.hit_offsets(leaf, hits);
                 let gap = slm_gap_limit(&self.disk.params());
-                lock_pool(&self.pool).read_extent_slm(used, &offsets, gap, ReadMode::Normal, true);
+                self.pool
+                    .read_extent_slm(used, &offsets, gap, ReadMode::Normal, true);
             }
             WindowTechnique::Optimum => {
                 // 1 seek + 1 latency per cluster unit + minimal transfers.
                 let offsets = self.hit_offsets(leaf, hits);
-                let missing: Vec<u64> = {
-                    let pool = lock_pool(&self.pool);
-                    offsets
-                        .iter()
-                        .copied()
-                        .filter(|&o| !pool.buffer().contains(&used.page(o)))
-                        .collect()
-                };
+                let missing: Vec<u64> = offsets
+                    .iter()
+                    .copied()
+                    .filter(|&o| !self.pool.contains_page(&used.page(o)))
+                    .collect();
                 if !missing.is_empty() {
                     let params = self.disk.params();
                     let k = missing.len() as u64;
                     let cost = params.seek_ms + params.latency_ms + params.transfer_ms * k as f64;
                     self.disk.charge_raw(IoKind::Read, k, cost, true);
-                    let mut pool = lock_pool(&self.pool);
                     for o in missing {
-                        let page = used.page(o);
-                        let ev = pool.buffer_mut().insert(page, false);
-                        drop(ev); // optimum never carries dirty pages here
+                        self.pool.insert_clean(used.page(o));
                     }
                 }
             }
@@ -374,14 +368,13 @@ impl ClusterOrganization {
     fn read_complete_if_needed(&self, leaf: NodeId, hits: &[LeafEntry]) {
         let unit = &self.units[&leaf];
         let needed: Vec<PageId> = hits.iter().flat_map(|e| unit.member_pages(e.oid)).collect();
-        let mut pool = lock_pool(&self.pool);
-        let all_buffered = needed.iter().all(|p| pool.buffer().contains(p));
+        let all_buffered = needed.iter().all(|p| self.pool.contains_page(p));
         if all_buffered {
             for p in &needed {
-                pool.buffer_mut().touch(p);
+                self.pool.touch_page(p);
             }
         } else {
-            pool.read_full_extent(unit.used_extent());
+            self.pool.read_full_extent(unit.used_extent());
         }
     }
 
@@ -391,7 +384,7 @@ impl ClusterOrganization {
         let mut seek_pending = true;
         for e in hits {
             let pages = self.units[&leaf].member_pages(e.oid);
-            let out = lock_pool(&self.pool).read_set(
+            let out = self.pool.read_set(
                 &pages,
                 SeekPolicy::WithinCluster {
                     initial_seek: seek_pending,
@@ -415,19 +408,16 @@ impl ClusterOrganization {
         let leaf = self.location[&oid];
         let unit = &self.units[&leaf];
         let my_pages = unit.member_pages(oid);
-        {
-            let mut pool = lock_pool(&self.pool);
-            if my_pages.iter().all(|p| pool.buffer().contains(p)) {
-                for p in &my_pages {
-                    pool.buffer_mut().touch(p);
-                }
-                return;
+        if my_pages.iter().all(|p| self.pool.contains_page(p)) {
+            for p in &my_pages {
+                self.pool.touch_page(p);
             }
+            return;
         }
         let used = unit.used_extent();
         match technique {
             TransferTechnique::Complete => {
-                lock_pool(&self.pool).read_full_extent(used);
+                self.pool.read_full_extent(used);
             }
             TransferTechnique::Read | TransferTechnique::VectorRead => {
                 let mode = if technique == TransferTechnique::Read {
@@ -444,7 +434,7 @@ impl ClusterOrganization {
                 offsets.sort_unstable();
                 offsets.dedup();
                 let gap = slm_gap_limit(&self.disk.params());
-                lock_pool(&self.pool).read_extent_slm(used, &offsets, gap, mode, true);
+                self.pool.read_extent_slm(used, &offsets, gap, mode, true);
             }
             TransferTechnique::Optimum => {
                 let mut offsets: Vec<u64> = unit
@@ -455,21 +445,17 @@ impl ClusterOrganization {
                     .collect();
                 offsets.sort_unstable();
                 offsets.dedup();
-                let missing: Vec<u64> = {
-                    let pool = lock_pool(&self.pool);
-                    offsets
-                        .into_iter()
-                        .filter(|&o| !pool.buffer().contains(&used.page(o)))
-                        .collect()
-                };
+                let missing: Vec<u64> = offsets
+                    .into_iter()
+                    .filter(|&o| !self.pool.contains_page(&used.page(o)))
+                    .collect();
                 if !missing.is_empty() {
                     let params = self.disk.params();
                     let k = missing.len() as u64;
                     let cost = params.seek_ms + params.latency_ms + params.transfer_ms * k as f64;
                     self.disk.charge_raw(IoKind::Read, k, cost, true);
-                    let mut pool = lock_pool(&self.pool);
                     for o in missing {
-                        pool.buffer_mut().insert(used.page(o), false);
+                        self.pool.insert_clean(used.page(o));
                     }
                 }
             }
@@ -543,7 +529,7 @@ impl SpatialStore for ClusterOrganization {
         // Steps 1 + 2: determine the data page and insert the MBR entry
         // (the modified R*-tree may already split — step 4).
         let entry = LeafEntry::new(rec.mbr, rec.oid, rec.size_bytes);
-        let outcome = self.tree.insert(entry, &mut *lock_pool(&self.pool));
+        let outcome = self.tree.insert(entry, &mut self.pool.as_ref());
         debug_assert!(outcome.leaf_reinserts.is_empty());
         if outcome.leaf_splits.is_empty() {
             // Step 3: append the object to the cluster unit.
@@ -568,7 +554,7 @@ impl SpatialStore for ClusterOrganization {
 
     fn window_query(&self, window: &Rect, technique: WindowTechnique) -> QueryStats {
         let before = self.disk.local_stats();
-        let per_leaf = self.tree.window_leaves(window, &mut *lock_pool(&self.pool));
+        let per_leaf = self.tree.window_leaves(window, &mut self.pool.as_ref());
         let mut stats = QueryStats::default();
         for (leaf, hits) in &per_leaf {
             stats.candidates += hits.len();
@@ -584,14 +570,14 @@ impl SpatialStore for ClusterOrganization {
 
     fn point_query(&self, point: &Point) -> QueryStats {
         let before = self.disk.local_stats();
-        let candidates = self.tree.point_entries(point, &mut *lock_pool(&self.pool));
+        let candidates = self.tree.point_entries(point, &mut self.pool.as_ref());
         // Selective access: read just the objects' pages, not the units
         // (§5.5 — the cluster organization must not penalize selective
         // queries).
         for e in &candidates {
             let leaf = self.location[&e.oid];
             let pages = self.units[&leaf].member_pages(e.oid);
-            lock_pool(&self.pool).read_set(&pages, SeekPolicy::PerRequest);
+            self.pool.read_set(&pages, SeekPolicy::PerRequest);
         }
         QueryStats {
             candidates: candidates.len(),
@@ -606,7 +592,7 @@ impl SpatialStore for ClusterOrganization {
     fn fetch_object(&self, oid: ObjectId) {
         let leaf = self.location[&oid];
         let pages = self.units[&leaf].member_pages(oid);
-        lock_pool(&self.pool).read_set(&pages, SeekPolicy::PerRequest);
+        self.pool.read_set(&pages, SeekPolicy::PerRequest);
     }
 
     fn fetch_for_join(
@@ -644,13 +630,13 @@ impl SpatialStore for ClusterOrganization {
     }
 
     fn flush(&mut self) {
-        lock_pool(&self.pool).flush();
+        self.pool.flush();
     }
 
     fn begin_query(&mut self) {
-        let mut pool = lock_pool(&self.pool);
-        pool.invalidate_regions(&[self.tree_region, self.buddy.region()]);
-        crate::model::warm_directory(&mut pool, &self.tree);
+        self.pool
+            .invalidate_regions(&[self.tree_region, self.buddy.region()]);
+        crate::model::warm_directory(&self.pool, &self.tree);
     }
 
     fn object_size(&self, oid: ObjectId) -> u32 {
@@ -669,7 +655,7 @@ impl SpatialStore for ClusterOrganization {
             .find(|e| e.oid == oid)
             .map(|e| e.mbr)
             .expect("cluster location out of sync");
-        let outcome = self.tree.delete(oid, &mbr, &mut *lock_pool(&self.pool));
+        let outcome = self.tree.delete(oid, &mbr, &mut self.pool.as_ref());
         debug_assert!(outcome.removed);
         self.location.remove(&oid);
         self.sizes.remove(&oid);
@@ -882,8 +868,8 @@ mod tests {
         let needed: HashSet<ObjectId> = [oid].into_iter().collect();
         a.fetch_for_join(oid, &needed, TransferTechnique::Read);
         b.fetch_for_join(oid, &needed, TransferTechnique::VectorRead);
-        let kept_a = lock_pool(&a.pool()).buffer().len();
-        let kept_b = lock_pool(&b.pool()).buffer().len();
+        let kept_a = a.pool().len();
+        let kept_b = b.pool().len();
         assert!(kept_a >= kept_b);
     }
 

@@ -42,8 +42,8 @@ pub mod store;
 pub use cluster::{ClusterConfig, ClusterOrganization};
 pub use memory::MemoryStore;
 pub use model::{
-    lock_pool, new_shared_pool, Organization, OrganizationKind, QueryStats, SharedPool,
-    TransferTechnique, WindowTechnique,
+    new_shared_pool, new_shared_pool_with_shards, Organization, OrganizationKind, QueryStats,
+    SharedPool, TransferTechnique, WindowTechnique,
 };
 pub use object::ObjectRecord;
 pub use packer::{PagePacker, Placement};

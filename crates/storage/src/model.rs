@@ -10,33 +10,38 @@ use crate::object::ObjectRecord;
 use crate::primary::PrimaryOrganization;
 use crate::secondary::SecondaryOrganization;
 use crate::store::SpatialStore;
-use spatialdb_disk::{BufferPool, DiskHandle};
+use spatialdb_disk::{DiskHandle, ShardedPool};
 use spatialdb_geom::{Point, Rect};
 use spatialdb_rtree::{ObjectId, RStarTree};
 use std::collections::HashSet;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A buffer pool shared between the components of one experiment
 /// (both maps of a join share one pool, as in §6.1).
 ///
-/// The pool is the engine's single page-replacement state; queries on any
-/// thread funnel their page accesses through this lock, which is what
-/// keeps the simulated LRU behaviour coherent. `Arc<Mutex<…>>` so the
-/// whole storage stack is `Send + Sync`.
-pub type SharedPool = Arc<Mutex<BufferPool>>;
+/// The pool is the engine's single page-replacement state under one
+/// capacity budget; since the sharding refactor it is a
+/// [`ShardedPool`] — page accesses lock only the shard their page
+/// hashes to, so concurrent readers touching disjoint pages no longer
+/// serialize on one pool-wide mutex. [`new_shared_pool`] creates the
+/// deterministic 1-shard configuration (byte-identical stats to the
+/// classic single-lock pool — the paper's figures); use
+/// [`new_shared_pool_with_shards`] for concurrent-throughput workloads.
+pub type SharedPool = Arc<ShardedPool>;
 
-/// Create a shared pool of `capacity` pages over `disk`.
+/// Create a shared pool of `capacity` pages over `disk` with a single
+/// shard — the deterministic configuration every experiment runs under.
 pub fn new_shared_pool(disk: DiskHandle, capacity: usize) -> SharedPool {
-    Arc::new(Mutex::new(BufferPool::new(disk, capacity)))
+    Arc::new(ShardedPool::new(disk, capacity))
 }
 
-/// Lock a [`SharedPool`] for one batch of page accesses.
-///
-/// Thin wrapper over `Mutex::lock` that maps poisoning to a panic with a
-/// storage-layer message (a poisoned pool means a query thread panicked
-/// mid-I/O; the simulation state is unusable either way).
-pub fn lock_pool(pool: &SharedPool) -> std::sync::MutexGuard<'_, BufferPool> {
-    pool.lock().expect("shared buffer pool poisoned")
+/// Create a shared pool of `capacity` total pages split across
+/// `shards` page-hash shards (at least one). More shards reduce lock
+/// contention between concurrent readers; the per-shard LRU horizons
+/// make `io_ms` differ from the 1-shard figure (hit/miss totals are
+/// conserved for a fixed access sequence).
+pub fn new_shared_pool_with_shards(disk: DiskHandle, capacity: usize, shards: usize) -> SharedPool {
+    Arc::new(ShardedPool::with_shards(disk, capacity, shards))
 }
 
 /// Technique for transferring the objects of a window query from a
@@ -117,8 +122,8 @@ impl QueryStats {
 /// C-series data page holds a single object, so there are as many leaves
 /// as objects) and no longer fits, which is what makes its selective
 /// queries degrade (§5.5).
-pub fn warm_directory(pool: &mut BufferPool, tree: &RStarTree) {
-    let budget = pool.buffer().capacity() / 2;
+pub fn warm_directory(pool: &ShardedPool, tree: &RStarTree) {
+    let budget = pool.capacity() / 2;
     let mut dirs: Vec<(u32, spatialdb_disk::PageId)> = tree
         .nodes()
         .filter(|(_, n)| !n.is_leaf())

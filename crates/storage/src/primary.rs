@@ -9,7 +9,7 @@
 //! maintained. Such objects occupied their individual pages exclusively"*
 //! (§5.2).
 
-use crate::model::{lock_pool, QueryStats, SharedPool, WindowTechnique};
+use crate::model::{QueryStats, SharedPool, WindowTechnique};
 use crate::object::ObjectRecord;
 use crate::packer::PagePacker;
 use crate::store::SpatialStore;
@@ -77,7 +77,7 @@ impl PrimaryOrganization {
                 continue;
             };
             let pages: Vec<PageId> = run.pages().collect();
-            lock_pool(&self.pool).read_set(&pages, SeekPolicy::PerRequest);
+            self.pool.read_set(&pages, SeekPolicy::PerRequest);
         }
     }
 }
@@ -95,7 +95,7 @@ impl SpatialStore for PrimaryOrganization {
             ENTRY_BYTES as u32
         };
         let entry = LeafEntry::new(rec.mbr, rec.oid, payload);
-        let outcome = self.tree.insert(entry, &mut *lock_pool(&self.pool));
+        let outcome = self.tree.insert(entry, &mut self.pool.as_ref());
         // Track which data page each object ends up in, following the
         // relocations caused by forced reinserts and splits.
         if let Some(leaf) = outcome.leaf {
@@ -132,9 +132,7 @@ impl SpatialStore for PrimaryOrganization {
         let before = self.disk.local_stats();
         // Reading the qualifying data pages *is* reading the inline
         // objects; the tree charges those page reads.
-        let candidates = self
-            .tree
-            .window_entries(window, &mut *lock_pool(&self.pool));
+        let candidates = self.tree.window_entries(window, &mut self.pool.as_ref());
         let oids: Vec<ObjectId> = candidates.iter().map(|e| e.oid).collect();
         let over: Vec<ObjectId> = oids
             .iter()
@@ -151,7 +149,7 @@ impl SpatialStore for PrimaryOrganization {
 
     fn point_query(&self, point: &Point) -> QueryStats {
         let before = self.disk.local_stats();
-        let candidates = self.tree.point_entries(point, &mut *lock_pool(&self.pool));
+        let candidates = self.tree.point_entries(point, &mut self.pool.as_ref());
         let oids: Vec<ObjectId> = candidates.iter().map(|e| e.oid).collect();
         let over: Vec<ObjectId> = oids
             .iter()
@@ -171,10 +169,10 @@ impl SpatialStore for PrimaryOrganization {
         // representation itself.
         let leaf = self.leaf_of[&oid];
         let page = self.tree.node_page(leaf);
-        lock_pool(&self.pool).read_page(page);
+        self.pool.read_page(page);
         if let Some(run) = self.overflow.get(&oid) {
             let pages: Vec<PageId> = run.pages().collect();
-            lock_pool(&self.pool).read_set(&pages, SeekPolicy::PerRequest);
+            self.pool.read_set(&pages, SeekPolicy::PerRequest);
         }
     }
 
@@ -203,13 +201,13 @@ impl SpatialStore for PrimaryOrganization {
     }
 
     fn flush(&mut self) {
-        lock_pool(&self.pool).flush();
+        self.pool.flush();
     }
 
     fn begin_query(&mut self) {
-        let mut pool = lock_pool(&self.pool);
-        pool.invalidate_regions(&[self.tree_region, self.overflow_region]);
-        crate::model::warm_directory(&mut pool, &self.tree);
+        self.pool
+            .invalidate_regions(&[self.tree_region, self.overflow_region]);
+        crate::model::warm_directory(&self.pool, &self.tree);
     }
 
     fn object_size(&self, oid: ObjectId) -> u32 {
@@ -228,7 +226,7 @@ impl SpatialStore for PrimaryOrganization {
             .find(|e| e.oid == oid)
             .map(|e| e.mbr)
             .expect("leaf tracking out of sync");
-        let outcome = self.tree.delete(oid, &mbr, &mut *lock_pool(&self.pool));
+        let outcome = self.tree.delete(oid, &mbr, &mut self.pool.as_ref());
         debug_assert!(outcome.removed);
         self.leaf_of.remove(&oid);
         self.sizes.remove(&oid);

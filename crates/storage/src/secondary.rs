@@ -8,7 +8,7 @@
 //! access to an exact object representation needs an additional seek
 //! operation"*.
 
-use crate::model::{lock_pool, QueryStats, SharedPool, WindowTechnique};
+use crate::model::{QueryStats, SharedPool, WindowTechnique};
 use crate::object::ObjectRecord;
 use crate::packer::PagePacker;
 use crate::store::SpatialStore;
@@ -73,7 +73,7 @@ impl SecondaryOrganization {
     fn read_objects(&self, oids: &[ObjectId]) {
         for oid in oids {
             let pages = self.object_pages(*oid);
-            lock_pool(&self.pool).read_set(&pages, SeekPolicy::PerRequest);
+            self.pool.read_set(&pages, SeekPolicy::PerRequest);
         }
     }
 }
@@ -86,7 +86,7 @@ impl SpatialStore for SecondaryOrganization {
     fn insert(&mut self, rec: &ObjectRecord) {
         // 1. Insert the MBR + pointer into the regular R*-tree.
         let entry = LeafEntry::new(rec.mbr, rec.oid, 0);
-        self.tree.insert(entry, &mut *lock_pool(&self.pool));
+        self.tree.insert(entry, &mut self.pool.as_ref());
         // 2. Append the exact representation to the sequential file.
         //    The arm has moved (tree I/O in between), so every append is
         //    its own request.
@@ -103,9 +103,7 @@ impl SpatialStore for SecondaryOrganization {
 
     fn window_query(&self, window: &Rect, _technique: WindowTechnique) -> QueryStats {
         let before = self.disk.local_stats();
-        let candidates = self
-            .tree
-            .window_entries(window, &mut *lock_pool(&self.pool));
+        let candidates = self.tree.window_entries(window, &mut self.pool.as_ref());
         let oids: Vec<ObjectId> = candidates.iter().map(|e| e.oid).collect();
         self.read_objects(&oids);
         QueryStats {
@@ -117,7 +115,7 @@ impl SpatialStore for SecondaryOrganization {
 
     fn point_query(&self, point: &Point) -> QueryStats {
         let before = self.disk.local_stats();
-        let candidates = self.tree.point_entries(point, &mut *lock_pool(&self.pool));
+        let candidates = self.tree.point_entries(point, &mut self.pool.as_ref());
         let oids: Vec<ObjectId> = candidates.iter().map(|e| e.oid).collect();
         self.read_objects(&oids);
         QueryStats {
@@ -129,7 +127,7 @@ impl SpatialStore for SecondaryOrganization {
 
     fn fetch_object(&self, oid: ObjectId) {
         let pages = self.object_pages(oid);
-        lock_pool(&self.pool).read_set(&pages, SeekPolicy::PerRequest);
+        self.pool.read_set(&pages, SeekPolicy::PerRequest);
     }
 
     fn occupied_pages(&self) -> u64 {
@@ -157,13 +155,13 @@ impl SpatialStore for SecondaryOrganization {
     }
 
     fn flush(&mut self) {
-        lock_pool(&self.pool).flush();
+        self.pool.flush();
     }
 
     fn begin_query(&mut self) {
-        let mut pool = lock_pool(&self.pool);
-        pool.invalidate_regions(&[self.tree_region, self.file_region]);
-        crate::model::warm_directory(&mut pool, &self.tree);
+        self.pool
+            .invalidate_regions(&[self.tree_region, self.file_region]);
+        crate::model::warm_directory(&self.pool, &self.tree);
     }
 
     fn object_size(&self, oid: ObjectId) -> u32 {
@@ -174,7 +172,7 @@ impl SpatialStore for SecondaryOrganization {
         let Some(mbr) = self.mbrs.remove(&oid) else {
             return false;
         };
-        let outcome = self.tree.delete(oid, &mbr, &mut *lock_pool(&self.pool));
+        let outcome = self.tree.delete(oid, &mbr, &mut self.pool.as_ref());
         debug_assert!(outcome.removed, "index out of sync for {oid}");
         self.locations.remove(&oid);
         if let Some(size) = self.sizes.remove(&oid) {

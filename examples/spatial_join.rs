@@ -9,9 +9,7 @@ use spatialdb::disk::Disk;
 use spatialdb::experiments::{build_organization_on, records_of, ClusterSizing};
 use spatialdb::join::{JoinConfig, SpatialJoin};
 use spatialdb::report::{f, Table};
-use spatialdb::storage::{
-    lock_pool, new_shared_pool, OrganizationKind, SpatialStore, TransferTechnique,
-};
+use spatialdb::storage::{new_shared_pool, OrganizationKind, SpatialStore, TransferTechnique};
 
 fn main() {
     let series = SeriesId::A;
@@ -75,7 +73,7 @@ fn main() {
             disk.clone(),
             pool,
         );
-        lock_pool(&r.pool()).reset(640);
+        r.pool().reset(640);
         disk.reset_stats();
         let stats = SpatialJoin::new(&r, &s).run(JoinConfig {
             transfer: TransferTechnique::Complete,
