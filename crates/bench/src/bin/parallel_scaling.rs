@@ -5,19 +5,15 @@
 //! The filter step (simulated disk) is serialized by design — what
 //! scales with threads is the exact-geometry refinement, which is the
 //! CPU cost of a real query mix. Pass `--objects N` / `--queries N` to
-//! change the workload size, `--out PATH` for the report location.
+//! change the workload size, `--out PATH` for the report location. The
+//! thread grid is env-overridable (`SPATIALDB_BENCH_THREADS=1,2,4,8`)
+//! for re-baselining on multi-core runners without a code change.
 
 use spatialdb::geom::{Point, Polyline, Rect};
 use spatialdb::storage::OrganizationKind;
 use spatialdb::{DbOptions, SpatialDatabase, Workspace};
+use spatialdb_bench::arg;
 use std::time::Instant;
-
-fn arg(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
 
 fn load(ws: &Workspace, n: u64) -> SpatialDatabase {
     let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
@@ -63,10 +59,11 @@ fn main() {
     let windows = workload(n_queries);
     println!("parallel scaling: {n_objects} objects, {n_queries} window queries");
 
+    let thread_grid = spatialdb_bench::grid_from_env("SPATIALDB_BENCH_THREADS", &[1, 2, 4, 8]);
     let mut rows = Vec::new();
     let mut baseline_ids: Option<Vec<Vec<u64>>> = None;
     let mut baseline_qps = 0.0;
-    for threads in [1usize, 2, 4, 8] {
+    for threads in thread_grid {
         // Cold object buffer per run so every thread count does the
         // same simulated I/O.
         db.store_mut().begin_query();
@@ -80,7 +77,9 @@ fn main() {
             Some(base) => assert_eq!(base, &ids, "thread count changed the results"),
         }
         let qps = n_queries as f64 / secs;
-        if threads == 1 {
+        if baseline_qps == 0.0 {
+            // First grid cell is the speedup baseline (the default grid
+            // starts at 1 thread).
             baseline_qps = qps;
         }
         println!(

@@ -1,66 +1,76 @@
 //! Buffer-pool lock-contention benchmark: hit-path page-access
-//! throughput of the sharded pool over a threads × shards grid,
-//! emitted as `BENCH_pool_contention.json`.
+//! throughput of the sharded pool over a threads × shards × routing
+//! grid, emitted as `BENCH_pool_contention.json`.
 //!
-//! The workload isolates the replacement-state lock: every worker
-//! re-reads a pre-warmed working set, so each access is a buffer hit
-//! (shard lock + LRU touch, no disk-mutex traffic). With one shard all
-//! threads serialize on one lock — the pre-sharding engine's behaviour;
-//! with more shards the page hash spreads the accesses over
-//! independent locks. Each cell reports two measures:
+//! The workload isolates the replacement-state lock: each worker
+//! re-reads its **own region's** pre-warmed working set, so every access
+//! is a buffer hit (shard lock + LRU touch, no disk-mutex traffic) —
+//! the partitioned-by-database access pattern of a multi-tenant server.
+//! The routing dimension compares the two shard keys:
 //!
-//! * `accesses_per_sec` — wall-clock throughput (scales with the shard
-//!   count on multi-core machines);
-//! * `blocked_acquisitions` — shard-lock acquisitions that found the
-//!   lock held by another thread
-//!   ([`ShardedPool::lock_contentions`]), the hardware-independent
-//!   contention measure: it drops with the shard count even when the
-//!   machine's core count hides the effect from wall-clock time.
+//! * `by_page` — the default page-hash spreading: every thread's pages
+//!   land on every shard, so threads contend whenever two pages hash to
+//!   one shard at the same moment;
+//! * `by_region` — region-keyed routing
+//!   ([`Routing::ByRegion`](spatialdb::disk::Routing)): each region is
+//!   one lock domain, so workers touching disjoint regions **never**
+//!   share a lock (up to region-hash collisions).
 //!
-//! Pass `--ops N` for accesses per thread, `--out PATH` for the report
-//! location.
+//! Each cell reports wall-clock `accesses_per_sec` (scales with cores)
+//! and `blocked_acquisitions`
+//! ([`ShardedPool::lock_contentions`]), the hardware-independent
+//! contention measure. Pass `--ops N` for accesses per thread, `--out
+//! PATH` for the report location; the grids are env-overridable
+//! (`SPATIALDB_BENCH_THREADS=1,2,4,8`, `SPATIALDB_BENCH_SHARDS=1,2,4,8,16`)
+//! so a multi-core re-baseline needs no code change.
 
-use spatialdb::disk::{Disk, PageId, ShardedPool};
+use spatialdb::disk::{Disk, PageId, Routing, ShardedPool};
+use spatialdb_bench::{arg, grid_from_env};
 use std::sync::Arc;
 use std::time::Instant;
 
-fn arg(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-/// Pages per thread in the warm working set.
+/// Pages per thread in the warm working set (each thread's pages live in
+/// its own region).
 const PAGES_PER_THREAD: u64 = 256;
 
-fn run_cell(threads: usize, shards: usize, ops_per_thread: u64) -> (f64, u64) {
+fn run_cell(threads: usize, shards: usize, routing: Routing, ops_per_thread: u64) -> (f64, u64) {
     let disk = Disk::with_defaults();
-    let region = disk.create_region("contention");
-    // Budget sized so the whole working set stays resident in every
-    // shard (2x slack for the page-hash imbalance).
-    let capacity = (threads as u64 * PAGES_PER_THREAD * 2) as usize;
-    let pool = Arc::new(ShardedPool::with_shards(disk.clone(), capacity, shards));
-    let total_pages = threads as u64 * PAGES_PER_THREAD;
-    for o in 0..total_pages {
-        pool.read_page(PageId::new(region, o));
+    let regions: Vec<_> = (0..threads)
+        .map(|t| disk.create_region(&format!("tenant-{t}")))
+        .collect();
+    // Budget sized so the working set stays resident under any shard
+    // assignment: region routing can concentrate every region onto one
+    // shard, whose quota is capacity / shards — so scale the budget by
+    // the shard count (the bench only exercises the hit path; capacity
+    // beyond residency changes nothing).
+    let capacity = (2 * threads as u64 * shards.max(1) as u64 * PAGES_PER_THREAD) as usize;
+    let pool = Arc::new(ShardedPool::with_routing(
+        disk.clone(),
+        capacity,
+        shards,
+        routing,
+    ));
+    for &r in &regions {
+        for o in 0..PAGES_PER_THREAD {
+            pool.read_page(PageId::new(r, o));
+        }
     }
     assert_eq!(
         pool.len() as u64,
-        total_pages,
+        threads as u64 * PAGES_PER_THREAD,
         "working set must stay resident"
     );
     let start = Instant::now();
     std::thread::scope(|scope| {
-        for t in 0..threads as u64 {
+        for (t, &region) in regions.iter().enumerate() {
             let pool = pool.clone();
             scope.spawn(move || {
-                // Each thread walks the whole working set with its own
-                // stride, so accesses interleave across all shards.
-                let stride = 2 * t + 1;
-                let mut o = t * PAGES_PER_THREAD;
+                // Each thread walks its own region's working set with
+                // its own stride.
+                let stride = 2 * t as u64 + 1;
+                let mut o = 0u64;
                 for _ in 0..ops_per_thread {
-                    let hit = pool.read_page(PageId::new(region, o % total_pages));
+                    let hit = pool.read_page(PageId::new(region, o % PAGES_PER_THREAD));
                     debug_assert!(hit, "warm page must hit");
                     o = o.wrapping_add(stride);
                 }
@@ -76,30 +86,38 @@ fn main() {
     let ops_per_thread: u64 = arg("--ops").and_then(|s| s.parse().ok()).unwrap_or(400_000);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let out_path = arg("--out").unwrap_or_else(|| "BENCH_pool_contention.json".to_string());
-    let thread_grid = [1usize, 2, 4, 8];
-    let shard_grid = [1usize, 2, 4, 8, 16];
+    let thread_grid = grid_from_env("SPATIALDB_BENCH_THREADS", &[1, 2, 4, 8]);
+    let shard_grid = grid_from_env("SPATIALDB_BENCH_SHARDS", &[1, 2, 4, 8, 16]);
 
-    println!("pool contention: {ops_per_thread} hit-path accesses per thread");
+    println!("pool contention: {ops_per_thread} hit-path accesses per thread (per-region sets)");
     let mut rows = Vec::new();
     for &threads in &thread_grid {
         for &shards in &shard_grid {
-            // Warm-up pass to stabilize the cell, then the measured run.
-            run_cell(threads, shards, ops_per_thread / 8);
-            let (ops_per_sec, blocked) = run_cell(threads, shards, ops_per_thread);
-            println!(
-                "  {threads} thread(s) x {shards:2} shard(s): {ops_per_sec:12.0} accesses/s  \
-                 {blocked:9} blocked acquisitions"
-            );
-            rows.push(format!(
-                "    {{\"threads\": {threads}, \"shards\": {shards}, \
-                 \"accesses_per_sec\": {ops_per_sec:.0}, \"blocked_acquisitions\": {blocked}}}"
-            ));
+            for (routing, label) in [
+                (Routing::ByPage, "by_page"),
+                (Routing::ByRegion, "by_region"),
+            ] {
+                // Warm-up pass to stabilize the cell, then the measured
+                // run.
+                run_cell(threads, shards, routing, ops_per_thread / 8);
+                let (ops_per_sec, blocked) = run_cell(threads, shards, routing, ops_per_thread);
+                println!(
+                    "  {threads} thread(s) x {shards:2} shard(s) {label:9}: \
+                     {ops_per_sec:12.0} accesses/s  {blocked:9} blocked acquisitions"
+                );
+                rows.push(format!(
+                    "    {{\"threads\": {threads}, \"shards\": {shards}, \
+                     \"routing\": \"{label}\", \"accesses_per_sec\": {ops_per_sec:.0}, \
+                     \"blocked_acquisitions\": {blocked}}}"
+                ));
+            }
         }
     }
 
     let json = format!(
         "{{\n  \"bench\": \"pool_contention\",\n  \"ops_per_thread\": {ops_per_thread},\n  \
-         \"pages_per_thread\": {PAGES_PER_THREAD},\n  \"workload\": \"warm hit path\",\n  \
+         \"pages_per_thread\": {PAGES_PER_THREAD},\n  \
+         \"workload\": \"per-region warm hit path\",\n  \
          \"cores\": {cores},\n  \"rows\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );

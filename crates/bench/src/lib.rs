@@ -29,6 +29,45 @@ pub fn scale_from_args() -> Scale {
     scale
 }
 
+/// Value of the `--name <value>` command-line flag, if present (the
+/// microbenchmark binaries' shared flag parser).
+pub fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// A benchmark grid dimension: the `var` environment variable (a
+/// comma-separated integer list, e.g. `SPATIALDB_BENCH_THREADS=1,4,16`)
+/// overrides `default` — so re-baselining on different hardware (more
+/// cores, deeper queues) needs no code change.
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a comma-separated list of
+/// positive integers.
+pub fn grid_from_env(var: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(var) {
+        Ok(s) => {
+            let grid: Vec<usize> = s
+                .split(',')
+                .map(|t| {
+                    t.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("{var} must be a comma-separated integer list"))
+                })
+                .collect();
+            assert!(
+                !grid.is_empty() && grid.iter().all(|&v| v > 0),
+                "{var} must list positive integers"
+            );
+            grid
+        }
+        Err(_) => default.to_vec(),
+    }
+}
+
 /// Standard experiment banner.
 pub fn banner(what: &str, scale: &Scale) {
     println!("== {what} ==");

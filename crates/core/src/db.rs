@@ -17,13 +17,14 @@
 //! while updates keep `&mut self`.
 
 use crate::query::{JoinQuery, Query};
+use spatialdb_disk::Routing;
 use spatialdb_disk::{Disk, DiskHandle, DiskParams, IoStats, PAGE_SIZE};
 use spatialdb_geom::{Geometry, HasMbr};
 use spatialdb_rtree::ObjectId;
 use spatialdb_storage::{
-    new_shared_pool_with_shards, ClusterConfig, ClusterOrganization, ObjectRecord,
-    OrganizationKind, PrimaryOrganization, SecondaryOrganization, SharedPool, SpatialStore,
-    WindowTechnique,
+    new_shared_pool_with_routing, new_shared_pool_with_shards, ClusterConfig, ClusterOrganization,
+    ObjectRecord, OrganizationKind, PrimaryOrganization, SecondaryOrganization, SharedPool,
+    SpatialStore, WindowTechnique,
 };
 use std::collections::HashMap;
 
@@ -115,6 +116,21 @@ impl Workspace {
         Workspace { disk, pool }
     }
 
+    /// Create a sharded workspace with an explicit shard
+    /// [`Routing`] mode.
+    ///
+    /// [`Routing::ByRegion`] keys whole regions to shards, so each
+    /// database file (R\*-tree region, object file, cluster-unit area)
+    /// gets its **own lock domain** — workloads partitioned by database
+    /// never contend on a pool lock, at the cost of coarser spreading
+    /// within one hot file. [`Routing::ByPage`] is the default
+    /// page-hash spreading of [`with_shards`](Workspace::with_shards).
+    pub fn with_shard_routing(buffer_pages: usize, shards: usize, routing: Routing) -> Self {
+        let disk = Disk::new(DiskParams::default());
+        let pool = new_shared_pool_with_routing(disk.clone(), buffer_pages, shards, routing);
+        Workspace { disk, pool }
+    }
+
     /// The simulated disk.
     pub fn disk(&self) -> DiskHandle {
         self.disk.clone()
@@ -154,6 +170,17 @@ impl Workspace {
             store,
             technique: options.technique,
             geometry: HashMap::new(),
+        }
+    }
+
+    /// Every batch entry point shares this membership check: a query's
+    /// store must be built on this workspace's disk.
+    fn assert_same_workspace(&self, queries: &[Query<'_>]) {
+        for (i, q) in queries.iter().enumerate() {
+            assert!(
+                std::sync::Arc::ptr_eq(&q.db.store.disk(), &self.disk),
+                "query {i} targets a database of another workspace"
+            );
         }
     }
 
@@ -203,12 +230,7 @@ impl Workspace {
         queries: Vec<Query<'_>>,
         n_threads: usize,
     ) -> crate::executor::BatchOutcome {
-        for (i, q) in queries.iter().enumerate() {
-            assert!(
-                std::sync::Arc::ptr_eq(&q.db.store.disk(), &self.disk),
-                "query {i} targets a database of another workspace"
-            );
-        }
+        self.assert_same_workspace(&queries);
         crate::executor::run_batch(queries, n_threads)
     }
 
@@ -235,13 +257,37 @@ impl Workspace {
         queries: Vec<Query<'_>>,
         n_threads: usize,
     ) -> crate::executor::BatchOutcome {
-        for (i, q) in queries.iter().enumerate() {
-            assert!(
-                std::sync::Arc::ptr_eq(&q.db.store.disk(), &self.disk),
-                "query {i} targets a database of another workspace"
-            );
-        }
+        self.assert_same_workspace(&queries);
         crate::executor::run_batch_with(queries, n_threads, crate::executor::FilterMode::Overlapped)
+    }
+
+    /// Execute a batch under the **overlapped-I/O scheduler**
+    /// ([`FilterMode::OverlappedIo`](crate::executor::FilterMode)): the
+    /// filter steps run in submission order through the stores' batched
+    /// read path — answers, per-query `QueryStats` and charged
+    /// `IoStats` **byte-identical** to [`run_batch`](Workspace::run_batch)
+    /// — and each query's captured request trace is replayed through
+    /// the disk-arm scheduler with a depth-*k* submission window under
+    /// an open-arrival workload, attaching per-query
+    /// [`LatencyStats`](spatialdb_disk::LatencyStats) to the outcomes.
+    /// Refinement fans across `n_threads` workers while the timeline is
+    /// computed; the whole run is deterministic at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a query targets a database of another workspace.
+    pub fn run_batch_timed(
+        &self,
+        queries: Vec<Query<'_>>,
+        n_threads: usize,
+        config: crate::executor::OverlapConfig,
+    ) -> crate::executor::BatchOutcome {
+        self.assert_same_workspace(&queries);
+        crate::executor::run_batch_with(
+            queries,
+            n_threads,
+            crate::executor::FilterMode::OverlappedIo(config),
+        )
     }
 
     /// Create a database on a caller-supplied [`SpatialStore`] backend —

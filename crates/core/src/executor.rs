@@ -36,8 +36,12 @@
 //! [`Workspace::run_batch_overlapped`](crate::db::Workspace::run_batch_overlapped)
 //! for the concurrent filter phase.
 
-use crate::query::{candidate_ids, execute_filter, refined_geometry, Query, Target};
-use spatialdb_disk::IoStats;
+use crate::query::{
+    candidate_ids, execute_filter, execute_filter_traced, refined_geometry, Query, Target,
+};
+use spatialdb_disk::{
+    simulate_queries, ArmGeometry, ArmPolicy, IoStats, LatencyStats, PageRequest, QueryTrace,
+};
 use spatialdb_rtree::LeafEntry;
 use spatialdb_storage::QueryStats;
 
@@ -51,6 +55,7 @@ pub struct QueryOutcome {
     ids: Vec<u64>,
     stats: QueryStats,
     io: IoStats,
+    latency: Option<LatencyStats>,
 }
 
 impl QueryOutcome {
@@ -74,6 +79,14 @@ impl QueryOutcome {
     /// Detailed I/O counters of this query alone.
     pub fn io_stats(&self) -> IoStats {
         self.io
+    }
+
+    /// Simulated latency of this query under the disk-arm scheduler —
+    /// present only for batches run under
+    /// [`FilterMode::OverlappedIo`] (queue wait, service and completion
+    /// time in simulated ms).
+    pub fn latency_stats(&self) -> Option<LatencyStats> {
+        self.latency
     }
 }
 
@@ -138,6 +151,8 @@ struct Prepared<'a> {
     candidates: Vec<u64>,
     stats: QueryStats,
     io: IoStats,
+    /// Captured request trace (only under [`FilterMode::OverlappedIo`]).
+    trace: Vec<PageRequest>,
 }
 
 /// Execute one query's filter step and candidate re-read. Both are the
@@ -145,13 +160,23 @@ struct Prepared<'a> {
 /// and both the serialized and the overlapped scheduling go through
 /// this one function — neither executor path can drift from
 /// `Query::run` or from each other.
-fn prepare_one<'a>(q: Query<'a>, scratch: &mut Vec<LeafEntry>) -> Prepared<'a> {
+/// With `traced`, the filter step goes through the stores' batched read
+/// path ([`SpatialStore::window_query_traced`](spatialdb_storage::SpatialStore::window_query_traced)):
+/// the same synchronous execution — identical answers, stats and charged
+/// I/O — additionally capturing the disk requests for replay through the
+/// arm scheduler.
+fn prepare_one<'a>(q: Query<'a>, scratch: &mut Vec<LeafEntry>, traced: bool) -> Prepared<'a> {
     let db = q.db;
     let target = q
         .target
         .expect("Query::run() needs .window(..) or .point(..) first");
     let technique = q.technique.unwrap_or(db.technique);
-    let (stats, io) = execute_filter(db, &target, technique);
+    let (stats, io, trace) = if traced {
+        execute_filter_traced(db, &target, technique)
+    } else {
+        let (stats, io) = execute_filter(db, &target, technique);
+        (stats, io, Vec::new())
+    };
     let candidates = candidate_ids(db, &target, scratch);
     Prepared {
         db,
@@ -159,6 +184,7 @@ fn prepare_one<'a>(q: Query<'a>, scratch: &mut Vec<LeafEntry>) -> Prepared<'a> {
         candidates,
         stats,
         io,
+        trace,
     }
 }
 
@@ -168,7 +194,7 @@ fn filter_phase(queries: Vec<Query<'_>>) -> Vec<Prepared<'_>> {
     let mut scratch: Vec<LeafEntry> = Vec::new();
     queries
         .into_iter()
-        .map(|q| prepare_one(q, &mut scratch))
+        .map(|q| prepare_one(q, &mut scratch, false))
         .collect()
 }
 
@@ -182,9 +208,38 @@ fn refine(db: &crate::db::SpatialDatabase, target: &Target, candidates: &[u64]) 
         .collect()
 }
 
+/// Configuration of the overlapped-I/O filter mode
+/// ([`FilterMode::OverlappedIo`]): how deep each query's submission
+/// window is, how the arm orders outstanding requests, and how fast
+/// queries arrive.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct OverlapConfig {
+    /// Maximum requests one query keeps outstanding on the arm: its
+    /// first `depth` requests are submitted at arrival, each completion
+    /// releases the next. Depth 1 reproduces the synchronous request
+    /// order.
+    pub depth: usize,
+    /// Arm scheduling policy across the queries' outstanding requests.
+    pub policy: ArmPolicy,
+    /// Open-arrival spacing: query *i* arrives at `i · inter_arrival_ms`
+    /// on the simulated clock. 0 means all queries arrive at once
+    /// (a closed burst).
+    pub inter_arrival_ms: f64,
+}
+
+impl Default for OverlapConfig {
+    fn default() -> Self {
+        OverlapConfig {
+            depth: 4,
+            policy: ArmPolicy::Elevator,
+            inter_arrival_ms: 0.0,
+        }
+    }
+}
+
 /// How a batch's filter steps are scheduled (the refinement step always
 /// fans across the worker pool).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub enum FilterMode {
     /// Issue the filter steps in submission order on the calling
     /// thread: per-query and aggregate stats are byte-identical to
@@ -201,6 +256,17 @@ pub enum FilterMode {
     /// `n_threads <= 1` this degenerates to the serialized order
     /// (deterministic single-thread path).
     Overlapped,
+    /// The overlapped-I/O mode: filter steps execute in submission
+    /// order through the stores' **batched read path** (answers,
+    /// `QueryStats` and charged `IoStats` byte-identical to
+    /// [`Serialized`](FilterMode::Serialized)), each query's captured
+    /// requests are replayed through the **disk-arm scheduler** with a
+    /// depth-*k* submission window under an open-arrival workload, and
+    /// the per-query [`LatencyStats`] land on the outcomes
+    /// ([`QueryOutcome::latency_stats`]). The refinement CPU runs on
+    /// the worker pool **while** this thread computes the simulated-I/O
+    /// timeline. Deterministic at every thread count.
+    OverlappedIo(OverlapConfig),
 }
 
 /// Run a batch: serial deterministic filter phase, then refinement
@@ -217,8 +283,93 @@ pub fn run_batch_with(queries: Vec<Query<'_>>, n_threads: usize, mode: FilterMod
         // at one thread the serialized path *is* the overlap order,
         // which keeps the single-thread path deterministic.
         FilterMode::Overlapped if n_threads > 1 => run_batch_overlapped(queries, n_threads),
+        FilterMode::OverlappedIo(cfg) => run_batch_overlapped_io(queries, n_threads, cfg),
         _ => run_batch_serialized(queries, n_threads),
     }
+}
+
+/// The overlapped-I/O batch runner (see [`FilterMode::OverlappedIo`]):
+/// serialized traced filter phase, then the arm-timeline simulation on
+/// the calling thread concurrently with refinement on the worker pool.
+fn run_batch_overlapped_io(
+    queries: Vec<Query<'_>>,
+    n_threads: usize,
+    cfg: OverlapConfig,
+) -> BatchOutcome {
+    if queries.is_empty() {
+        return BatchOutcome {
+            outcomes: Vec::new(),
+        };
+    }
+    // The timed mode is the one mode with cross-query shared state (one
+    // arm, one set of DiskParams), so it must hold even when called
+    // directly rather than through `Workspace::run_batch_timed`.
+    let disk = queries[0].db.store.disk();
+    for (i, q) in queries.iter().enumerate() {
+        assert!(
+            std::sync::Arc::ptr_eq(&q.db.store.disk(), &disk),
+            "query {i} targets a database of another workspace; \
+             a timed batch simulates one disk arm"
+        );
+    }
+    let params = disk.params();
+    let mut scratch: Vec<LeafEntry> = Vec::new();
+    let mut prepared: Vec<Prepared<'_>> = queries
+        .into_iter()
+        .map(|q| prepare_one(q, &mut scratch, true))
+        .collect();
+    let traces: Vec<QueryTrace> = prepared
+        .iter_mut()
+        .enumerate()
+        .map(|(i, p)| QueryTrace {
+            arrival_ms: i as f64 * cfg.inter_arrival_ms,
+            // The trace is only needed by the simulation — move it out
+            // instead of copying every request.
+            requests: std::mem::take(&mut p.trace),
+        })
+        .collect();
+    let threads = n_threads.clamp(1, prepared.len());
+    let per = prepared.len().div_ceil(threads);
+    let (refined, latency) = std::thread::scope(|scope| {
+        let handles: Vec<_> = prepared
+            .chunks(per)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|p| refine(p.db, &p.target, &p.candidates))
+                        .collect::<Vec<Vec<u64>>>()
+                })
+            })
+            .collect();
+        // Refinement CPU overlaps with the simulated I/O: the workers
+        // grind exact-geometry tests while this thread schedules the
+        // depth-k request windows on the arm.
+        let latency = simulate_queries(
+            params,
+            ArmGeometry::default(),
+            cfg.policy,
+            cfg.depth,
+            &traces,
+        );
+        let refined: Vec<Vec<u64>> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("refinement worker panicked"))
+            .collect();
+        (refined, latency)
+    });
+    let outcomes = prepared
+        .into_iter()
+        .zip(refined)
+        .zip(latency)
+        .map(|((p, ids), lat)| QueryOutcome {
+            ids,
+            stats: p.stats,
+            io: p.io,
+            latency: Some(lat),
+        })
+        .collect();
+    BatchOutcome { outcomes }
 }
 
 /// Overlapped scheduling: contiguous chunks of the batch, each worker
@@ -254,12 +405,13 @@ fn run_batch_overlapped(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutco
                     chunk
                         .into_iter()
                         .map(|q| {
-                            let p = prepare_one(q, &mut scratch);
+                            let p = prepare_one(q, &mut scratch, false);
                             let ids = refine(p.db, &p.target, &p.candidates);
                             QueryOutcome {
                                 ids,
                                 stats: p.stats,
                                 io: p.io,
+                                latency: None,
                             }
                         })
                         .collect::<Vec<QueryOutcome>>()
@@ -307,6 +459,7 @@ fn run_batch_serialized(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutco
             ids,
             stats: p.stats,
             io: p.io,
+            latency: None,
         })
         .collect();
     BatchOutcome { outcomes }
@@ -323,6 +476,7 @@ pub(crate) fn run_one_par(query: Query<'_>, n_threads: usize) -> QueryOutcome {
             ids: Vec::new(),
             stats: p.stats,
             io: p.io,
+            latency: None,
         };
     }
     let threads = n_threads.clamp(1, p.candidates.len());
@@ -342,5 +496,6 @@ pub(crate) fn run_one_par(query: Query<'_>, n_threads: usize) -> QueryOutcome {
         ids,
         stats: p.stats,
         io: p.io,
+        latency: None,
     }
 }

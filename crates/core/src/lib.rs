@@ -78,7 +78,7 @@ pub mod query;
 pub mod report;
 
 pub use db::{DbOptions, SpatialDatabase, Workspace};
-pub use executor::{BatchOutcome, FilterMode, QueryOutcome};
+pub use executor::{BatchOutcome, FilterMode, OverlapConfig, QueryOutcome};
 pub use query::{JoinCursor, JoinQuery, Query, ResultCursor};
 
 pub use spatialdb_data as data;
@@ -89,7 +89,7 @@ pub use spatialdb_rtree as rtree;
 pub use spatialdb_storage as storage;
 
 pub use spatialdb_data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
-pub use spatialdb_disk::{Disk, DiskHandle, DiskParams, IoStats};
+pub use spatialdb_disk::{ArmPolicy, Disk, DiskHandle, DiskParams, IoStats, LatencyStats, Routing};
 pub use spatialdb_geom::Geometry;
 pub use spatialdb_join::{JoinConfig, JoinStats, SpatialJoin};
 pub use spatialdb_rtree::ObjectId;

@@ -33,7 +33,9 @@
 //! ```
 
 use crate::db::SpatialDatabase;
-use spatialdb_disk::IoStats;
+use spatialdb_disk::{
+    simulate_queries, ArmGeometry, ArmPolicy, IoStats, LatencyStats, PageRequest, QueryTrace,
+};
 use spatialdb_geom::Geometry;
 use spatialdb_geom::{Point, Rect};
 use spatialdb_join::{JoinConfig, JoinStats, SpatialJoin};
@@ -66,6 +68,25 @@ pub(crate) fn execute_filter(
     };
     let io = disk.local_stats().since(&io_before);
     (stats, io)
+}
+
+/// [`execute_filter`] through the stores' batched read path
+/// ([`SpatialStore::window_query_traced`](spatialdb_storage::SpatialStore::window_query_traced)):
+/// same synchronous execution and deltas, plus the captured
+/// [`PageRequest`] trace for the arm scheduler.
+pub(crate) fn execute_filter_traced(
+    db: &SpatialDatabase,
+    target: &Target,
+    technique: WindowTechnique,
+) -> (QueryStats, IoStats, Vec<PageRequest>) {
+    let disk = db.store.disk();
+    let io_before = disk.local_stats();
+    let (stats, trace) = match target {
+        Target::Window(w) => db.store.window_query_traced(w, technique),
+        Target::Point(p) => db.store.point_query_traced(p),
+    };
+    let io = disk.local_stats().since(&io_before);
+    (stats, io, trace)
 }
 
 /// The refinement predicate: the exact geometry of `id` if it really
@@ -329,6 +350,51 @@ impl<'a> JoinQuery<'a> {
             pairs,
             next: 0,
             stats,
+            latency: None,
+        }
+    }
+
+    /// Run the join and additionally replay its captured request trace
+    /// through the disk-arm scheduler with a `depth`-deep submission
+    /// window under `policy`, attaching the join's simulated
+    /// [`LatencyStats`] to the cursor
+    /// ([`JoinCursor::latency_stats`]).
+    ///
+    /// The join executes synchronously — pairs and [`JoinStats`] are
+    /// identical to [`run`](JoinQuery::run) — so the latency figure is
+    /// the *overlapped* service time of exactly the requests the
+    /// synchronous join charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two databases do not share one workspace.
+    pub fn run_timed(self, depth: usize, policy: ArmPolicy) -> JoinCursor<'a> {
+        let JoinQuery {
+            left,
+            right,
+            config,
+        } = self;
+        let disk = left.store.disk();
+        let (pairs, stats, trace) = SpatialJoin::new(left.store.as_ref(), right.store.as_ref())
+            .run_with_pairs_traced(config);
+        let latency = simulate_queries(
+            disk.params(),
+            ArmGeometry::default(),
+            policy,
+            depth,
+            &[QueryTrace {
+                arrival_ms: 0.0,
+                requests: trace,
+            }],
+        )
+        .pop();
+        JoinCursor {
+            left,
+            right,
+            pairs,
+            next: 0,
+            stats,
+            latency,
         }
     }
 
@@ -358,6 +424,7 @@ impl<'a> JoinQuery<'a> {
             pairs,
             next: 0,
             stats,
+            latency: None,
         }
     }
 }
@@ -370,12 +437,19 @@ pub struct JoinCursor<'a> {
     pairs: Vec<(spatialdb_rtree::ObjectId, spatialdb_rtree::ObjectId)>,
     next: usize,
     stats: JoinStats,
+    latency: Option<LatencyStats>,
 }
 
 impl<'a> JoinCursor<'a> {
     /// Cost breakdown of this join alone (§6.3 / Figure 17).
     pub fn stats(&self) -> JoinStats {
         self.stats
+    }
+
+    /// Simulated latency of the join's I/O under the arm scheduler —
+    /// present only for [`JoinQuery::run_timed`].
+    pub fn latency_stats(&self) -> Option<LatencyStats> {
+        self.latency
     }
 
     /// Number of candidate pairs the MBR join produced.

@@ -90,6 +90,54 @@ pub fn f(value: f64, digits: usize) -> String {
     format!("{value:.digits$}")
 }
 
+/// Summary of a latency distribution (simulated ms) — the row shape of
+/// the `io_latency` benchmark and the latency-oriented figures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Nearest-rank quantile of an **ascending-sorted** slice
+/// (`q` in `[0, 1]`).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty distribution");
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Summarize a latency distribution. Sorts in place.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn summarize_latencies(values: &mut [f64]) -> LatencySummary {
+    assert!(!values.is_empty(), "no latency samples");
+    values.sort_by(f64::total_cmp);
+    LatencySummary {
+        count: values.len(),
+        p50: quantile(values, 0.50),
+        p95: quantile(values, 0.95),
+        p99: quantile(values, 0.99),
+        mean: values.iter().sum::<f64>() / values.len() as f64,
+        max: *values.last().expect("non-empty"),
+    }
+}
+
 /// Format a ratio as `x.x×`.
 pub fn speedup(base: f64, improved: f64) -> String {
     if improved <= 0.0 {
@@ -130,5 +178,32 @@ mod tests {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(speedup(10.0, 2.0), "5.0x");
         assert_eq!(speedup(10.0, 0.0), "—");
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 0.5), 5.0);
+        assert_eq!(quantile(&v, 0.95), 10.0);
+        assert_eq!(quantile(&v, 1.0), 10.0);
+        assert_eq!(quantile(&[42.0], 0.99), 42.0);
+    }
+
+    #[test]
+    fn summarize_sorts_and_aggregates() {
+        let mut v = vec![30.0, 10.0, 20.0, 40.0];
+        let s = summarize_latencies(&mut v);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.p50, 20.0);
+        assert_eq!(s.max, 40.0);
+        assert_eq!(s.mean, 25.0);
+        assert_eq!(v, vec![10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        quantile(&[], 0.5);
     }
 }

@@ -1,8 +1,9 @@
 //! The shared disk accounting object.
 
+use crate::arm::{ArmGeometry, ArmPolicy, Completion, DiskArm, PageRequest};
 use crate::model::{DiskParams, PageRun, RegionId};
 use crate::stats::{IoKind, IoStats};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::{Arc, Mutex};
 
 /// A shared handle to a [`Disk`].
@@ -21,6 +22,14 @@ thread_local! {
     /// correct when other threads charge the same disk concurrently
     /// (a global-counter delta would attribute their requests to us).
     static THREAD_TALLY: Cell<IoStats> = Cell::new(IoStats::new());
+
+    /// Per-thread request trace: while armed (between [`Disk::trace_begin`]
+    /// and [`Disk::trace_take`]), every `charge` on this thread is also
+    /// recorded as a [`PageRequest`]. Like the tally, the trace is
+    /// thread-local — it captures exactly the requests the current
+    /// thread issues, which is what turns any synchronous filter step
+    /// into a replayable trace for the arm scheduler.
+    static THREAD_TRACE: RefCell<Option<Vec<PageRequest>>> = const { RefCell::new(None) };
 }
 
 /// The simulated disk: cost parameters plus accumulated statistics.
@@ -34,10 +43,14 @@ thread_local! {
 /// charged from any thread. Per-query deltas should be taken against
 /// [`Disk::local_stats`] (the calling thread's tally), not against the
 /// global [`Disk::stats`].
+/// Lock order: the arm mutex is only ever taken *before* the state
+/// mutex (completions charge the disk while the arm is locked), never
+/// the reverse — acyclic, so the disk cannot deadlock.
 #[derive(Debug)]
 pub struct Disk {
     params: DiskParams,
     state: Mutex<DiskState>,
+    arm: Mutex<DiskArm>,
 }
 
 #[derive(Debug, Default)]
@@ -53,6 +66,11 @@ impl Disk {
         Arc::new(Disk {
             params,
             state: Mutex::new(DiskState::default()),
+            arm: Mutex::new(DiskArm::new(
+                params,
+                ArmGeometry::default(),
+                ArmPolicy::default(),
+            )),
         })
     }
 
@@ -108,7 +126,93 @@ impl Disk {
         }
         let cost = self.params.request_ms(run.len, skip_seek);
         self.record(kind, run.len, cost, !skip_seek);
+        THREAD_TRACE.with(|t| {
+            if let Some(trace) = t.borrow_mut().as_mut() {
+                trace.push(PageRequest {
+                    kind,
+                    run,
+                    skip_seek,
+                });
+            }
+        });
         cost
+    }
+
+    /// Start capturing this thread's requests: until
+    /// [`trace_take`](Disk::trace_take), every non-empty [`charge`](Disk::charge)
+    /// on the calling thread is also recorded as a [`PageRequest`]
+    /// (whichever disk it hits, like the thread tally). Any trace already
+    /// being captured on this thread is discarded.
+    ///
+    /// [`charge_raw`](Disk::charge_raw) is *not* traced: the optimum
+    /// baselines it serves charge analytical lower-bound costs that do
+    /// not correspond to physical page runs, so they cannot be scheduled
+    /// on an arm.
+    pub fn trace_begin(&self) {
+        THREAD_TRACE.with(|t| *t.borrow_mut() = Some(Vec::new()));
+    }
+
+    /// Stop capturing and return the requests charged on this thread
+    /// since [`trace_begin`](Disk::trace_begin) (empty if tracing was
+    /// never started).
+    pub fn trace_take(&self) -> Vec<PageRequest> {
+        THREAD_TRACE.with(|t| t.borrow_mut().take().unwrap_or_default())
+    }
+
+    /// Set the arm scheduling policy for [`submit`](Disk::submit) /
+    /// [`complete_next`](Disk::complete_next). Affects only requests not
+    /// yet serviced.
+    pub fn set_arm_policy(&self, policy: ArmPolicy) {
+        self.arm
+            .lock()
+            .expect("disk arm poisoned")
+            .set_policy(policy);
+    }
+
+    /// Submit a request to the disk arm's queue without charging it yet;
+    /// the charge happens when the arm services it
+    /// ([`complete_next`](Disk::complete_next)). Returns the request id,
+    /// or `None` for an empty run (free and not recorded, exactly like
+    /// the synchronous path).
+    pub fn submit(&self, request: PageRequest) -> Option<u64> {
+        if request.run.is_empty() {
+            return None;
+        }
+        Some(self.arm.lock().expect("disk arm poisoned").submit(request))
+    }
+
+    /// Service the next outstanding request in arm-policy order,
+    /// charging it through the same code path as the synchronous
+    /// [`charge`](Disk::charge) — with the completion's effective seek
+    /// flag, so depth-1 submission (one request outstanding at a time)
+    /// is **byte-identical** to calling `charge` directly, and
+    /// elevator-merged same-cylinder requests are not double-charged
+    /// (§5.4.3 across queued requests).
+    pub fn complete_next(&self) -> Option<Completion> {
+        let mut arm = self.arm.lock().expect("disk arm poisoned");
+        let completion = arm.service_next()?;
+        // Charged while the arm is locked so the accounting order equals
+        // the timeline order (lock order arm → state, see the type docs).
+        self.charge(
+            completion.request.kind,
+            completion.request.run,
+            completion.effective_skip_seek,
+        );
+        Some(completion)
+    }
+
+    /// Service everything outstanding on the arm, charging each request.
+    pub fn drain_arm(&self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while let Some(c) = self.complete_next() {
+            out.push(c);
+        }
+        out
+    }
+
+    /// Number of submitted requests the arm has not yet serviced.
+    pub fn arm_pending(&self) -> usize {
+        self.arm.lock().expect("disk arm poisoned").pending()
     }
 
     /// Charge an already-computed cost for a request of `pages` pages.
@@ -341,6 +445,140 @@ mod tests {
         assert_eq!(real.stats().requests(), 0);
         real.absorb(&stats);
         assert_eq!(real.stats().pages_written, 2);
+    }
+
+    use crate::test_util::Rng;
+
+    /// The correctness anchor of the overlapped-I/O subsystem: driving
+    /// the arm at queue depth 1 (submit one request, complete it, submit
+    /// the next) produces **byte-identical** [`IoStats`] to charging the
+    /// same requests synchronously — for both policies, including
+    /// `skip_seek` requests and same-cylinder adjacency.
+    #[test]
+    fn depth_one_submission_mirrors_synchronous_charge() {
+        for policy in [ArmPolicy::Fcfs, ArmPolicy::Elevator] {
+            let sync_disk = Disk::with_defaults();
+            let arm_disk = Disk::with_defaults();
+            arm_disk.set_arm_policy(policy);
+            let rs = sync_disk.create_region("mirror");
+            let ra = arm_disk.create_region("mirror");
+            assert_eq!(rs, ra);
+            let mut rng = Rng(0x9E37_79B9_1994_0001);
+            for step in 0..2000u32 {
+                let kind = if rng.below(4) == 0 {
+                    IoKind::Write
+                } else {
+                    IoKind::Read
+                };
+                // Offsets cluster heavily so same-cylinder adjacency and
+                // repeated pages occur constantly.
+                let offset = rng.below(96);
+                let len = 1 + rng.below(8);
+                let skip_seek = rng.below(5) == 0;
+                let run = PageRun::new(PageId::new(rs, offset), len);
+                sync_disk.charge(kind, run, skip_seek);
+                let req = PageRequest {
+                    kind,
+                    run,
+                    skip_seek,
+                };
+                arm_disk.submit(req).expect("non-empty run submits");
+                let c = arm_disk.complete_next().expect("one pending request");
+                assert_eq!(c.effective_skip_seek, skip_seek, "step {step}");
+                assert_eq!(arm_disk.arm_pending(), 0);
+                assert_eq!(
+                    sync_disk.stats(),
+                    arm_disk.stats(),
+                    "stats diverged at step {step} ({policy:?})"
+                );
+            }
+            assert!(sync_disk.stats().requests() >= 2000);
+        }
+    }
+
+    #[test]
+    fn elevator_depth_merges_reduce_charged_seeks() {
+        // The same request set charged synchronously vs. queued all at
+        // once under the elevator: co-scheduled same-cylinder requests
+        // drop their seek charge, everything else is conserved.
+        let sync_disk = Disk::with_defaults();
+        let arm_disk = Disk::with_defaults();
+        let rs = sync_disk.create_region("x");
+        let ra = arm_disk.create_region("x");
+        assert_eq!(rs, ra);
+        let requests: Vec<PageRequest> = (0..6u64)
+            .map(|o| PageRequest::read(PageRun::new(PageId::new(rs, o), 1)))
+            .collect();
+        for r in &requests {
+            sync_disk.charge(r.kind, r.run, r.skip_seek);
+            arm_disk.submit(*r);
+        }
+        let done = arm_disk.drain_arm();
+        assert_eq!(done.len(), 6);
+        let (s, a) = (sync_disk.stats(), arm_disk.stats());
+        assert_eq!(s.read_requests, a.read_requests);
+        assert_eq!(s.pages_read, a.pages_read);
+        assert_eq!(s.latencies, a.latencies);
+        // All six pages share cylinder 0: one seek survives.
+        assert_eq!(s.seeks, 6);
+        assert_eq!(a.seeks, 1);
+        assert!(a.io_ms < s.io_ms);
+    }
+
+    #[test]
+    fn empty_runs_are_not_submitted() {
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("x");
+        let req = PageRequest::read(PageRun::empty(PageId::new(r, 0)));
+        assert_eq!(disk.submit(req), None);
+        assert_eq!(disk.arm_pending(), 0);
+        assert!(disk.complete_next().is_none());
+    }
+
+    #[test]
+    fn trace_captures_this_threads_charges() {
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("x");
+        disk.trace_begin();
+        disk.charge(IoKind::Read, PageRun::new(PageId::new(r, 3), 2), false);
+        disk.charge(IoKind::Write, PageRun::new(PageId::new(r, 9), 1), true);
+        disk.charge(IoKind::Read, PageRun::empty(PageId::new(r, 0)), false); // free, untraced
+        disk.charge_raw(IoKind::Read, 5, 20.0, true); // analytical, untraced
+                                                      // Another thread's charges never enter this thread's trace.
+        let d2 = disk.clone();
+        std::thread::spawn(move || {
+            d2.charge(IoKind::Read, PageRun::new(PageId::new(r, 50), 1), false);
+        })
+        .join()
+        .unwrap();
+        let trace = disk.trace_take();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].run.len, 2);
+        assert_eq!(trace[0].kind, IoKind::Read);
+        assert!(trace[1].skip_seek);
+        // Taking again without beginning yields nothing.
+        assert!(disk.trace_take().is_empty());
+    }
+
+    #[test]
+    fn traced_replay_at_depth_one_reproduces_costs() {
+        // Capture a trace, replay it through a second disk's arm at
+        // depth 1: identical stats — the end-to-end contract behind the
+        // overlapped executor's equivalence matrix.
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("x");
+        disk.trace_begin();
+        disk.charge(IoKind::Read, PageRun::new(PageId::new(r, 0), 3), false);
+        disk.charge(IoKind::Read, PageRun::new(PageId::new(r, 40), 1), false);
+        disk.charge(IoKind::Read, PageRun::new(PageId::new(r, 44), 2), true);
+        let trace = disk.trace_take();
+        let replay = Disk::with_defaults();
+        replay.create_region("x");
+        for req in trace {
+            replay.submit(req);
+            replay.complete_next();
+        }
+        assert_eq!(replay.stats(), disk.stats());
     }
 
     #[test]

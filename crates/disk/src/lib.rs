@@ -24,7 +24,15 @@
 //!   *vector read* / *normal read* distinction of Figure 15;
 //! * [`schedule`] — the SLM read schedules of \[SLM93\] (§5.4.2): one read
 //!   request bridges gaps of non-requested pages shorter than
-//!   `l = t_l/t_t − 1/2`.
+//!   `l = t_l/t_t − 1/2`;
+//! * [`arm`] — the overlapped-I/O subsystem: a disk-arm request
+//!   scheduler with FCFS / elevator (SCAN) ordering over cylinder-mapped
+//!   region offsets, a distance-dependent seek curve calibrated so its
+//!   mean equals the paper's average `seek_ms`, and per-query
+//!   [`arm::LatencyStats`]. Requests are submitted via
+//!   [`disk::Disk::submit`] and charged at service time through the same
+//!   `charge` path — depth-1 submission is byte-identical to the
+//!   synchronous model.
 //!
 //! The simulator is deterministic: identical request sequences produce
 //! identical I/O counts, which is what makes the reproduced figures
@@ -41,7 +49,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(test)]
+pub(crate) mod test_util {
+    /// Tiny deterministic xorshift for the randomized mirror tests (no
+    /// external rand dependency) — one definition shared by the disk
+    /// and shard test modules.
+    pub(crate) struct Rng(pub u64);
+
+    impl Rng {
+        pub(crate) fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        pub(crate) fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+}
+
 pub mod alloc;
+pub mod arm;
 pub mod buddy;
 pub mod buffer;
 pub mod disk;
@@ -51,10 +83,14 @@ pub mod shard;
 pub mod stats;
 
 pub use alloc::{ExtentAllocator, SequentialAllocator};
+pub use arm::{
+    simulate_queries, ArmGeometry, ArmPolicy, Completion, DiskArm, LatencyStats, PageRequest,
+    QueryTrace, SeekCurve,
+};
 pub use buddy::{BuddyAllocator, BuddyConfig};
 pub use buffer::{BufferPool, LruBuffer, ReadMode, SeekPolicy};
 pub use disk::{Disk, DiskHandle, ScratchTally};
 pub use model::{DiskParams, PageId, PageRun, RegionId, PAGE_SIZE};
 pub use schedule::{slm_gap_limit, slm_schedule, ScheduledRun};
-pub use shard::ShardedPool;
+pub use shard::{Routing, ShardedPool};
 pub use stats::{IoKind, IoStats};

@@ -35,6 +35,7 @@
 //! counter mutex is only ever taken *under* shard locks, never the
 //! reverse. This ordering is acyclic, so the pool cannot deadlock.
 
+use crate::arm::PageRequest;
 use crate::buffer::{LruBuffer, ReadMode, ReadOutcome, SeekPolicy};
 use crate::disk::DiskHandle;
 use crate::model::{runs_of, PageId, PageRun, RegionId};
@@ -42,6 +43,23 @@ use crate::schedule::{slm_schedule, ScheduledRun};
 use crate::stats::IoKind;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
+
+/// How pages are routed to shards.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Routing {
+    /// Hash the full page address (region, offset): spreads every
+    /// region's pages across all shards — the finest spreading, the
+    /// default.
+    #[default]
+    ByPage,
+    /// Hash the region only: **all pages of one region share one
+    /// shard**, giving each database file its own lock domain (the
+    /// directory-per-region design of classic multi-user grid-file
+    /// systems). Workloads partitioned by database/file never contend;
+    /// the cost is coarser spreading — a single hot region serializes
+    /// on its one shard lock.
+    ByRegion,
+}
 
 /// An LRU page buffer sharded by page hash, safe to drive from `&self`
 /// on any number of threads.
@@ -53,6 +71,7 @@ use std::sync::{Mutex, MutexGuard};
 #[derive(Debug)]
 pub struct ShardedPool {
     disk: DiskHandle,
+    routing: Routing,
     shards: Box<[Mutex<LruBuffer>]>,
     /// Total capacity budget in pages (sum of the per-shard quotas).
     capacity: AtomicUsize,
@@ -83,12 +102,23 @@ impl ShardedPool {
     /// Create a pool of `capacity` total pages split across `shards`
     /// page-hash shards (at least one).
     pub fn with_shards(disk: DiskHandle, capacity: usize, shards: usize) -> Self {
+        Self::with_routing(disk, capacity, shards, Routing::ByPage)
+    }
+
+    /// Create a pool with an explicit shard [`Routing`] mode.
+    pub fn with_routing(
+        disk: DiskHandle,
+        capacity: usize,
+        shards: usize,
+        routing: Routing,
+    ) -> Self {
         let n = shards.max(1);
         let shards: Vec<Mutex<LruBuffer>> = (0..n)
             .map(|i| Mutex::new(LruBuffer::new(quota(capacity, n, i))))
             .collect();
         ShardedPool {
             disk,
+            routing,
             shards: shards.into_boxed_slice(),
             capacity: AtomicUsize::new(capacity),
             write_through: AtomicBool::new(false),
@@ -159,14 +189,24 @@ impl ShardedPool {
         self.contended.load(Ordering::Relaxed)
     }
 
-    /// Shard index of a page (constant 0 for a 1-shard pool, so the
-    /// single shard sees the exact global access order).
+    /// The routing mode (fixed at construction).
     #[inline]
-    fn shard_of(&self, page: &PageId) -> usize {
+    pub fn routing(&self) -> Routing {
+        self.routing
+    }
+
+    /// Shard index of a page (constant 0 for a 1-shard pool, so the
+    /// single shard sees the exact global access order). Public for
+    /// diagnostics and the routing benchmarks.
+    #[inline]
+    pub fn shard_of(&self, page: &PageId) -> usize {
         if self.shards.len() == 1 {
             return 0;
         }
-        let key = ((page.region.0 as u64) << 48) ^ page.offset;
+        let key = match self.routing {
+            Routing::ByPage => ((page.region.0 as u64) << 48) ^ page.offset,
+            Routing::ByRegion => page.region.0 as u64,
+        };
         let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         ((mixed >> 32) as usize) % self.shards.len()
     }
@@ -269,10 +309,18 @@ impl ShardedPool {
         hit
     }
 
-    /// Read a set of pages (sorted, deduplicated); missing pages are
-    /// grouped into maximal consecutive runs (see
-    /// [`BufferPool::read_set`](crate::buffer::BufferPool::read_set)).
-    pub fn read_set(&self, pages: &[PageId], seek: SeekPolicy) -> ReadOutcome {
+    /// Shared body of [`read_set`](ShardedPool::read_set) and
+    /// [`read_set_submitted`](ShardedPool::read_set_submitted):
+    /// classification, counters, run formation and buffer insertion are
+    /// one implementation; `issue` decides what happens to each formed
+    /// read request (synchronous charge vs. arm submission) — the two
+    /// paths cannot drift.
+    fn read_set_with(
+        &self,
+        pages: &[PageId],
+        seek: SeekPolicy,
+        mut issue: impl FnMut(PageRequest),
+    ) -> ReadOutcome {
         debug_assert!(
             pages.windows(2).all(|w| w[0] < w[1]),
             "pages must be sorted"
@@ -290,8 +338,11 @@ impl ShardedPool {
         self.misses
             .fetch_add(missing.len() as u64, Ordering::Relaxed);
         for run in runs_of(&missing) {
-            self.disk
-                .charge(IoKind::Read, run, seek.skip_seek(out.requests));
+            issue(PageRequest {
+                kind: IoKind::Read,
+                run,
+                skip_seek: seek.skip_seek(out.requests),
+            });
             out.requests += 1;
             out.pages_transferred += run.len;
         }
@@ -299,6 +350,58 @@ impl ShardedPool {
             self.insert_charged(p, false);
         }
         out
+    }
+
+    /// Read a set of pages (sorted, deduplicated); missing pages are
+    /// grouped into maximal consecutive runs (see
+    /// [`BufferPool::read_set`](crate::buffer::BufferPool::read_set)).
+    pub fn read_set(&self, pages: &[PageId], seek: SeekPolicy) -> ReadOutcome {
+        self.read_set_with(pages, seek, |req| {
+            self.disk.charge(req.kind, req.run, req.skip_seek);
+        })
+    }
+
+    /// Read a single page, submitting the miss to the disk arm instead
+    /// of charging it synchronously. Returns `None` on a buffer hit,
+    /// `Some(request id)` when a read request was submitted — the caller
+    /// drives [`Disk::complete_next`](crate::disk::Disk::complete_next) /
+    /// [`Disk::drain_arm`](crate::disk::Disk::drain_arm) to service (and
+    /// charge) it. Hit/miss classification is identical to
+    /// [`read_page`](ShardedPool::read_page).
+    pub fn read_page_submitted(&self, page: PageId) -> Option<u64> {
+        if self.shard(&page).touch(&page) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let id = self
+            .disk
+            .submit(PageRequest::read(PageRun::new(page, 1)))
+            .expect("single-page run is never empty");
+        self.insert_charged(page, false);
+        Some(id)
+    }
+
+    /// Read a set of pages with the miss runs **submitted** to the disk
+    /// arm rather than charged at the call site.
+    ///
+    /// Classification, run formation and the returned [`ReadOutcome`]
+    /// are identical to [`read_set`](ShardedPool::read_set); the
+    /// [`SeekPolicy`] flows into the submitted requests' `skip_seek`
+    /// flags, so the arm charges exactly what the synchronous path
+    /// would (under FCFS, byte-identically — the elevator may
+    /// additionally merge co-scheduled same-cylinder seeks, never the
+    /// reverse). Returns the outcome plus the submitted request ids.
+    pub fn read_set_submitted(
+        &self,
+        pages: &[PageId],
+        seek: SeekPolicy,
+    ) -> (ReadOutcome, Vec<u64>) {
+        let mut ids = Vec::new();
+        let out = self.read_set_with(pages, seek, |req| {
+            ids.push(self.disk.submit(req).expect("miss runs are never empty"));
+        });
+        (out, ids)
     }
 
     /// Insert pages without charging I/O, pinned against eviction (see
@@ -550,24 +653,7 @@ mod tests {
         PageId::new(RegionId(r), o)
     }
 
-    /// Tiny deterministic xorshift for the mirror test (no external
-    /// rand dependency).
-    struct Rng(u64);
-
-    impl Rng {
-        fn next(&mut self) -> u64 {
-            let mut x = self.0;
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            self.0 = x;
-            x
-        }
-
-        fn below(&mut self, n: u64) -> u64 {
-            self.next() % n
-        }
-    }
+    use crate::test_util::Rng;
 
     #[test]
     fn quotas_conserve_capacity() {
@@ -837,6 +923,118 @@ mod tests {
         assert_eq!(disk.stats(), before);
         assert_eq!(pool.hits(), 8 * 2000);
         assert_eq!(pool.misses(), 256);
+    }
+
+    #[test]
+    fn region_routing_gives_each_region_one_shard() {
+        let disk = Disk::with_defaults();
+        for r in 0..8u16 {
+            disk.create_region("r");
+            let _ = r;
+        }
+        let pool = ShardedPool::with_routing(disk.clone(), 64, 8, Routing::ByRegion);
+        assert_eq!(pool.routing(), Routing::ByRegion);
+        let mut used = std::collections::HashSet::new();
+        for r in 0..8u16 {
+            let home = pool.shard_of(&pg(r, 0));
+            for o in 1..200u64 {
+                assert_eq!(
+                    pool.shard_of(&pg(r, o)),
+                    home,
+                    "region {r} split across shards"
+                );
+            }
+            used.insert(home);
+        }
+        // The region hash spreads distinct regions over several shards.
+        assert!(used.len() > 2, "all regions collapsed onto {used:?}");
+        // ByPage spreads one region's pages over many shards.
+        let by_page = ShardedPool::with_shards(disk, 64, 8);
+        assert_eq!(by_page.routing(), Routing::ByPage);
+        let spread: std::collections::HashSet<usize> =
+            (0..200u64).map(|o| by_page.shard_of(&pg(0, o))).collect();
+        assert!(spread.len() > 2);
+    }
+
+    #[test]
+    fn routing_preserves_stats_for_fixed_sequence() {
+        // Same deterministic access sequence under both routings:
+        // hit/miss totals are conserved and, with the working set within
+        // every quota, the charged stats are identical.
+        let run = |routing| {
+            let disk = Disk::with_defaults();
+            let regions: Vec<_> = (0..4).map(|_| disk.create_region("r")).collect();
+            let pool = ShardedPool::with_routing(disk.clone(), 512, 4, routing);
+            for pass in 0..3u64 {
+                for &r in &regions {
+                    for o in 0..32u64 {
+                        pool.read_page(PageId::new(r, (o * 7 + pass) % 40));
+                    }
+                }
+            }
+            (pool.hits() + pool.misses(), disk.stats())
+        };
+        let (total_a, stats_a) = run(Routing::ByPage);
+        let (total_b, stats_b) = run(Routing::ByRegion);
+        assert_eq!(total_a, total_b);
+        assert_eq!(stats_a, stats_b);
+    }
+
+    #[test]
+    fn submitted_read_set_mirrors_sync_under_fcfs() {
+        use crate::arm::ArmPolicy;
+        let sync_disk = Disk::with_defaults();
+        let arm_disk = Disk::with_defaults();
+        arm_disk.set_arm_policy(ArmPolicy::Fcfs);
+        sync_disk.create_region("m");
+        arm_disk.create_region("m");
+        let sync_pool = ShardedPool::new(sync_disk.clone(), 16);
+        let arm_pool = ShardedPool::new(arm_disk.clone(), 16);
+        let mut rng = Rng(0x5EED_5EED_5EED_5EED);
+        for step in 0..800u32 {
+            let mut pages: Vec<PageId> = (0..1 + rng.below(6))
+                .map(|_| pg(0, rng.below(64)))
+                .collect();
+            pages.sort_unstable();
+            pages.dedup();
+            let seek = if rng.below(2) == 0 {
+                SeekPolicy::PerRequest
+            } else {
+                SeekPolicy::WithinCluster { initial_seek: true }
+            };
+            let sync_out = sync_pool.read_set(&pages, seek);
+            let (sub_out, ids) = arm_pool.read_set_submitted(&pages, seek);
+            assert_eq!(sync_out, sub_out, "outcome diverged at step {step}");
+            assert_eq!(ids.len() as u64, sub_out.requests);
+            let done = arm_disk.drain_arm();
+            assert_eq!(done.len(), ids.len());
+            assert_eq!(
+                sync_disk.stats(),
+                arm_disk.stats(),
+                "stats diverged at step {step}"
+            );
+            assert_eq!(sync_pool.hits(), arm_pool.hits(), "step {step}");
+            assert_eq!(sync_pool.misses(), arm_pool.misses(), "step {step}");
+        }
+        assert!(sync_disk.stats().read_requests > 200);
+    }
+
+    #[test]
+    fn submitted_single_page_reads_classify_like_sync() {
+        let disk = Disk::with_defaults();
+        let r = disk.create_region("x");
+        let pool = ShardedPool::new(disk.clone(), 8);
+        let id = pool.read_page_submitted(PageId::new(r, 3));
+        assert!(id.is_some(), "cold page is a miss");
+        // Buffered immediately: a second read hits without waiting for
+        // the completion (contents are not modeled, only cost).
+        assert_eq!(pool.read_page_submitted(PageId::new(r, 3)), None);
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(disk.stats().requests(), 0, "not charged before service");
+        disk.drain_arm();
+        assert_eq!(disk.stats().read_requests, 1);
+        assert_eq!(disk.stats().pages_read, 1);
     }
 
     #[test]

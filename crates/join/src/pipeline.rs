@@ -111,6 +111,29 @@ impl<'a> SpatialJoin<'a> {
         self.finish(mbr, mbr_join_ms, config)
     }
 
+    /// Run the join and additionally capture its disk requests as a
+    /// replayable trace for the arm scheduler
+    /// ([`spatialdb_disk::arm`]) — the join-side batched read path.
+    ///
+    /// The join executes synchronously (pairs and [`JoinStats`] are
+    /// exactly those of [`run_with_pairs`](SpatialJoin::run_with_pairs));
+    /// every request charged on this thread during the MBR phase and the
+    /// object transfer is recorded. Optimum-baseline transfers charge
+    /// analytically and are absent from the trace.
+    pub fn run_with_pairs_traced(
+        &self,
+        config: JoinConfig,
+    ) -> (
+        Vec<(spatialdb_rtree::ObjectId, spatialdb_rtree::ObjectId)>,
+        JoinStats,
+        Vec<spatialdb_disk::PageRequest>,
+    ) {
+        let disk = self.r.disk();
+        disk.trace_begin();
+        let (pairs, stats) = self.run_with_pairs(config);
+        (pairs, stats, disk.trace_take())
+    }
+
     /// Run the join with the MBR phase partitioned across `n_threads`
     /// worker threads (see [`mbr_join_par`]), then the sequential object
     /// transfer and the exact-test cost estimate.

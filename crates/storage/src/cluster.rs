@@ -541,11 +541,19 @@ impl SpatialStore for ClusterOrganization {
             // from the tree's final entry lists: the overflowing unit is
             // read once and the successors are written sequentially.
             self.sizes.insert(rec.oid, rec.size_bytes);
-            let mut involved: HashSet<NodeId> = HashSet::new();
-            for ev in &outcome.leaf_splits {
-                involved.insert(ev.old);
-                involved.insert(ev.new);
-            }
+            let mut involved: Vec<NodeId> = outcome
+                .leaf_splits
+                .iter()
+                .flat_map(|ev| [ev.old, ev.new])
+                .collect();
+            // Rebuild in node-id order: the rebuild order drives the
+            // buddy allocate/free sequence and therefore the *physical
+            // placement* of the units. A hash-set order here left the
+            // flat per-request costs unchanged but made cylinder
+            // positions differ between identical builds — visible the
+            // moment the disk-arm model priced seeks by distance.
+            involved.sort_unstable();
+            involved.dedup();
             for leaf in involved {
                 self.rebuild_unit(leaf);
             }
@@ -662,25 +670,33 @@ impl SpatialStore for ClusterOrganization {
         // Tree condensation may have removed data pages and relocated
         // their entries; rebuild every affected cluster unit from the
         // tree's (authoritative) current entry lists.
-        let mut affected: HashSet<NodeId> = HashSet::new();
-        affected.insert(leaf0);
-        for (_, to) in &outcome.leaf_reinserts {
-            affected.insert(*to);
-        }
-        for split in &outcome.leaf_splits {
-            affected.insert(split.old);
-            affected.insert(split.new);
-        }
+        let mut affected: Vec<NodeId> = vec![leaf0];
+        affected.extend(outcome.leaf_reinserts.iter().map(|(_, to)| *to));
+        affected.extend(
+            outcome
+                .leaf_splits
+                .iter()
+                .flat_map(|split| [split.old, split.new]),
+        );
+        // Node-id order, like the insert path's split rebuilds: the
+        // rebuild order drives the buddy allocate/free sequence and
+        // therefore physical placement, which must not depend on hash
+        // iteration (see `placement_determinism.rs`).
+        affected.sort_unstable();
+        affected.dedup();
         for leaf in affected {
             self.rebuild_unit(leaf);
         }
-        // Sweep units whose data page vanished during condensation.
-        let orphans: Vec<NodeId> = self
+        // Sweep units whose data page vanished during condensation —
+        // also in node-id order (`free` order shapes the buddy free
+        // lists and thus future placements).
+        let mut orphans: Vec<NodeId> = self
             .units
             .keys()
             .copied()
             .filter(|id| !self.tree.contains_node(*id))
             .collect();
+        orphans.sort_unstable();
         for id in orphans {
             let unit = self.units.remove(&id).expect("orphan vanished");
             self.total_member_pages -= unit.member_pages_total();
@@ -799,6 +815,74 @@ mod tests {
             let q = org.window_query(&window, tech);
             assert!(q.candidates > 0, "{tech:?}");
         }
+    }
+
+    /// The §5.4.3 one-seek-per-cluster rule across queued requests: the
+    /// SLM trace's follow-up runs stay seek-skipped when replayed
+    /// through the arm scheduler, at depth 1 (byte-identical) and when
+    /// queued all at once under the elevator (seeks can only merge
+    /// away, never be re-charged).
+    #[test]
+    fn traced_slm_runs_keep_cluster_seek_rule_under_the_scheduler() {
+        use spatialdb_disk::ArmPolicy;
+        // 2.5 KB objects (~0.6 page each) in 80-page units: a thin
+        // vertical slice hits one object per row, and adjacent rows sit
+        // a dozen pages apart in the unit packing — gaps beyond the SLM
+        // limit, so the schedule splits into several runs.
+        let disk = Disk::with_defaults();
+        let pool = new_shared_pool(disk.clone(), 512);
+        let mut org = ClusterOrganization::new(disk, pool, ClusterConfig::plain(320 * 1024));
+        for i in 0..400u64 {
+            let x = (i % 40) as f64 / 40.0;
+            let y = (i / 40) as f64 / 40.0;
+            org.insert(&ObjectRecord::new(
+                ObjectId(i),
+                Rect::new(x, y, x + 0.01, y + 0.01),
+                2500,
+            ));
+        }
+        org.flush();
+        org.begin_query();
+        let before = org.disk().stats();
+        let mut trace = Vec::new();
+        for i in 0..8u64 {
+            let x = i as f64 * 0.11 + 0.005;
+            let (_, t) =
+                org.window_query_traced(&Rect::new(x, 0.0, x + 0.004, 1.0), WindowTechnique::Slm);
+            trace.extend(t);
+        }
+        let delta = org.disk().stats().since(&before);
+        assert_eq!(trace.len() as u64, delta.requests());
+        let follow_ups = trace.iter().filter(|r| r.skip_seek).count();
+        assert!(
+            follow_ups > 0,
+            "workload produced no multi-run SLM schedules"
+        );
+        // Depth-1 replay: byte-identical to the synchronous charges.
+        let replay = Disk::with_defaults();
+        for req in &trace {
+            replay.submit(*req);
+            replay.complete_next();
+        }
+        assert_eq!(replay.stats(), delta);
+        // Queued together under the elevator: skip flags are preserved
+        // (never double-charged back), page/latency counts conserved,
+        // and seeks only ever merge away.
+        let queued = Disk::with_defaults();
+        queued.set_arm_policy(ArmPolicy::Elevator);
+        for req in &trace {
+            queued.submit(*req);
+        }
+        let done = queued.drain_arm();
+        assert_eq!(done.len(), trace.len());
+        assert!(done
+            .iter()
+            .all(|c| !c.request.skip_seek || c.effective_skip_seek));
+        let q = queued.stats();
+        assert_eq!(q.pages_read, delta.pages_read);
+        assert_eq!(q.latencies, delta.latencies);
+        assert!(q.seeks <= delta.seeks, "{} > {}", q.seeks, delta.seeks);
+        assert!(q.io_ms <= delta.io_ms);
     }
 
     #[test]

@@ -42,13 +42,14 @@ pub mod store;
 pub use cluster::{ClusterConfig, ClusterOrganization};
 pub use memory::MemoryStore;
 pub use model::{
-    new_shared_pool, new_shared_pool_with_shards, Organization, OrganizationKind, QueryStats,
-    SharedPool, TransferTechnique, WindowTechnique,
+    new_shared_pool, new_shared_pool_with_routing, new_shared_pool_with_shards, Organization,
+    OrganizationKind, QueryStats, SharedPool, TransferTechnique, WindowTechnique,
 };
 pub use object::ObjectRecord;
 pub use packer::{PagePacker, Placement};
 pub use primary::PrimaryOrganization;
 pub use secondary::SecondaryOrganization;
+pub use spatialdb_disk::Routing;
 pub use store::SpatialStore;
 
 /// Legacy name of [`SpatialStore`], kept so pre-redesign imports keep

@@ -165,6 +165,17 @@ mod tests {
     }
 
     #[test]
+    fn traced_queries_produce_empty_traces() {
+        let s = store_with(60);
+        let (q, trace) =
+            s.window_query_traced(&Rect::new(0.0, 0.0, 0.5, 0.5), WindowTechnique::Complete);
+        assert!(q.candidates > 0);
+        assert!(trace.is_empty(), "memory store charges no I/O");
+        let (_, ptrace) = s.point_query_traced(&spatialdb_geom::Point::new(0.02, 0.02));
+        assert!(ptrace.is_empty());
+    }
+
+    #[test]
     fn delete_and_reinsert() {
         let mut s = store_with(30);
         assert!(s.delete(ObjectId(3)));

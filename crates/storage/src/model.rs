@@ -10,7 +10,7 @@ use crate::object::ObjectRecord;
 use crate::primary::PrimaryOrganization;
 use crate::secondary::SecondaryOrganization;
 use crate::store::SpatialStore;
-use spatialdb_disk::{DiskHandle, ShardedPool};
+use spatialdb_disk::{DiskHandle, Routing, ShardedPool};
 use spatialdb_geom::{Point, Rect};
 use spatialdb_rtree::{ObjectId, RStarTree};
 use std::collections::HashSet;
@@ -42,6 +42,19 @@ pub fn new_shared_pool(disk: DiskHandle, capacity: usize) -> SharedPool {
 /// conserved for a fixed access sequence).
 pub fn new_shared_pool_with_shards(disk: DiskHandle, capacity: usize, shards: usize) -> SharedPool {
     Arc::new(ShardedPool::with_shards(disk, capacity, shards))
+}
+
+/// Create a shared pool with an explicit shard [`Routing`] mode:
+/// [`Routing::ByRegion`] keys whole regions to shards, giving each
+/// database file its own lock domain (coarser spreading, zero cross-file
+/// contention); [`Routing::ByPage`] is the default page-hash spreading.
+pub fn new_shared_pool_with_routing(
+    disk: DiskHandle,
+    capacity: usize,
+    shards: usize,
+    routing: Routing,
+) -> SharedPool {
+    Arc::new(ShardedPool::with_routing(disk, capacity, shards, routing))
 }
 
 /// Technique for transferring the objects of a window query from a

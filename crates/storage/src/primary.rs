@@ -368,6 +368,23 @@ mod tests {
     }
 
     #[test]
+    fn traced_point_query_replays_to_identical_cost() {
+        let mut org = org_with_sizes(&vec![600; 200]);
+        org.begin_query();
+        let before = org.disk().stats();
+        let (stats, trace) = org.point_query_traced(&Point::new(0.105, 0.005));
+        let delta = org.disk().stats().since(&before);
+        assert!(stats.candidates >= 1);
+        assert_eq!(trace.len() as u64, delta.requests());
+        let replay = Disk::with_defaults();
+        for req in &trace {
+            replay.submit(*req);
+            replay.complete_next();
+        }
+        assert_eq!(replay.stats(), delta);
+    }
+
+    #[test]
     fn point_query_on_inline_object() {
         let mut org = org_with_sizes(&vec![600; 200]);
         org.begin_query();

@@ -251,6 +251,28 @@ mod tests {
     }
 
     #[test]
+    fn traced_window_query_replays_to_identical_cost() {
+        let mut org = org_with(400);
+        org.begin_query();
+        let before = org.disk().stats();
+        let (stats, trace) =
+            org.window_query_traced(&Rect::new(0.0, 0.0, 0.5, 0.5), WindowTechnique::Complete);
+        let delta = org.disk().stats().since(&before);
+        assert!(stats.candidates > 0);
+        assert_eq!(trace.len() as u64, delta.requests());
+        // Every scattered object access paid its own seek — the traced
+        // requests carry that (no skip_seek flags, §3.2.1).
+        assert!(trace.iter().all(|r| !r.skip_seek));
+        // Depth-1 replay through a fresh arm: identical charged stats.
+        let replay = Disk::with_defaults();
+        for req in &trace {
+            replay.submit(*req);
+            replay.complete_next();
+        }
+        assert_eq!(replay.stats(), delta);
+    }
+
+    #[test]
     fn point_query_cheap_and_correct() {
         let mut org = org_with(400);
         org.begin_query();

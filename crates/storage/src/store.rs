@@ -47,7 +47,7 @@
 
 use crate::model::{QueryStats, SharedPool, TransferTechnique, WindowTechnique};
 use crate::object::ObjectRecord;
-use spatialdb_disk::DiskHandle;
+use spatialdb_disk::{DiskHandle, PageRequest};
 use spatialdb_geom::{Point, Rect};
 use spatialdb_rtree::{LeafEntry, NoIo, ObjectId, RStarTree};
 use std::collections::HashSet;
@@ -100,6 +100,39 @@ pub trait SpatialStore: Send + Sync {
     /// representation of each candidate individually. Per-call stats,
     /// like [`window_query`](SpatialStore::window_query).
     fn point_query(&self, point: &Point) -> QueryStats;
+
+    /// The batched read path: run the window query **and capture its
+    /// disk requests** as a replayable trace for the overlapped-I/O
+    /// subsystem ([`spatialdb_disk::arm`]).
+    ///
+    /// The query executes synchronously — answers, [`QueryStats`] and
+    /// charged [`spatialdb_disk::IoStats`] are exactly those of
+    /// [`window_query`](SpatialStore::window_query) — while every
+    /// request this thread charges is also recorded as a
+    /// [`PageRequest`] (via [`spatialdb_disk::Disk::trace_begin`]). The
+    /// executor replays the trace through the disk-arm scheduler to
+    /// compute per-query latency. Analytical charges
+    /// ([`spatialdb_disk::Disk::charge_raw`], the *optimum* baselines)
+    /// have no physical page runs and are absent from the trace.
+    fn window_query_traced(
+        &self,
+        window: &Rect,
+        technique: WindowTechnique,
+    ) -> (QueryStats, Vec<PageRequest>) {
+        let disk = self.disk();
+        disk.trace_begin();
+        let stats = self.window_query(window, technique);
+        (stats, disk.trace_take())
+    }
+
+    /// The batched read path of a point query — see
+    /// [`window_query_traced`](SpatialStore::window_query_traced).
+    fn point_query_traced(&self, point: &Point) -> (QueryStats, Vec<PageRequest>) {
+        let disk = self.disk();
+        disk.trace_begin();
+        let stats = self.point_query(point);
+        (stats, disk.trace_take())
+    }
 
     /// The candidate entries of a window query, read from the in-memory
     /// directory without charging I/O, appended into a caller-supplied
