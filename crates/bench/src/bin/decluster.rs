@@ -1,0 +1,210 @@
+//! Declustered-storage scaling: an organizations × arm-count ×
+//! stripe-policy grid over a multi-database window-query burst, emitted
+//! as `BENCH_decluster.json`.
+//!
+//! Several databases share one workspace, so their regions decluster
+//! across the simulated [`DiskArray`](spatialdb::disk::DiskArray): each
+//! organization's filter steps run once, synchronously, through the
+//! traced read path (identical charges to the paper's throughput
+//! model), then the traces replay through [`simulate_queries_striped`]
+//! as a closed burst with up to `--depth` requests outstanding. With
+//! one arm the replay is byte-identical to the single-arm harness; with
+//! more arms the stripe policy decides which regions can be serviced in
+//! parallel, and aggregate IOPS (= total requests / makespan) shows the
+//! scaling. Per-arm FCFS rows isolate pure declustering parallelism
+//! (an arm never reorders, so makespans can only shrink as arms are
+//! added); elevator rows show the combined effect.
+//!
+//! Flags: `--objects N` (default 6000, split across the databases),
+//! `--queries N` (default 144), `--dbs N` (default 6), `--depth N`
+//! (default 16), `--out PATH`. The arm grid is env-overridable:
+//! `SPATIALDB_BENCH_ARMS=1,2,4,8`.
+
+use spatialdb::disk::{
+    simulate_queries_striped, ArmGeometry, ArmPolicy, ArrayConfig, QueryTrace, StripePolicy,
+};
+use spatialdb::geom::{Point, Polyline, Rect};
+use spatialdb::report::summarize_latencies;
+use spatialdb::storage::{OrganizationKind, WindowTechnique};
+use spatialdb::{DbOptions, SpatialDatabase, Workspace};
+use spatialdb_bench::{arg, grid_from_env};
+
+const ALL_STRIPES: [StripePolicy; 3] = [
+    StripePolicy::RoundRobin,
+    StripePolicy::RegionHash,
+    StripePolicy::MbrLocality,
+];
+
+fn load_db(ws: &Workspace, kind: OrganizationKind, n: u64, salt: u64) -> SpatialDatabase {
+    let mut db = ws.create_database(DbOptions::new(kind).technique(WindowTechnique::Slm));
+    let side = (n as f64).sqrt().ceil() as u64;
+    for i in 0..n {
+        let x = ((i + salt * 17) % side) as f64 / side as f64;
+        let y = (i / side) as f64 / side as f64;
+        db.insert(
+            i,
+            Polyline::new(vec![
+                Point::new(x, y),
+                Point::new(x + 0.6 / side as f64, y + 0.3 / side as f64),
+                Point::new(x + 1.2 / side as f64, y),
+            ]),
+        );
+    }
+    db.finish_loading();
+    db
+}
+
+/// Deterministic mix of window sizes sweeping the data space.
+fn workload(n_queries: usize) -> Vec<Rect> {
+    (0..n_queries)
+        .map(|i| {
+            let f = i as f64 / n_queries as f64;
+            let size = 0.05 + 0.20 * ((i % 5) as f64 / 5.0);
+            let x = (f * 13.0) % (1.0 - size);
+            let y = (f * 7.0) % (1.0 - size);
+            Rect::new(x, y, x + size, y + size)
+        })
+        .collect()
+}
+
+fn org_label(kind: OrganizationKind) -> &'static str {
+    match kind {
+        OrganizationKind::Secondary => "secondary",
+        OrganizationKind::Primary => "primary",
+        OrganizationKind::Cluster => "cluster",
+    }
+}
+
+fn stripe_label(stripe: StripePolicy) -> &'static str {
+    match stripe {
+        StripePolicy::RoundRobin => "round_robin",
+        StripePolicy::RegionHash => "region_hash",
+        StripePolicy::MbrLocality => "mbr_locality",
+    }
+}
+
+fn policy_label(policy: ArmPolicy) -> &'static str {
+    match policy {
+        ArmPolicy::Fcfs => "fcfs",
+        ArmPolicy::Elevator => "elevator",
+    }
+}
+
+fn main() {
+    let n_objects: u64 = arg("--objects")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6000);
+    let n_queries: usize = arg("--queries").and_then(|s| s.parse().ok()).unwrap_or(144);
+    let n_dbs: usize = arg("--dbs").and_then(|s| s.parse().ok()).unwrap_or(6);
+    let depth: usize = arg("--depth").and_then(|s| s.parse().ok()).unwrap_or(16);
+    assert!(n_dbs > 0 && depth > 0);
+    let out_path = arg("--out").unwrap_or_else(|| "BENCH_decluster.json".to_string());
+    let arm_grid = grid_from_env("SPATIALDB_BENCH_ARMS", &[1, 2, 4, 8]);
+    let windows = workload(n_queries);
+
+    println!(
+        "decluster: {n_objects} objects across {n_dbs} databases, {n_queries} queries, \
+         depth {depth}, arms {arm_grid:?}"
+    );
+    let mut rows = Vec::new();
+    for kind in [
+        OrganizationKind::Secondary,
+        OrganizationKind::Primary,
+        OrganizationKind::Cluster,
+    ] {
+        // One workspace, several databases: their regions are the units
+        // the stripe policies spread across arms.
+        let ws = Workspace::new(512 * n_dbs);
+        let mut dbs: Vec<SpatialDatabase> = (0..n_dbs)
+            .map(|d| load_db(&ws, kind, n_objects / n_dbs as u64, d as u64))
+            .collect();
+        for db in &mut dbs {
+            db.store_mut().begin_query();
+        }
+        // One synchronous traced pass, queries round-robined over the
+        // databases — the traces are what the array replays.
+        let mut total_requests = 0usize;
+        let qtraces: Vec<QueryTrace> = windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let db = &dbs[i % n_dbs];
+                let (_, requests) = db.store().window_query_traced(w, WindowTechnique::Slm);
+                total_requests += requests.len();
+                QueryTrace {
+                    arrival_ms: 0.0, // closed burst: aggregate throughput
+                    requests,
+                }
+            })
+            .collect();
+        println!("  {} ({} requests):", org_label(kind), total_requests);
+        let params = ws.disk().params();
+        for stripe in ALL_STRIPES {
+            for policy in [ArmPolicy::Fcfs, ArmPolicy::Elevator] {
+                let mut line = format!(
+                    "    {:>12}/{:<8}:",
+                    stripe_label(stripe),
+                    policy_label(policy)
+                );
+                for &arms in &arm_grid {
+                    let (latency, arm_stats) = simulate_queries_striped(
+                        params,
+                        ArmGeometry::default(),
+                        ArrayConfig {
+                            arms,
+                            stripe,
+                            policy,
+                            ..ArrayConfig::default()
+                        },
+                        depth,
+                        &qtraces,
+                    );
+                    let makespan = latency.iter().map(|s| s.completed_ms).fold(0.0, f64::max);
+                    let iops = if makespan > 0.0 {
+                        total_requests as f64 / makespan * 1000.0
+                    } else {
+                        0.0
+                    };
+                    let mut latencies: Vec<f64> = latency.iter().map(|s| s.latency_ms()).collect();
+                    let s = summarize_latencies(&mut latencies);
+                    let busy: Vec<usize> = arm_stats
+                        .iter()
+                        .filter(|a| a.serviced > 0)
+                        .map(|a| a.arm)
+                        .collect();
+                    let max_util = arm_stats
+                        .iter()
+                        .map(|a| a.utilization())
+                        .fold(0.0, f64::max);
+                    rows.push(format!(
+                        "    {{\"org\": \"{}\", \"stripe\": \"{}\", \"policy\": \"{}\", \
+                         \"arms\": {arms}, \"busy_arms\": {}, \"requests\": {total_requests}, \
+                         \"makespan_ms\": {makespan:.3}, \"iops\": {iops:.2}, \
+                         \"mean_ms\": {:.3}, \"p95_ms\": {:.3}, \"max_util\": {max_util:.3}}}",
+                        org_label(kind),
+                        stripe_label(stripe),
+                        policy_label(policy),
+                        busy.len(),
+                        s.mean,
+                        s.p95,
+                    ));
+                    line.push_str(&format!(" {arms}a {iops:7.1} iops |"));
+                }
+                println!("{}", line.trim_end_matches(" |"));
+            }
+        }
+    }
+
+    let arms_json: Vec<String> = arm_grid.iter().map(|a| a.to_string()).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"decluster\",\n  \"objects\": {n_objects},\n  \
+         \"queries\": {n_queries},\n  \"databases\": {n_dbs},\n  \"depth\": {depth},\n  \
+         \"arms\": [{}],\n  \"stripes\": [\"round_robin\", \"region_hash\", \
+         \"mbr_locality\"],\n  \"policies\": [\"fcfs\", \"elevator\"],\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        arms_json.join(", "),
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write bench report");
+    println!("wrote {out_path}");
+}

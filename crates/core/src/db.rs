@@ -18,7 +18,7 @@
 
 use crate::query::{JoinQuery, Query};
 use spatialdb_disk::Routing;
-use spatialdb_disk::{Disk, DiskHandle, DiskParams, IoStats, PAGE_SIZE};
+use spatialdb_disk::{Disk, DiskHandle, DiskParams, IoStats, StripePolicy, PAGE_SIZE};
 use spatialdb_geom::{Geometry, HasMbr};
 use spatialdb_rtree::ObjectId;
 use spatialdb_storage::{
@@ -129,6 +129,30 @@ impl Workspace {
         let disk = Disk::new(DiskParams::default());
         let pool = new_shared_pool_with_routing(disk.clone(), buffer_pages, shards, routing);
         Workspace { disk, pool }
+    }
+
+    /// Reconfigure the simulated disk as an `arms`-way array whose
+    /// regions are declustered by `stripe` (see
+    /// [`StripePolicy`]). One arm with any policy is byte-identical to
+    /// the plain single-arm disk; more arms service independent
+    /// regions in parallel on the simulated timeline while every
+    /// *charged* figure ([`IoStats`], `QueryStats`) stays flat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests are still pending on the current array.
+    pub fn configure_arms(&self, arms: usize, stripe: StripePolicy) {
+        self.disk.configure_arms(arms, stripe);
+    }
+
+    /// Enable (or disable) adaptive shard quotas on the buffer pool:
+    /// a shard that fills its static share may borrow unused headroom
+    /// from sibling shards, one page at a time, without a global lock.
+    /// Total capacity is conserved; `reset`/`invalidate_all` restore
+    /// the static split. Off (the default) is byte-identical to the
+    /// static quotas.
+    pub fn set_adaptive_shards(&self, on: bool) {
+        self.pool.set_adaptive(on);
     }
 
     /// The simulated disk.

@@ -40,7 +40,8 @@ use crate::query::{
     candidate_ids, execute_filter, execute_filter_traced, refined_geometry, Query, Target,
 };
 use spatialdb_disk::{
-    simulate_queries, ArmGeometry, ArmPolicy, IoStats, LatencyStats, PageRequest, QueryTrace,
+    simulate_queries_striped, ArmGeometry, ArmPolicy, ArmStats, ArrayConfig, IoStats, LatencyStats,
+    PageRequest, QueryTrace, RotationModel, StripePolicy,
 };
 use spatialdb_rtree::LeafEntry;
 use spatialdb_storage::QueryStats;
@@ -95,12 +96,20 @@ impl QueryOutcome {
 #[derive(Clone, Debug)]
 pub struct BatchOutcome {
     outcomes: Vec<QueryOutcome>,
+    arm_stats: Vec<ArmStats>,
 }
 
 impl BatchOutcome {
     /// Per-query outcomes in submission order.
     pub fn outcomes(&self) -> &[QueryOutcome] {
         &self.outcomes
+    }
+
+    /// Per-arm cumulative statistics of the simulated disk array
+    /// (utilization, mean queue depth), indexed by arm — non-empty only
+    /// for batches run under [`FilterMode::OverlappedIo`].
+    pub fn arm_stats(&self) -> &[ArmStats] {
+        &self.arm_stats
     }
 
     /// Number of queries executed.
@@ -225,6 +234,17 @@ pub struct OverlapConfig {
     /// on the simulated clock. 0 means all queries arrive at once
     /// (a closed burst).
     pub inter_arrival_ms: f64,
+    /// Number of independent disk arms the simulated array declusters
+    /// regions across (0 is treated as 1). With 1 arm (the default) the
+    /// timeline is byte-identical to the single-arm scheduler whatever
+    /// the stripe policy.
+    pub arms: usize,
+    /// How regions map to arms (see
+    /// [`StripePolicy`](spatialdb_disk::StripePolicy)).
+    pub stripe: StripePolicy,
+    /// Rotational-latency model of the arms' timelines (the charged
+    /// accounting always stays on the flat §5.1 average).
+    pub rotation: RotationModel,
 }
 
 impl Default for OverlapConfig {
@@ -233,6 +253,9 @@ impl Default for OverlapConfig {
             depth: 4,
             policy: ArmPolicy::Elevator,
             inter_arrival_ms: 0.0,
+            arms: 1,
+            stripe: StripePolicy::RoundRobin,
+            rotation: RotationModel::FlatAverage,
         }
     }
 }
@@ -299,17 +322,18 @@ fn run_batch_overlapped_io(
     if queries.is_empty() {
         return BatchOutcome {
             outcomes: Vec::new(),
+            arm_stats: Vec::new(),
         };
     }
     // The timed mode is the one mode with cross-query shared state (one
-    // arm, one set of DiskParams), so it must hold even when called
-    // directly rather than through `Workspace::run_batch_timed`.
+    // disk array, one set of DiskParams), so it must hold even when
+    // called directly rather than through `Workspace::run_batch_timed`.
     let disk = queries[0].db.store.disk();
     for (i, q) in queries.iter().enumerate() {
         assert!(
             std::sync::Arc::ptr_eq(&q.db.store.disk(), &disk),
             "query {i} targets a database of another workspace; \
-             a timed batch simulates one disk arm"
+             a timed batch simulates one disk array"
         );
     }
     let params = disk.params();
@@ -344,11 +368,16 @@ fn run_batch_overlapped_io(
             .collect();
         // Refinement CPU overlaps with the simulated I/O: the workers
         // grind exact-geometry tests while this thread schedules the
-        // depth-k request windows on the arm.
-        let latency = simulate_queries(
+        // depth-k request windows on the array's arms.
+        let latency = simulate_queries_striped(
             params,
             ArmGeometry::default(),
-            cfg.policy,
+            ArrayConfig {
+                arms: cfg.arms,
+                stripe: cfg.stripe,
+                policy: cfg.policy,
+                rotation: cfg.rotation,
+            },
             cfg.depth,
             &traces,
         );
@@ -358,6 +387,7 @@ fn run_batch_overlapped_io(
             .collect();
         (refined, latency)
     });
+    let (latency, arm_stats) = latency;
     let outcomes = prepared
         .into_iter()
         .zip(refined)
@@ -369,7 +399,10 @@ fn run_batch_overlapped_io(
             latency: Some(lat),
         })
         .collect();
-    BatchOutcome { outcomes }
+    BatchOutcome {
+        outcomes,
+        arm_stats,
+    }
 }
 
 /// Overlapped scheduling: contiguous chunks of the batch, each worker
@@ -382,6 +415,7 @@ fn run_batch_overlapped(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutco
     if queries.is_empty() {
         return BatchOutcome {
             outcomes: Vec::new(),
+            arm_stats: Vec::new(),
         };
     }
     let threads = n_threads.clamp(1, queries.len());
@@ -423,7 +457,10 @@ fn run_batch_overlapped(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutco
             .flat_map(|h| h.join().expect("overlapped query worker panicked"))
             .collect()
     });
-    BatchOutcome { outcomes }
+    BatchOutcome {
+        outcomes,
+        arm_stats: Vec::new(),
+    }
 }
 
 fn run_batch_serialized(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutcome {
@@ -431,6 +468,7 @@ fn run_batch_serialized(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutco
     if prepared.is_empty() {
         return BatchOutcome {
             outcomes: Vec::new(),
+            arm_stats: Vec::new(),
         };
     }
     let threads = n_threads.clamp(1, prepared.len());
@@ -462,7 +500,10 @@ fn run_batch_serialized(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutco
             latency: None,
         })
         .collect();
-    BatchOutcome { outcomes }
+    BatchOutcome {
+        outcomes,
+        arm_stats: Vec::new(),
+    }
 }
 
 /// Run one query with its refinement partitioned across `n_threads`

@@ -89,7 +89,10 @@ pub use spatialdb_rtree as rtree;
 pub use spatialdb_storage as storage;
 
 pub use spatialdb_data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
-pub use spatialdb_disk::{ArmPolicy, Disk, DiskHandle, DiskParams, IoStats, LatencyStats, Routing};
+pub use spatialdb_disk::{
+    ArmPolicy, ArmStats, Disk, DiskHandle, DiskParams, IoStats, LatencyStats, RotationModel,
+    Routing, StripePolicy,
+};
 pub use spatialdb_geom::Geometry;
 pub use spatialdb_join::{JoinConfig, JoinStats, SpatialJoin};
 pub use spatialdb_rtree::ObjectId;

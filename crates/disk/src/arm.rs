@@ -129,16 +129,111 @@ impl ArmGeometry {
     /// fields are public, and a degenerate geometry should collapse the
     /// mapping, not panic or underflow.
     pub fn cylinder(&self, page: &PageId) -> u64 {
+        self.cylinder_in_band(u64::from(page.region.0), page)
+    }
+
+    /// Cylinder of a page placed in an explicit band instead of the
+    /// region-indexed one — the [`DiskArray`](crate::array::DiskArray)
+    /// places each region in an **arm-local** band so every arm's
+    /// cylinder space stays compact. `cylinder_in_band(region.0, page)`
+    /// is exactly [`cylinder`](ArmGeometry::cylinder), the single-disk
+    /// identity mapping.
+    pub fn cylinder_in_band(&self, band: u64, page: &PageId) -> u64 {
         let pages = self.pages_per_cylinder.max(1);
-        let band = self.cylinders_per_region.max(1);
-        let within = (page.offset / pages).min(band - 1);
-        u64::from(page.region.0) * band + within
+        let width = self.cylinders_per_region.max(1);
+        let within = (page.offset / pages).min(width - 1);
+        band * width + within
     }
 
     /// Cylinder of the last page of a run.
     pub fn end_cylinder(&self, run: &PageRun) -> u64 {
         let last = PageId::new(run.start.region, run.end_offset().saturating_sub(1));
         self.cylinder(&last)
+    }
+
+    /// Cylinder of the last page of a run placed in an explicit band
+    /// (see [`cylinder_in_band`](ArmGeometry::cylinder_in_band)).
+    pub fn end_cylinder_in_band(&self, band: u64, run: &PageRun) -> u64 {
+        let last = PageId::new(run.start.region, run.end_offset().saturating_sub(1));
+        self.cylinder_in_band(band, &last)
+    }
+
+    /// Starting angular position of a page's first sector within its
+    /// cylinder, as a fraction of one revolution in `[0, 1)` — the
+    /// target phase of the [`RotationModel::Sectored`] latency model.
+    pub fn sector_phase(&self, page: &PageId) -> f64 {
+        let pages = self.pages_per_cylinder.max(1);
+        (page.offset % pages) as f64 / pages as f64
+    }
+}
+
+/// How the arm's timeline charges rotational latency.
+///
+/// The **charged accounting** always stays on the paper's flat
+/// `t_l = 6 ms` average (§5.1) — the rotation model shapes only the
+/// simulated timeline, exactly like the distance-dependent
+/// [`SeekCurve`] does for seeks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RotationModel {
+    /// Every request waits the average rotational latency
+    /// (`params.latency_ms`). The default; keeps the timeline identical
+    /// to the PR-4 single-arm scheduler.
+    #[default]
+    FlatAverage,
+    /// The platter spins continuously at `period = 2 · latency_ms` per
+    /// revolution (so the *mean* delay over uniformly distributed
+    /// arrival angles is the paper's `latency_ms` — calibration is
+    /// built in). A request's rotational delay is the time until its
+    /// first sector ([`ArmGeometry::sector_phase`]) next passes under
+    /// the head after the seek completes: sequential same-cylinder
+    /// requests that land just behind the head pay almost a full
+    /// revolution, requests that arrive just ahead of their sector pay
+    /// almost nothing — the interaction \[SLM93\] assumes between SLM
+    /// bridging and the elevator.
+    Sectored,
+}
+
+/// Cumulative service statistics of one arm — the utilization /
+/// queue-depth side of the array that
+/// [`LatencyStats`] (per-query) cannot see.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct ArmStats {
+    /// Index of the arm within its array (0 for a lone arm).
+    pub arm: usize,
+    /// Requests serviced so far.
+    pub serviced: u64,
+    /// Total time spent servicing (seek + latency + transfer on the
+    /// timeline).
+    pub busy_ms: f64,
+    /// Total time completed requests spent waiting in this arm's queue.
+    /// By Little's law, `queue_wait_ms / clock_ms` is the time-average
+    /// queue depth.
+    pub queue_wait_ms: f64,
+    /// The arm's simulated clock (end of its last service).
+    pub clock_ms: f64,
+    /// Requests still outstanding in the queue.
+    pub pending: usize,
+}
+
+impl ArmStats {
+    /// Fraction of the arm's timeline spent servicing requests
+    /// (`busy_ms / clock_ms`; 0 for an arm that never served).
+    pub fn utilization(&self) -> f64 {
+        if self.clock_ms > 0.0 {
+            self.busy_ms / self.clock_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Time-average queue depth over the arm's timeline
+    /// (`queue_wait_ms / clock_ms`, Little's law; 0 for an idle arm).
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.clock_ms > 0.0 {
+            self.queue_wait_ms / self.clock_ms
+        } else {
+            0.0
+        }
     }
 }
 
@@ -311,6 +406,10 @@ pub struct DiskArm {
     /// (the elevator saw both at once), which is what licenses the
     /// same-cylinder charge merge.
     last_dispatch_start_ms: f64,
+    rotation: RotationModel,
+    serviced: u64,
+    busy_ms: f64,
+    queue_wait_ms: f64,
 }
 
 impl DiskArm {
@@ -328,6 +427,10 @@ impl DiskArm {
             pending: Vec::new(),
             next_id: 0,
             last_dispatch_start_ms: f64::NEG_INFINITY,
+            rotation: RotationModel::default(),
+            serviced: 0,
+            busy_ms: 0.0,
+            queue_wait_ms: 0.0,
         }
     }
 
@@ -339,6 +442,29 @@ impl DiskArm {
     /// Change the policy. Affects only requests not yet serviced.
     pub fn set_policy(&mut self, policy: ArmPolicy) {
         self.policy = policy;
+    }
+
+    /// The rotational-latency model of the timeline.
+    pub fn rotation(&self) -> RotationModel {
+        self.rotation
+    }
+
+    /// Change the rotational model. Affects only future services; the
+    /// charged accounting always stays on the flat §5.1 average.
+    pub fn set_rotation(&mut self, rotation: RotationModel) {
+        self.rotation = rotation;
+    }
+
+    /// Cumulative service statistics (utilization, mean queue depth).
+    pub fn stats(&self) -> ArmStats {
+        ArmStats {
+            arm: 0,
+            serviced: self.serviced,
+            busy_ms: self.busy_ms,
+            queue_wait_ms: self.queue_wait_ms,
+            clock_ms: self.clock_ms,
+            pending: self.pending.len(),
+        }
     }
 
     /// The seek-time curve.
@@ -379,17 +505,34 @@ impl DiskArm {
     /// Submit a request with an explicit arrival time (which may lie in
     /// the arm's future; it becomes eligible once the clock reaches it).
     pub fn submit_at(&mut self, request: PageRequest, arrival_ms: f64) -> u64 {
-        assert!(!request.run.is_empty(), "cannot submit an empty run");
         let id = self.next_id;
-        self.next_id += 1;
+        let cylinder = self.geometry.cylinder(&request.run.start);
+        let end_cylinder = self.geometry.end_cylinder(&request.run);
+        self.submit_routed(id, request, arrival_ms, cylinder, end_cylinder);
+        id
+    }
+
+    /// Submit with an externally assigned id and pre-mapped cylinders —
+    /// the [`DiskArray`](crate::array::DiskArray) entry point, which
+    /// keeps one id sequence across arms and maps regions to arm-local
+    /// cylinder bands itself.
+    pub fn submit_routed(
+        &mut self,
+        id: u64,
+        request: PageRequest,
+        arrival_ms: f64,
+        cylinder: u64,
+        end_cylinder: u64,
+    ) {
+        assert!(!request.run.is_empty(), "cannot submit an empty run");
+        self.next_id = self.next_id.max(id + 1);
         self.pending.push(Pending {
             id,
             request,
             arrival_ms,
-            cylinder: self.geometry.cylinder(&request.run.start),
-            end_cylinder: self.geometry.end_cylinder(&request.run),
+            cylinder,
+            end_cylinder,
         });
-        id
     }
 
     /// Pick the index of the next request to service among `eligible`
@@ -475,8 +618,13 @@ impl DiskArm {
         let effective_skip_seek = p.request.skip_seek || merged;
 
         let started_ms = self.clock_ms;
-        let service =
-            seek_ms + self.params.latency_ms + self.params.transfer_ms * p.request.run.len as f64;
+        let latency_ms = match self.rotation {
+            RotationModel::FlatAverage => self.params.latency_ms,
+            RotationModel::Sectored => {
+                self.rotational_delay(started_ms + seek_ms, &p.request.run.start)
+            }
+        };
+        let service = seek_ms + latency_ms + self.params.transfer_ms * p.request.run.len as f64;
         let finished_ms = started_ms + service;
         if p.cylinder > self.head {
             self.sweep_up = true;
@@ -486,6 +634,9 @@ impl DiskArm {
         self.head = p.end_cylinder;
         self.clock_ms = finished_ms;
         self.last_dispatch_start_ms = started_ms;
+        self.serviced += 1;
+        self.busy_ms += service;
+        self.queue_wait_ms += started_ms - p.arrival_ms;
         Some(Completion {
             id: p.id,
             request: p.request,
@@ -495,6 +646,27 @@ impl DiskArm {
             seek_ms,
             effective_skip_seek,
         })
+    }
+
+    /// Rotational delay of a request whose seek finishes at `ready_ms`:
+    /// the time until the request's first sector next passes under the
+    /// head, on a platter spinning one revolution per
+    /// `2 · latency_ms` (see [`RotationModel::Sectored`]).
+    fn rotational_delay(&self, ready_ms: f64, start: &PageId) -> f64 {
+        let period = 2.0 * self.params.latency_ms;
+        if period <= 0.0 {
+            return 0.0;
+        }
+        let target = self.geometry.sector_phase(start) * period;
+        (target - ready_ms.rem_euclid(period)).rem_euclid(period)
+    }
+
+    /// Finish time of the completion the next [`service_next`]
+    /// (DiskArm::service_next) call would return, without mutating the
+    /// arm — what the [`DiskArray`](crate::array::DiskArray) compares
+    /// across arms to pop the globally-earliest completion.
+    pub fn peek_next_finish(&self) -> Option<f64> {
+        self.clone().service_next().map(|c| c.finished_ms)
     }
 
     /// Service everything outstanding, in policy order.
@@ -535,35 +707,19 @@ pub fn simulate_queries(
     depth: usize,
     queries: &[QueryTrace],
 ) -> Vec<LatencyStats> {
-    let depth = depth.max(1);
-    let mut arm = DiskArm::new(params, geometry, policy);
-    let mut stats: Vec<LatencyStats> = queries
-        .iter()
-        .map(|q| LatencyStats::arriving_at(q.arrival_ms))
-        .collect();
-    // Per-query submission cursor and id → query ownership.
-    let mut next_req: Vec<usize> = vec![0; queries.len()];
-    let mut owner: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
-    for (qi, q) in queries.iter().enumerate() {
-        for _ in 0..depth.min(q.requests.len()) {
-            let r = q.requests[next_req[qi]];
-            next_req[qi] += 1;
-            owner.insert(arm.submit_at(r, q.arrival_ms), qi);
-        }
-    }
-    while let Some(c) = arm.service_next() {
-        let qi = owner.remove(&c.id).expect("completion for unknown request");
-        stats[qi].absorb(&c);
-        let q = &queries[qi];
-        if next_req[qi] < q.requests.len() {
-            // The query observes the completion and issues its next
-            // request immediately.
-            let r = q.requests[next_req[qi]];
-            next_req[qi] += 1;
-            owner.insert(arm.submit_at(r, c.finished_ms), qi);
-        }
-    }
-    stats
+    // The 1-arm special case of the striped harness (every stripe
+    // policy is the identity mapping at one arm).
+    crate::array::simulate_queries_striped(
+        params,
+        geometry,
+        crate::array::ArrayConfig {
+            policy,
+            ..Default::default()
+        },
+        depth,
+        queries,
+    )
+    .0
 }
 
 #[cfg(test)]
@@ -801,6 +957,73 @@ mod tests {
         let empty = LatencyStats::arriving_at(5.0);
         assert_eq!(empty.latency_ms(), 0.0);
         assert_eq!(empty.mean_queue_ms(), 0.0);
+    }
+
+    #[test]
+    fn sectored_rotation_mean_calibrates_to_flat_latency() {
+        // The same sector read at arrival phases sampling one full
+        // revolution (midpoint sampling, so the discrete mean equals
+        // the continuum mean exactly): the delays sweep the revolution
+        // and average to the paper's flat 6 ms — the calibration
+        // contract of the sectored model.
+        let params = DiskParams::default();
+        let geometry = ArmGeometry::default();
+        let period = 2.0 * params.latency_ms;
+        let samples = 32;
+        let mut total = 0.0;
+        for k in 0..samples {
+            let mut arm = DiskArm::new(params, geometry, ArmPolicy::Fcfs);
+            arm.set_rotation(RotationModel::Sectored);
+            let arrival = (k as f64 + 0.5) / samples as f64 * period;
+            arm.submit_at(read1(0, 0), arrival);
+            let c = arm.drain().pop().expect("one completion");
+            // service = seek(0) + rotation + transfer(1 page); the idle
+            // arm starts at the arrival instant, so the head's phase at
+            // readiness is exactly `arrival`.
+            let rotation = c.finished_ms - c.started_ms - params.transfer_ms;
+            assert!(
+                (0.0..period).contains(&rotation),
+                "rotation {rotation} outside one revolution"
+            );
+            total += rotation;
+        }
+        let mean = total / samples as f64;
+        assert!(
+            (mean - params.latency_ms).abs() < 1e-9,
+            "mean rotational delay {mean} != {} (calibration drifted)",
+            params.latency_ms
+        );
+    }
+
+    #[test]
+    fn sectored_rotation_depends_on_arrival_angle() {
+        // The same target sector reached at two different clock phases
+        // pays two different delays — and a request landing exactly on
+        // its sector pays zero.
+        let params = DiskParams::default();
+        let geometry = ArmGeometry::default();
+        let period = 2.0 * params.latency_ms;
+        let mut arm = DiskArm::new(params, geometry, ArmPolicy::Fcfs);
+        arm.set_rotation(RotationModel::Sectored);
+        // Offset 0 → target phase 0; ready at clock 0 → zero delay.
+        arm.submit_at(read1(0, 0), 0.0);
+        let first = arm.service_next().expect("completion");
+        assert_eq!(first.finished_ms - first.started_ms, params.transfer_ms);
+        // Same sector again: the head is mid-revolution now, so the
+        // arm waits for the platter to come around — a positive delay
+        // shorter than one revolution.
+        arm.submit_at(read1(0, 0), first.finished_ms);
+        let second = arm.service_next().expect("completion");
+        let delay = second.finished_ms - second.started_ms - params.transfer_ms;
+        assert!(delay > 0.0 && delay < period, "delay {delay}");
+        // And the flat default stays flat.
+        let mut flat = DiskArm::new(params, geometry, ArmPolicy::Fcfs);
+        flat.submit(read1(0, 0));
+        let c = flat.service_next().expect("completion");
+        assert_eq!(
+            c.finished_ms - c.started_ms,
+            params.latency_ms + params.transfer_ms
+        );
     }
 
     #[test]

@@ -97,6 +97,24 @@ impl LruBuffer {
         self.capacity
     }
 
+    /// Change the capacity in place, evicting LRU-first down to the new
+    /// bound if it shrank below the current occupancy. Returns the
+    /// evicted `(page, dirty)` pairs (empty when growing). The adaptive
+    /// quota ledger of [`crate::shard::ShardedPool`] moves headroom
+    /// between shards with this — donors shrink only within their free
+    /// headroom, so their evictions stay empty.
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<(PageId, bool)> {
+        self.capacity = capacity;
+        let mut evicted = Vec::new();
+        while self.map.len() > self.capacity {
+            match self.evict_one() {
+                Some(e) => evicted.push(e),
+                None => break, // everything left is pinned
+            }
+        }
+        evicted
+    }
+
     /// Number of buffered pages.
     #[inline]
     pub fn len(&self) -> usize {

@@ -1,6 +1,7 @@
 //! The shared disk accounting object.
 
-use crate::arm::{ArmGeometry, ArmPolicy, Completion, DiskArm, PageRequest};
+use crate::arm::{ArmGeometry, ArmPolicy, ArmStats, Completion, PageRequest, RotationModel};
+use crate::array::{ArrayConfig, DiskArray, StripePolicy};
 use crate::model::{DiskParams, PageRun, RegionId};
 use crate::stats::{IoKind, IoStats};
 use std::cell::{Cell, RefCell};
@@ -43,14 +44,14 @@ thread_local! {
 /// charged from any thread. Per-query deltas should be taken against
 /// [`Disk::local_stats`] (the calling thread's tally), not against the
 /// global [`Disk::stats`].
-/// Lock order: the arm mutex is only ever taken *before* the state
-/// mutex (completions charge the disk while the arm is locked), never
+/// Lock order: the array mutex is only ever taken *before* the state
+/// mutex (completions charge the disk while the array is locked), never
 /// the reverse — acyclic, so the disk cannot deadlock.
 #[derive(Debug)]
 pub struct Disk {
     params: DiskParams,
     state: Mutex<DiskState>,
-    arm: Mutex<DiskArm>,
+    array: Mutex<DiskArray>,
 }
 
 #[derive(Debug, Default)]
@@ -66,10 +67,11 @@ impl Disk {
         Arc::new(Disk {
             params,
             state: Mutex::new(DiskState::default()),
-            arm: Mutex::new(DiskArm::new(
+            // A 1-arm array is byte-identical to the single DiskArm.
+            array: Mutex::new(DiskArray::new(
                 params,
                 ArmGeometry::default(),
-                ArmPolicy::default(),
+                ArrayConfig::default(),
             )),
         })
     }
@@ -160,17 +162,67 @@ impl Disk {
     }
 
     /// Set the arm scheduling policy for [`submit`](Disk::submit) /
-    /// [`complete_next`](Disk::complete_next). Affects only requests not
-    /// yet serviced.
+    /// [`complete_next`](Disk::complete_next) (uniform across the
+    /// array's arms). Affects only requests not yet serviced.
     pub fn set_arm_policy(&self, policy: ArmPolicy) {
-        self.arm
+        self.array
             .lock()
-            .expect("disk arm poisoned")
+            .expect("disk array poisoned")
             .set_policy(policy);
     }
 
-    /// Submit a request to the disk arm's queue without charging it yet;
-    /// the charge happens when the arm services it
+    /// Set the rotational-latency model of every arm's timeline. The
+    /// charged accounting always stays on the flat §5.1 average.
+    pub fn set_rotation_model(&self, rotation: RotationModel) {
+        self.array
+            .lock()
+            .expect("disk array poisoned")
+            .set_rotation(rotation);
+    }
+
+    /// Rebuild the disk's array with `arms` arms under `stripe`,
+    /// keeping the current queue-ordering policy and rotational model.
+    /// Timelines restart from idle (all heads at cylinder 0, clocks 0);
+    /// the charged accounting ([`stats`](Disk::stats)) is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests are still outstanding — reconfiguring with a
+    /// non-empty queue would drop their completions.
+    pub fn configure_arms(&self, arms: usize, stripe: StripePolicy) {
+        let mut array = self.array.lock().expect("disk array poisoned");
+        assert_eq!(
+            array.pending(),
+            0,
+            "cannot reconfigure the array with requests outstanding"
+        );
+        let config = ArrayConfig {
+            arms,
+            stripe,
+            policy: array.policy(),
+            rotation: array.rotation(),
+        };
+        *array = DiskArray::new(self.params, array.geometry(), config);
+    }
+
+    /// Number of arms in the disk's array.
+    pub fn num_arms(&self) -> usize {
+        self.array.lock().expect("disk array poisoned").num_arms()
+    }
+
+    /// The array's stripe policy.
+    pub fn stripe_policy(&self) -> StripePolicy {
+        self.array.lock().expect("disk array poisoned").stripe()
+    }
+
+    /// Per-arm cumulative statistics (utilization, queue depth),
+    /// indexed by arm.
+    pub fn arm_stats(&self) -> Vec<ArmStats> {
+        self.array.lock().expect("disk array poisoned").arm_stats()
+    }
+
+    /// Submit a request to the owning arm's queue without charging it
+    /// yet; the charge happens when the arm services it
     /// ([`complete_next`](Disk::complete_next)). Returns the request id,
     /// or `None` for an empty run (free and not recorded, exactly like
     /// the synchronous path).
@@ -178,21 +230,28 @@ impl Disk {
         if request.run.is_empty() {
             return None;
         }
-        Some(self.arm.lock().expect("disk arm poisoned").submit(request))
+        Some(
+            self.array
+                .lock()
+                .expect("disk array poisoned")
+                .submit(request),
+        )
     }
 
-    /// Service the next outstanding request in arm-policy order,
-    /// charging it through the same code path as the synchronous
+    /// Service the globally-earliest outstanding completion across the
+    /// array's arms (deterministic tie-break by arm index), charging it
+    /// through the same code path as the synchronous
     /// [`charge`](Disk::charge) — with the completion's effective seek
     /// flag, so depth-1 submission (one request outstanding at a time)
     /// is **byte-identical** to calling `charge` directly, and
     /// elevator-merged same-cylinder requests are not double-charged
     /// (§5.4.3 across queued requests).
     pub fn complete_next(&self) -> Option<Completion> {
-        let mut arm = self.arm.lock().expect("disk arm poisoned");
-        let completion = arm.service_next()?;
-        // Charged while the arm is locked so the accounting order equals
-        // the timeline order (lock order arm → state, see the type docs).
+        let mut array = self.array.lock().expect("disk array poisoned");
+        let completion = array.service_next()?;
+        // Charged while the array is locked so the accounting order
+        // equals the timeline order (lock order array → state, see the
+        // type docs).
         self.charge(
             completion.request.kind,
             completion.request.run,
@@ -201,7 +260,8 @@ impl Disk {
         Some(completion)
     }
 
-    /// Service everything outstanding on the arm, charging each request.
+    /// Service everything outstanding on the array, charging each
+    /// request in global completion order.
     pub fn drain_arm(&self) -> Vec<Completion> {
         let mut out = Vec::new();
         while let Some(c) = self.complete_next() {
@@ -210,9 +270,9 @@ impl Disk {
         out
     }
 
-    /// Number of submitted requests the arm has not yet serviced.
+    /// Number of submitted requests the array has not yet serviced.
     pub fn arm_pending(&self) -> usize {
-        self.arm.lock().expect("disk arm poisoned").pending()
+        self.array.lock().expect("disk array poisoned").pending()
     }
 
     /// Charge an already-computed cost for a request of `pages` pages.

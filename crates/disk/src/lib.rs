@@ -32,7 +32,14 @@
 //!   [`arm::LatencyStats`]. Requests are submitted via
 //!   [`disk::Disk::submit`] and charged at service time through the same
 //!   `charge` path — depth-1 submission is byte-identical to the
-//!   synchronous model.
+//!   synchronous model;
+//! * [`array`] — multi-arm declustered storage: a [`array::DiskArray`]
+//!   of N independent arms behind a [`array::StripePolicy`] mapping
+//!   each region to one arm's local cylinder band, with a parallel
+//!   drain popping the globally-earliest completion across arms and
+//!   per-arm [`arm::ArmStats`] (utilization, mean queue depth). A
+//!   1-arm array is byte-identical to the single [`arm::DiskArm`]
+//!   under every stripe policy.
 //!
 //! The simulator is deterministic: identical request sequences produce
 //! identical I/O counts, which is what makes the reproduced figures
@@ -74,6 +81,7 @@ pub(crate) mod test_util {
 
 pub mod alloc;
 pub mod arm;
+pub mod array;
 pub mod buddy;
 pub mod buffer;
 pub mod disk;
@@ -84,9 +92,10 @@ pub mod stats;
 
 pub use alloc::{ExtentAllocator, SequentialAllocator};
 pub use arm::{
-    simulate_queries, ArmGeometry, ArmPolicy, Completion, DiskArm, LatencyStats, PageRequest,
-    QueryTrace, SeekCurve,
+    simulate_queries, ArmGeometry, ArmPolicy, ArmStats, Completion, DiskArm, LatencyStats,
+    PageRequest, QueryTrace, RotationModel, SeekCurve,
 };
+pub use array::{simulate_queries_striped, ArrayConfig, DiskArray, StripePolicy};
 pub use buddy::{BuddyAllocator, BuddyConfig};
 pub use buffer::{BufferPool, LruBuffer, ReadMode, SeekPolicy};
 pub use disk::{Disk, DiskHandle, ScratchTally};

@@ -83,6 +83,9 @@ pub struct ShardedPool {
     /// Shard-lock acquisitions that found the lock held by another
     /// thread (the contention the sharding exists to eliminate).
     contended: AtomicU64,
+    /// Adaptive quotas: a shard about to evict may steal free headroom
+    /// from another shard (see [`ShardedPool::set_adaptive`]).
+    adaptive: AtomicBool,
 }
 
 /// Per-shard quota of a `capacity`-page budget split `n` ways: the
@@ -125,6 +128,7 @@ impl ShardedPool {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             contended: AtomicU64::new(0),
+            adaptive: AtomicBool::new(false),
         }
     }
 
@@ -140,9 +144,43 @@ impl ShardedPool {
         self.capacity.load(Ordering::Acquire)
     }
 
-    /// Capacity quota of one shard.
+    /// Current capacity quota of one shard. Equals the static split
+    /// `quota(capacity, n, shard)` unless adaptive quotas have moved
+    /// headroom between shards; the sum over all shards always equals
+    /// [`capacity`](ShardedPool::capacity).
     pub fn shard_capacity(&self, shard: usize) -> usize {
-        quota(self.capacity(), self.shards.len(), shard)
+        self.shards[shard]
+            .lock()
+            .expect("buffer shard poisoned")
+            .capacity()
+    }
+
+    /// Enable or disable **adaptive shard quotas** (default: off).
+    ///
+    /// When on, a shard that is full at insert time steals one page of
+    /// *free* headroom (quota not backed by a resident page) from
+    /// another shard instead of evicting — a hot shard grows at the
+    /// expense of cold ones, LRU-horizon-wise approaching the
+    /// single-lock pool while keeping per-shard locking. There is no
+    /// global lock: the stealing shard probes donors with `try_lock`
+    /// one at a time (skipping any it would have to wait for), and
+    /// each transfer is a `-1` on the donor / `+1` on the thief, so
+    /// the per-shard capacities always sum to the global budget (the
+    /// conservation invariant; donors only shrink within their free
+    /// headroom, so a steal never evicts anything).
+    ///
+    /// Borrowed headroom stays where it went until
+    /// [`reset`](ShardedPool::reset) /
+    /// [`invalidate_all`](ShardedPool::invalidate_all) restore the
+    /// static split. With the feature off (the default) the pool is
+    /// byte-identical to the fixed-quota pool.
+    pub fn set_adaptive(&self, on: bool) {
+        self.adaptive.store(on, Ordering::Release);
+    }
+
+    /// Whether adaptive shard quotas are active.
+    pub fn adaptive(&self) -> bool {
+        self.adaptive.load(Ordering::Acquire)
     }
 
     /// The underlying disk handle.
@@ -213,7 +251,12 @@ impl ShardedPool {
 
     #[inline]
     fn shard(&self, page: &PageId) -> MutexGuard<'_, LruBuffer> {
-        let mutex = &self.shards[self.shard_of(page)];
+        self.shard_at(self.shard_of(page))
+    }
+
+    #[inline]
+    fn shard_at(&self, index: usize) -> MutexGuard<'_, LruBuffer> {
+        let mutex = &self.shards[index];
         match mutex.try_lock() {
             Ok(guard) => guard,
             Err(std::sync::TryLockError::WouldBlock) => {
@@ -221,6 +264,44 @@ impl ShardedPool {
                 mutex.lock().expect("buffer shard poisoned")
             }
             Err(std::sync::TryLockError::Poisoned(_)) => panic!("buffer shard poisoned"),
+        }
+    }
+
+    /// Steal one page of free headroom from some other shard for shard
+    /// `thief` (whose lock the caller holds). Donors are probed with
+    /// `try_lock` only — never blocking while a shard lock is held, so
+    /// two concurrent thieves cannot deadlock — and a donor qualifies
+    /// only if its quota exceeds the floor of one page *and* it has a
+    /// free (unoccupied) quota page, so shrinking it evicts nothing.
+    /// Returns `true` if a page of quota was transferred to the caller
+    /// (who must grow its shard by one to conserve the budget).
+    fn steal_quota(&self, thief: usize) -> bool {
+        let n = self.shards.len();
+        for step in 1..n {
+            let candidate = (thief + step) % n;
+            if let Ok(mut donor) = self.shards[candidate].try_lock() {
+                let cap = donor.capacity();
+                if cap > 1 && donor.len() < cap {
+                    let ev = donor.set_capacity(cap - 1);
+                    debug_assert!(ev.is_empty(), "donor shrink within free headroom");
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Grow `shard` (index `index`, lock held by the caller) by stolen
+    /// quota until it can take one more page without evicting, when
+    /// adaptive quotas are on. Falls back to normal eviction when no
+    /// donor has free headroom.
+    fn grow_if_adaptive(&self, index: usize, shard: &mut LruBuffer) {
+        if !self.adaptive.load(Ordering::Acquire) {
+            return;
+        }
+        while shard.len() >= shard.capacity() && self.steal_quota(index) {
+            let cap = shard.capacity();
+            shard.set_capacity(cap + 1);
         }
     }
 
@@ -243,9 +324,18 @@ impl ShardedPool {
         }
     }
 
-    /// Insert into the page's shard, charging dirty evictions.
+    /// Insert into the page's shard, charging dirty evictions. Under
+    /// adaptive quotas a full shard first tries to steal headroom so
+    /// the insert doesn't evict.
     fn insert_charged(&self, page: PageId, dirty: bool) {
-        let ev = self.shard(&page).insert(page, dirty);
+        let index = self.shard_of(&page);
+        let ev = {
+            let mut shard = self.shard_at(index);
+            if !shard.contains(&page) {
+                self.grow_if_adaptive(index, &mut shard);
+            }
+            shard.insert(page, dirty)
+        };
         self.charge_evictions(ev);
     }
 
@@ -290,13 +380,15 @@ impl ShardedPool {
                 .charge(IoKind::Write, PageRun::new(page, 1), false);
             return false;
         }
-        let mut shard = self.shard(&page);
+        let index = self.shard_of(&page);
+        let mut shard = self.shard_at(index);
         let hit = shard.touch(&page);
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.disk.charge(IoKind::Read, PageRun::new(page, 1), false);
+            self.grow_if_adaptive(index, &mut shard);
             let ev = shard.insert(page, false);
             self.charge_evictions(ev);
         }
@@ -415,9 +507,9 @@ impl ShardedPool {
     /// budget — the single-lock pool's behaviour is unchanged.
     pub fn warm_pinned(&self, pages: impl IntoIterator<Item = PageId>) {
         for p in pages {
-            let quota = self.shard_capacity(self.shard_of(&p));
             let ev = {
                 let mut shard = self.shard(&p);
+                let quota = shard.capacity();
                 let ev = shard.insert(p, false);
                 if shard.len() > quota {
                     // Eviction failed (everything pinned): revert the
@@ -519,8 +611,10 @@ impl ShardedPool {
                     continue;
                 }
                 let p = extent.page(off);
-                let mut shard = self.shard(&p);
+                let index = self.shard_of(&p);
+                let mut shard = self.shard_at(index);
                 if !shard.contains(&p) {
+                    self.grow_if_adaptive(index, &mut shard);
                     let ev = shard.insert(p, false);
                     drop(shard);
                     self.charge_evictions(ev);
@@ -665,6 +759,100 @@ mod tests {
                 let total: usize = (0..n).map(|i| pool.shard_capacity(i)).sum();
                 assert_eq!(total, cap);
             }
+        }
+    }
+
+    /// The adaptive-quota conservation invariant: a hot shard borrows
+    /// free headroom from cold shards, and the per-shard capacities
+    /// still sum to the global budget at every rest point.
+    #[test]
+    fn adaptive_quotas_conserve_capacity() {
+        let pool = ShardedPool::with_routing(Disk::with_defaults(), 64, 8, Routing::ByRegion);
+        pool.set_adaptive(true);
+        let n = pool.num_shards();
+        let static_quota = pool.shard_capacity(0);
+        assert_eq!(static_quota, 8);
+        // Touch every region lightly: each shard holds a couple of cold
+        // pages, far below its quota.
+        for r in 0..8u16 {
+            for o in 0..2u64 {
+                pool.read_page(pg(r, o));
+            }
+        }
+        // Hammer one region: under ByRegion routing all its pages land
+        // on one shard, which must outgrow its static quota by stealing
+        // headroom instead of thrashing its own LRU.
+        let hot = pg(0, 0);
+        let hot_shard = pool.shard_of(&hot);
+        for o in 0..48u64 {
+            pool.read_page(pg(0, o));
+        }
+        let caps: Vec<usize> = (0..n).map(|i| pool.shard_capacity(i)).collect();
+        assert_eq!(
+            caps.iter().sum::<usize>(),
+            pool.capacity(),
+            "capacities must sum to the budget: {caps:?}"
+        );
+        assert!(
+            caps[hot_shard] > static_quota,
+            "hot shard never borrowed: {caps:?}"
+        );
+        assert!(caps.iter().all(|&c| c >= 1), "a donor fell below the floor");
+        assert!(pool.len() <= pool.capacity());
+        // Re-reading the hot region now hits: the borrowed headroom
+        // actually widened the hot shard's LRU horizon.
+        let misses_before = pool.misses();
+        for o in 0..48u64 {
+            pool.read_page(pg(0, o));
+        }
+        assert_eq!(pool.misses(), misses_before, "hot set no longer resident");
+        // Reset restores the static split.
+        pool.reset(64);
+        for i in 0..n {
+            assert_eq!(pool.shard_capacity(i), quota(64, n, i));
+        }
+    }
+
+    /// Concurrent thieves: adaptive borrowing from many threads keeps
+    /// the budget conserved and never overflows total occupancy.
+    #[test]
+    fn adaptive_quotas_survive_concurrent_borrowing() {
+        let pool = std::sync::Arc::new(ShardedPool::with_routing(
+            Disk::with_defaults(),
+            96,
+            8,
+            Routing::ByRegion,
+        ));
+        pool.set_adaptive(true);
+        std::thread::scope(|s| {
+            for t in 0..4u16 {
+                let pool = std::sync::Arc::clone(&pool);
+                s.spawn(move || {
+                    let mut rng = Rng(0xADA7_0000 + t as u64 + 1);
+                    for _ in 0..2000 {
+                        let r = rng.below(8) as u16;
+                        pool.read_page(pg(r, rng.below(40)));
+                    }
+                });
+            }
+        });
+        let n = pool.num_shards();
+        let caps: Vec<usize> = (0..n).map(|i| pool.shard_capacity(i)).collect();
+        assert_eq!(caps.iter().sum::<usize>(), pool.capacity(), "{caps:?}");
+        assert!(pool.len() <= pool.capacity());
+        assert_eq!(pool.hits() + pool.misses(), 4 * 2000);
+    }
+
+    /// With the feature off (the default) nothing moves: the quotas
+    /// stay on the static split whatever the workload.
+    #[test]
+    fn adaptive_off_keeps_static_quotas() {
+        let pool = ShardedPool::with_routing(Disk::with_defaults(), 64, 8, Routing::ByRegion);
+        for o in 0..200u64 {
+            pool.read_page(pg(0, o));
+        }
+        for i in 0..pool.num_shards() {
+            assert_eq!(pool.shard_capacity(i), quota(64, 8, i));
         }
     }
 

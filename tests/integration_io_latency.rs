@@ -103,6 +103,7 @@ fn depth_one_fcfs_matrix_matches_sync_path() {
         depth: 1,
         policy: ArmPolicy::Fcfs,
         inter_arrival_ms: 0.0,
+        ..OverlapConfig::default()
     };
     for kind in ALL_KINDS {
         for technique in ALL_TECHNIQUES {
@@ -165,6 +166,7 @@ fn timed_latency_is_deterministic() {
         depth: 4,
         policy: ArmPolicy::Elevator,
         inter_arrival_ms: 20.0,
+        ..OverlapConfig::default()
     };
     let run = || {
         let ws = Workspace::new(BUFFER_PAGES);
@@ -199,6 +201,7 @@ fn elevator_beats_fcfs_at_depth_four() {
                 depth: 4,
                 policy,
                 inter_arrival_ms: 0.0, // closed burst: maximal queueing
+                ..OverlapConfig::default()
             },
         );
         let latencies: Vec<f64> = batch
@@ -245,6 +248,7 @@ fn depth_controls_per_query_overlap() {
                 depth,
                 policy: ArmPolicy::Elevator,
                 inter_arrival_ms: 1e7,
+                ..OverlapConfig::default()
             },
         )
         .outcomes()
