@@ -1,0 +1,207 @@
+//! Bulk-load benchmark: insertion build vs the parallel STR bulk load
+//! over an organizations × thread-count grid, emitted as
+//! `BENCH_bulk_load.json`.
+//!
+//! For each organization model the §5.2 insertion build runs once (the
+//! Figure 5 baseline), then the sort-tile-recursive bulk load
+//! ([`build_organization_str`]) runs at every thread count in the grid
+//! (`SPATIALDB_BENCH_LOAD_THREADS=1,2,4,8`). Reported per cell:
+//! simulated construction I/O (total ms, pages read/written, requests),
+//! wall-clock build seconds, occupied pages and R\*-tree node count.
+//! The STR build's pages and placement are identical at every thread
+//! count — only the per-partition request batching (and so the
+//! simulated seek count) varies — and it charges **strictly less**
+//! simulated I/O than the insertion build, which the bench asserts.
+//!
+//! A query-equivalence check follows per organization: a paper-style
+//! 1 %-area window-query set runs against the insertion-built and the
+//! STR-built trees. The answers must be identical (asserted); the
+//! packed tree answers each window with fewer directory-node accesses,
+//! reported as `node_reads_per_query`.
+//!
+//! Flags: `--scale F` (fraction of Table 1 data), `--out PATH`.
+
+use spatialdb::data::workload::WindowQuerySet;
+use spatialdb::data::DataSet;
+use spatialdb::experiments::{
+    build_organization, build_organization_str, records_of, ClusterSizing, ALL_KINDS,
+};
+use spatialdb::rtree::io::CountingIo;
+use spatialdb::storage::{Organization, OrganizationKind, SpatialStore};
+use spatialdb_bench::{arg, banner, grid_from_env, scale_from_args};
+use std::time::Instant;
+
+/// Window area of the equivalence query set (1 % of the data space —
+/// the middle of the paper's Figure 8 grid).
+const QUERY_AREA: f64 = 0.01;
+
+fn org_label(kind: OrganizationKind) -> &'static str {
+    match kind {
+        OrganizationKind::Secondary => "secondary",
+        OrganizationKind::Primary => "primary",
+        OrganizationKind::Cluster => "cluster",
+    }
+}
+
+/// Sorted answer set and total directory-node reads of one query set.
+fn run_queries(org: &mut Organization, queries: &WindowQuerySet) -> (Vec<Vec<u64>>, u64) {
+    let mut answers = Vec::with_capacity(queries.windows.len());
+    let mut node_reads = 0u64;
+    let mut scratch = Vec::new();
+    for w in &queries.windows {
+        let mut io = CountingIo::default();
+        org.tree().window_entries_into(w, &mut io, &mut scratch);
+        node_reads += io.reads;
+        let mut ids: Vec<u64> = scratch.iter().map(|e| e.oid.0).collect();
+        ids.sort_unstable();
+        answers.push(ids);
+    }
+    (answers, node_reads)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let out_path = arg("--out").unwrap_or_else(|| "BENCH_bulk_load.json".to_string());
+    let thread_grid = grid_from_env("SPATIALDB_BENCH_LOAD_THREADS", &[1, 2, 4, 8]);
+    banner("Bulk load: insertion build vs parallel STR", &scale);
+
+    let dataset = DataSet::all()[0];
+    let spec = dataset.spec();
+    let map = scale.map(dataset);
+    let records = records_of(&map.objects);
+    let queries = WindowQuerySet::generate(&map, QUERY_AREA, scale.num_queries, scale.seed);
+    println!(
+        "data set {dataset}: {} objects, thread grid {thread_grid:?}, {} queries",
+        records.len(),
+        queries.windows.len()
+    );
+
+    let mut rows = Vec::new();
+    for kind in ALL_KINDS {
+        let label = org_label(kind);
+
+        let start = Instant::now();
+        let (mut insert_org, insert_stats) = build_organization(
+            kind,
+            &records,
+            spec.smax_bytes as u64,
+            ClusterSizing::Plain,
+            scale.construction_buffer,
+        );
+        let insert_secs = start.elapsed().as_secs_f64();
+        println!(
+            "  {label:9} insert        : {:8.1} io-s  {:7} pages written  {:.2} wall-s",
+            insert_stats.io_seconds(),
+            insert_stats.pages_written,
+            insert_secs
+        );
+        rows.push(format!(
+            "    {{\"org\": \"{label}\", \"method\": \"insert\", \"threads\": 1, \
+             \"io_ms\": {:.3}, \"pages_written\": {}, \"pages_read\": {}, \
+             \"write_requests\": {}, \"occupied_pages\": {}, \"tree_nodes\": {}, \
+             \"wall_seconds\": {:.3}}}",
+            insert_stats.io_ms,
+            insert_stats.pages_written,
+            insert_stats.pages_read,
+            insert_stats.write_requests,
+            insert_org.occupied_pages(),
+            insert_org.tree().num_nodes(),
+            insert_secs
+        ));
+
+        let mut str_org: Option<Organization> = None;
+        let mut str_pages: Option<(u64, u64)> = None;
+        for &threads in &thread_grid {
+            let start = Instant::now();
+            let (org, stats) = build_organization_str(
+                kind,
+                &records,
+                spec.smax_bytes as u64,
+                ClusterSizing::Plain,
+                scale.construction_buffer,
+                threads,
+            );
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "  {label:9} str {threads:2} thread(s): {:8.1} io-s  {:7} pages written  \
+                 {:.2} wall-s  ({:.2}x less simulated I/O)",
+                stats.io_seconds(),
+                stats.pages_written,
+                secs,
+                insert_stats.io_ms / stats.io_ms
+            );
+            assert!(
+                stats.io_ms < insert_stats.io_ms,
+                "{label}: STR at {threads} thread(s) must charge less I/O than insertion \
+                 ({} vs {} ms)",
+                stats.io_ms,
+                insert_stats.io_ms
+            );
+            // The STR result is thread-count invariant: identical pages
+            // at every cell (request batching is the only difference).
+            match str_pages {
+                None => str_pages = Some((stats.pages_written, stats.pages_read)),
+                Some(p) => assert_eq!(
+                    p,
+                    (stats.pages_written, stats.pages_read),
+                    "{label}: STR pages must not depend on the thread count"
+                ),
+            }
+            rows.push(format!(
+                "    {{\"org\": \"{label}\", \"method\": \"str\", \"threads\": {threads}, \
+                 \"io_ms\": {:.3}, \"pages_written\": {}, \"pages_read\": {}, \
+                 \"write_requests\": {}, \"occupied_pages\": {}, \"tree_nodes\": {}, \
+                 \"wall_seconds\": {:.3}}}",
+                stats.io_ms,
+                stats.pages_written,
+                stats.pages_read,
+                stats.write_requests,
+                org.occupied_pages(),
+                org.tree().num_nodes(),
+                secs
+            ));
+            str_org = Some(org);
+        }
+
+        // Query-equivalence check: same answers, fewer node accesses.
+        let mut str_org = str_org.expect("thread grid must not be empty");
+        let (insert_answers, insert_reads) = run_queries(&mut insert_org, &queries);
+        let (str_answers, str_reads) = run_queries(&mut str_org, &queries);
+        assert_eq!(
+            insert_answers, str_answers,
+            "{label}: STR tree must answer the query set identically"
+        );
+        assert!(
+            str_reads < insert_reads,
+            "{label}: packed tree must touch fewer nodes ({str_reads} vs {insert_reads})"
+        );
+        let n = queries.windows.len() as f64;
+        println!(
+            "  {label:9} queries       : identical answers; {:.2} node reads/query packed \
+             vs {:.2} inserted",
+            str_reads as f64 / n,
+            insert_reads as f64 / n
+        );
+        rows.push(format!(
+            "    {{\"org\": \"{label}\", \"method\": \"query_check\", \"queries\": {}, \
+             \"answers_identical\": true, \"node_reads_per_query_str\": {:.3}, \
+             \"node_reads_per_query_insert\": {:.3}}}",
+            queries.windows.len(),
+            str_reads as f64 / n,
+            insert_reads as f64 / n
+        ));
+    }
+
+    let threads_json: Vec<String> = thread_grid.iter().map(|t| t.to_string()).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"bulk_load\",\n  \"dataset\": \"{dataset}\",\n  \
+         \"objects\": {},\n  \"queries\": {},\n  \"window_area\": {QUERY_AREA},\n  \
+         \"threads\": [{}],\n  \"rows\": [\n{}\n  ]\n}}\n",
+        records.len(),
+        queries.windows.len(),
+        threads_json.join(", "),
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write bench report");
+    println!("wrote {out_path}");
+}

@@ -7,23 +7,30 @@
 //! organization's filter steps run once, synchronously, through the
 //! traced read path (identical charges to the paper's throughput
 //! model), then the traces replay through [`simulate_queries_striped`]
-//! as a closed burst with up to `--depth` requests outstanding. With
-//! one arm the replay is byte-identical to the single-arm harness; with
-//! more arms the stripe policy decides which regions can be serviced in
-//! parallel, and aggregate IOPS (= total requests / makespan) shows the
-//! scaling. Per-arm FCFS rows isolate pure declustering parallelism
-//! (an arm never reorders, so makespans can only shrink as arms are
-//! added); elevator rows show the combined effect.
+//! under **open arrivals**: queries arrive every
+//! `(mean service time) / load` simulated ms (the `io_latency`
+//! discipline) with up to `--depth` requests outstanding. With one arm
+//! the replay is byte-identical to the single-arm harness; with more
+//! arms the stripe policy decides which regions can be serviced in
+//! parallel — aggregate IOPS (= total requests / makespan) shows the
+//! throughput scaling, and the per-cell p95/p99 latency percentiles
+//! show how declustering trims the queueing tail. Per-arm FCFS rows
+//! isolate pure declustering parallelism (an arm never reorders);
+//! elevator rows show the combined effect.
+//!
+//! The databases are built with the parallel STR bulk load
+//! ([`Workspace::bulk_load_par`]), so the bench inherits the packed
+//! construction path.
 //!
 //! Flags: `--objects N` (default 6000, split across the databases),
 //! `--queries N` (default 144), `--dbs N` (default 6), `--depth N`
-//! (default 16), `--out PATH`. The arm grid is env-overridable:
-//! `SPATIALDB_BENCH_ARMS=1,2,4,8`.
+//! (default 16), `--load F` (default 0.7), `--out PATH`. The arm grid
+//! is env-overridable: `SPATIALDB_BENCH_ARMS=1,2,4,8`.
 
 use spatialdb::disk::{
     simulate_queries_striped, ArmGeometry, ArmPolicy, ArrayConfig, QueryTrace, StripePolicy,
 };
-use spatialdb::geom::{Point, Polyline, Rect};
+use spatialdb::geom::{Geometry, Point, Polyline, Rect};
 use spatialdb::report::summarize_latencies;
 use spatialdb::storage::{OrganizationKind, WindowTechnique};
 use spatialdb::{DbOptions, SpatialDatabase, Workspace};
@@ -38,18 +45,20 @@ const ALL_STRIPES: [StripePolicy; 3] = [
 fn load_db(ws: &Workspace, kind: OrganizationKind, n: u64, salt: u64) -> SpatialDatabase {
     let mut db = ws.create_database(DbOptions::new(kind).technique(WindowTechnique::Slm));
     let side = (n as f64).sqrt().ceil() as u64;
-    for i in 0..n {
-        let x = ((i + salt * 17) % side) as f64 / side as f64;
-        let y = (i / side) as f64 / side as f64;
-        db.insert(
-            i,
-            Polyline::new(vec![
+    let objects: Vec<(u64, Geometry)> = (0..n)
+        .map(|i| {
+            let x = ((i + salt * 17) % side) as f64 / side as f64;
+            let y = (i / side) as f64 / side as f64;
+            let line = Polyline::new(vec![
                 Point::new(x, y),
                 Point::new(x + 0.6 / side as f64, y + 0.3 / side as f64),
                 Point::new(x + 1.2 / side as f64, y),
-            ]),
-        );
-    }
+            ]);
+            (i, Geometry::from(line))
+        })
+        .collect();
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    ws.bulk_load_par(&mut db, objects, threads);
     db.finish_loading();
     db
 }
@@ -97,7 +106,9 @@ fn main() {
     let n_queries: usize = arg("--queries").and_then(|s| s.parse().ok()).unwrap_or(144);
     let n_dbs: usize = arg("--dbs").and_then(|s| s.parse().ok()).unwrap_or(6);
     let depth: usize = arg("--depth").and_then(|s| s.parse().ok()).unwrap_or(16);
+    let load: f64 = arg("--load").and_then(|s| s.parse().ok()).unwrap_or(0.7);
     assert!(n_dbs > 0 && depth > 0);
+    assert!(load > 0.0, "--load must be positive");
     let out_path = arg("--out").unwrap_or_else(|| "BENCH_decluster.json".to_string());
     let arm_grid = grid_from_env("SPATIALDB_BENCH_ARMS", &[1, 2, 4, 8]);
     let windows = workload(n_queries);
@@ -122,22 +133,36 @@ fn main() {
             db.store_mut().begin_query();
         }
         // One synchronous traced pass, queries round-robined over the
-        // databases — the traces are what the array replays.
+        // databases — the traces are what the array replays. The mean
+        // synchronous service time sets the open-arrival spacing.
         let mut total_requests = 0usize;
-        let qtraces: Vec<QueryTrace> = windows
+        let mut total_io_ms = 0.0;
+        let traced: Vec<Vec<_>> = windows
             .iter()
             .enumerate()
             .map(|(i, w)| {
                 let db = &dbs[i % n_dbs];
-                let (_, requests) = db.store().window_query_traced(w, WindowTechnique::Slm);
+                let (stats, requests) = db.store().window_query_traced(w, WindowTechnique::Slm);
                 total_requests += requests.len();
-                QueryTrace {
-                    arrival_ms: 0.0, // closed burst: aggregate throughput
-                    requests,
-                }
+                total_io_ms += stats.io_ms;
+                requests
             })
             .collect();
-        println!("  {} ({} requests):", org_label(kind), total_requests);
+        let inter_arrival_ms = (total_io_ms / n_queries as f64) / load;
+        let qtraces: Vec<QueryTrace> = traced
+            .into_iter()
+            .enumerate()
+            .map(|(i, requests)| QueryTrace {
+                arrival_ms: i as f64 * inter_arrival_ms,
+                requests,
+            })
+            .collect();
+        println!(
+            "  {} ({} requests, arrival every {:.3} ms):",
+            org_label(kind),
+            total_requests,
+            inter_arrival_ms
+        );
         let params = ws.disk().params();
         for stripe in ALL_STRIPES {
             for policy in [ArmPolicy::Fcfs, ArmPolicy::Elevator] {
@@ -179,14 +204,18 @@ fn main() {
                     rows.push(format!(
                         "    {{\"org\": \"{}\", \"stripe\": \"{}\", \"policy\": \"{}\", \
                          \"arms\": {arms}, \"busy_arms\": {}, \"requests\": {total_requests}, \
+                         \"inter_arrival_ms\": {inter_arrival_ms:.4}, \
                          \"makespan_ms\": {makespan:.3}, \"iops\": {iops:.2}, \
-                         \"mean_ms\": {:.3}, \"p95_ms\": {:.3}, \"max_util\": {max_util:.3}}}",
+                         \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+                         \"p99_ms\": {:.3}, \"max_util\": {max_util:.3}}}",
                         org_label(kind),
                         stripe_label(stripe),
                         policy_label(policy),
                         busy.len(),
                         s.mean,
+                        s.p50,
                         s.p95,
+                        s.p99,
                     ));
                     line.push_str(&format!(" {arms}a {iops:7.1} iops |"));
                 }
@@ -199,6 +228,7 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"decluster\",\n  \"objects\": {n_objects},\n  \
          \"queries\": {n_queries},\n  \"databases\": {n_dbs},\n  \"depth\": {depth},\n  \
+         \"load\": {load},\n  \
          \"arms\": [{}],\n  \"stripes\": [\"round_robin\", \"region_hash\", \
          \"mbr_locality\"],\n  \"policies\": [\"fcfs\", \"elevator\"],\n  \
          \"rows\": [\n{}\n  ]\n}}\n",

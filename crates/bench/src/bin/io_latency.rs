@@ -18,7 +18,7 @@
 //! env-overridable: `SPATIALDB_BENCH_DEPTHS=1,2,4,8,16`.
 
 use spatialdb::disk::{simulate_queries, ArmGeometry, ArmPolicy, QueryTrace};
-use spatialdb::geom::{Point, Polyline, Rect};
+use spatialdb::geom::{Geometry, Point, Polyline, Rect};
 use spatialdb::report::summarize_latencies;
 use spatialdb::storage::{OrganizationKind, WindowTechnique};
 use spatialdb::{DbOptions, SpatialDatabase, Workspace};
@@ -27,18 +27,20 @@ use spatialdb_bench::{arg, grid_from_env};
 fn load_db(ws: &Workspace, kind: OrganizationKind, n: u64) -> SpatialDatabase {
     let mut db = ws.create_database(DbOptions::new(kind).technique(WindowTechnique::Slm));
     let side = (n as f64).sqrt().ceil() as u64;
-    for i in 0..n {
-        let x = (i % side) as f64 / side as f64;
-        let y = (i / side) as f64 / side as f64;
-        db.insert(
-            i,
-            Polyline::new(vec![
+    let objects: Vec<(u64, Geometry)> = (0..n)
+        .map(|i| {
+            let x = (i % side) as f64 / side as f64;
+            let y = (i / side) as f64 / side as f64;
+            let line = Polyline::new(vec![
                 Point::new(x, y),
                 Point::new(x + 0.6 / side as f64, y + 0.3 / side as f64),
                 Point::new(x + 1.2 / side as f64, y),
-            ]),
-        );
-    }
+            ]);
+            (i, Geometry::from(line))
+        })
+        .collect();
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    ws.bulk_load_par(&mut db, objects, threads);
     db.finish_loading();
     db
 }

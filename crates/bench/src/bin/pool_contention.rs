@@ -16,6 +16,13 @@
 //!   one lock domain, so workers touching disjoint regions **never**
 //!   share a lock (up to region-hash collisions).
 //!
+//! The `arm_affinity` column reruns `by_region` with per-arm shard
+//! affinity ([`ShardedPool::set_arm_affinity`]) over a round-robin
+//! stripe of as many arms as shards: regions then map to shards by arm
+//! assignment (`r mod shards`) instead of the region hash, which makes
+//! the tenant → lock-domain mapping collision-free whenever the tenant
+//! count does not exceed the shard count.
+//!
 //! Each cell reports wall-clock `accesses_per_sec` (scales with cores)
 //! and `blocked_acquisitions`
 //! ([`ShardedPool::lock_contentions`]), the hardware-independent
@@ -24,7 +31,7 @@
 //! (`SPATIALDB_BENCH_THREADS=1,2,4,8`, `SPATIALDB_BENCH_SHARDS=1,2,4,8,16`)
 //! so a multi-core re-baseline needs no code change.
 
-use spatialdb::disk::{Disk, PageId, Routing, ShardedPool};
+use spatialdb::disk::{Disk, PageId, Routing, ShardedPool, StripePolicy};
 use spatialdb_bench::{arg, grid_from_env};
 use std::sync::Arc;
 use std::time::Instant;
@@ -33,7 +40,13 @@ use std::time::Instant;
 /// its own region).
 const PAGES_PER_THREAD: u64 = 256;
 
-fn run_cell(threads: usize, shards: usize, routing: Routing, ops_per_thread: u64) -> (f64, u64) {
+fn run_cell(
+    threads: usize,
+    shards: usize,
+    routing: Routing,
+    affinity: bool,
+    ops_per_thread: u64,
+) -> (f64, u64) {
     let disk = Disk::with_defaults();
     let regions: Vec<_> = (0..threads)
         .map(|t| disk.create_region(&format!("tenant-{t}")))
@@ -50,6 +63,11 @@ fn run_cell(threads: usize, shards: usize, routing: Routing, ops_per_thread: u64
         shards,
         routing,
     ));
+    if affinity {
+        // One arm per shard: tenants land on lock domains round-robin
+        // (collision-free up to the shard count) instead of by hash.
+        pool.set_arm_affinity(shards, StripePolicy::RoundRobin);
+    }
     for &r in &regions {
         for o in 0..PAGES_PER_THREAD {
             pool.read_page(PageId::new(r, o));
@@ -93,21 +111,25 @@ fn main() {
     let mut rows = Vec::new();
     for &threads in &thread_grid {
         for &shards in &shard_grid {
-            for (routing, label) in [
-                (Routing::ByPage, "by_page"),
-                (Routing::ByRegion, "by_region"),
+            for (routing, affinity, label) in [
+                (Routing::ByPage, false, "by_page"),
+                (Routing::ByRegion, false, "by_region"),
+                (Routing::ByRegion, true, "by_region"),
             ] {
                 // Warm-up pass to stabilize the cell, then the measured
                 // run.
-                run_cell(threads, shards, routing, ops_per_thread / 8);
-                let (ops_per_sec, blocked) = run_cell(threads, shards, routing, ops_per_thread);
+                run_cell(threads, shards, routing, affinity, ops_per_thread / 8);
+                let (ops_per_sec, blocked) =
+                    run_cell(threads, shards, routing, affinity, ops_per_thread);
+                let aff = if affinity { "+affinity" } else { "" };
                 println!(
-                    "  {threads} thread(s) x {shards:2} shard(s) {label:9}: \
+                    "  {threads} thread(s) x {shards:2} shard(s) {label:9}{aff:9}: \
                      {ops_per_sec:12.0} accesses/s  {blocked:9} blocked acquisitions"
                 );
                 rows.push(format!(
                     "    {{\"threads\": {threads}, \"shards\": {shards}, \
-                     \"routing\": \"{label}\", \"accesses_per_sec\": {ops_per_sec:.0}, \
+                     \"routing\": \"{label}\", \"arm_affinity\": {affinity}, \
+                     \"accesses_per_sec\": {ops_per_sec:.0}, \
                      \"blocked_acquisitions\": {blocked}}}"
                 ));
             }

@@ -183,6 +183,34 @@ fn build_into(
     (org, stats)
 }
 
+/// Build an organization model over its own fresh disk with the
+/// **sort-tile-recursive bulk load** ([`crate::bulkload`]) instead of
+/// the insertion loop of [`build_organization`]. `threads` fans the
+/// sort/tile stages across scoped workers; the resulting organization
+/// is identical at every thread count.
+///
+/// Returns the organization together with the construction I/O
+/// statistics (strictly less simulated I/O than the insertion build —
+/// the packed levels are written sequentially instead of being split
+/// and rewritten).
+pub fn build_organization_str(
+    kind: OrganizationKind,
+    records: &[ObjectRecord],
+    smax_bytes: u64,
+    sizing: ClusterSizing,
+    buffer_pages: usize,
+    threads: usize,
+) -> (Organization, IoStats) {
+    let disk = Disk::with_defaults();
+    let pool = new_shared_pool(disk.clone(), buffer_pages);
+    let mut org = make_org(kind, disk.clone(), pool, smax_bytes, sizing);
+    let before = disk.stats();
+    crate::bulkload::bulk_load_records_par(&mut org, records, threads);
+    org.flush();
+    let stats = disk.stats().since(&before);
+    (org, stats)
+}
+
 /// The three organization kinds in the paper's reporting order.
 pub const ALL_KINDS: [OrganizationKind; 3] = [
     OrganizationKind::Secondary,

@@ -71,12 +71,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bulkload;
 pub mod db;
 pub mod executor;
 pub mod experiments;
 pub mod query;
 pub mod report;
 
+pub use bulkload::bulk_load_records_par;
 pub use db::{DbOptions, SpatialDatabase, Workspace};
 pub use executor::{BatchOutcome, FilterMode, OverlapConfig, QueryOutcome};
 pub use query::{JoinCursor, JoinQuery, Query, ResultCursor};

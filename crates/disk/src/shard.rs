@@ -36,6 +36,7 @@
 //! reverse. This ordering is acyclic, so the pool cannot deadlock.
 
 use crate::arm::PageRequest;
+use crate::array::StripePolicy;
 use crate::buffer::{LruBuffer, ReadMode, ReadOutcome, SeekPolicy};
 use crate::disk::DiskHandle;
 use crate::model::{runs_of, PageId, PageRun, RegionId};
@@ -86,6 +87,41 @@ pub struct ShardedPool {
     /// Adaptive quotas: a shard about to evict may steal free headroom
     /// from another shard (see [`ShardedPool::set_adaptive`]).
     adaptive: AtomicBool,
+    /// Per-arm affinity (see [`ShardedPool::set_arm_affinity`]),
+    /// packed into one atomic so [`shard_of`](ShardedPool::shard_of)
+    /// stays lock-free: 0 = off, else `arms << 8 | policy code + 1`.
+    affinity: AtomicU64,
+    /// Global eviction counter (pages evicted to make room); the clock
+    /// of the adaptive-quota decay. One *eviction cycle* is
+    /// `num_shards` ticks — on average every shard evicted once.
+    evictions: AtomicU64,
+    /// Per-shard: eviction-counter reading when the shard last needed
+    /// its entire (possibly borrowed) capacity. A borrower whose stamp
+    /// falls a full cycle behind has idle stolen quota and decays one
+    /// page back to a lender (see
+    /// [`grow_if_adaptive`](ShardedPool::grow_if_adaptive)).
+    quota_used: Box<[AtomicU64]>,
+}
+
+/// Pack an arm-affinity configuration for the `affinity` atomic.
+fn pack_affinity(arms: usize, stripe: StripePolicy) -> u64 {
+    let code = match stripe {
+        StripePolicy::RoundRobin => 1u64,
+        StripePolicy::RegionHash => 2,
+        StripePolicy::MbrLocality => 3,
+    };
+    ((arms as u64) << 8) | code
+}
+
+/// Unpack the `affinity` atomic (`None` when off).
+fn unpack_affinity(packed: u64) -> Option<(usize, StripePolicy)> {
+    let stripe = match packed & 0xFF {
+        0 => return None,
+        1 => StripePolicy::RoundRobin,
+        2 => StripePolicy::RegionHash,
+        _ => StripePolicy::MbrLocality,
+    };
+    Some(((packed >> 8) as usize, stripe))
 }
 
 /// Per-shard quota of a `capacity`-page budget split `n` ways: the
@@ -116,6 +152,7 @@ impl ShardedPool {
         routing: Routing,
     ) -> Self {
         let n = shards.max(1);
+        let quota_used: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         let shards: Vec<Mutex<LruBuffer>> = (0..n)
             .map(|i| Mutex::new(LruBuffer::new(quota(capacity, n, i))))
             .collect();
@@ -129,6 +166,9 @@ impl ShardedPool {
             misses: AtomicU64::new(0),
             contended: AtomicU64::new(0),
             adaptive: AtomicBool::new(false),
+            affinity: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            quota_used: quota_used.into_boxed_slice(),
         }
     }
 
@@ -169,11 +209,14 @@ impl ShardedPool {
     /// conservation invariant; donors only shrink within their free
     /// headroom, so a steal never evicts anything).
     ///
-    /// Borrowed headroom stays where it went until
+    /// Borrowed headroom flows back on its own: stolen quota a
+    /// borrower leaves unused for a full eviction cycle decays one
+    /// page per cycle to a shard below its static split (see
+    /// [`decay_idle_quota`](Self::decay_idle_quota)), and
     /// [`reset`](ShardedPool::reset) /
     /// [`invalidate_all`](ShardedPool::invalidate_all) restore the
-    /// static split. With the feature off (the default) the pool is
-    /// byte-identical to the fixed-quota pool.
+    /// static split wholesale. With the feature off (the default) the
+    /// pool is byte-identical to the fixed-quota pool.
     pub fn set_adaptive(&self, on: bool) {
         self.adaptive.store(on, Ordering::Release);
     }
@@ -181,6 +224,45 @@ impl ShardedPool {
     /// Whether adaptive shard quotas are active.
     pub fn adaptive(&self) -> bool {
         self.adaptive.load(Ordering::Acquire)
+    }
+
+    /// Align shard routing with the arm assignment of a declustered
+    /// disk array: under [`Routing::ByRegion`] with more than one
+    /// shard, a page of region `r` is buffered in shard
+    /// `stripe.arm_of(r, arms) % num_shards` — so each pool shard's
+    /// miss stream feeds exactly one arm (shard *i* ↔ arm *i* when the
+    /// counts match), instead of every shard scattering misses over
+    /// the whole array.
+    ///
+    /// Dormant (plain region hashing) under [`Routing::ByPage`] or
+    /// with a single shard; `arms <= 1` clears the affinity — every
+    /// region maps to arm 0, and funneling the whole pool through
+    /// shard 0 would abandon the other quotas. The pool is flushed and
+    /// invalidated on every change so no page stays resident in a
+    /// shard the new mapping no longer routes it to. A configuration
+    /// step, not a data-path operation: concurrent accesses during the
+    /// switch may buffer under either mapping until the invalidation.
+    pub fn set_arm_affinity(&self, arms: usize, stripe: StripePolicy) {
+        let packed = if arms <= 1 {
+            0
+        } else {
+            pack_affinity(arms, stripe)
+        };
+        if self.affinity.load(Ordering::Acquire) == packed {
+            return;
+        }
+        // Write back dirty pages while `shard_of` still resolves under
+        // the old mapping (flush clears dirty flags through it), then
+        // switch and drop every resident.
+        self.flush();
+        self.affinity.store(packed, Ordering::Release);
+        self.invalidate_all();
+    }
+
+    /// The arm affinity, if set (see
+    /// [`set_arm_affinity`](ShardedPool::set_arm_affinity)).
+    pub fn arm_affinity(&self) -> Option<(usize, StripePolicy)> {
+        unpack_affinity(self.affinity.load(Ordering::Acquire))
     }
 
     /// The underlying disk handle.
@@ -243,7 +325,12 @@ impl ShardedPool {
         }
         let key = match self.routing {
             Routing::ByPage => ((page.region.0 as u64) << 48) ^ page.offset,
-            Routing::ByRegion => page.region.0 as u64,
+            Routing::ByRegion => {
+                if let Some((arms, stripe)) = self.arm_affinity() {
+                    return stripe.arm_of(page.region, arms) % self.shards.len();
+                }
+                page.region.0 as u64
+            }
         };
         let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         ((mixed >> 32) as usize) % self.shards.len()
@@ -295,13 +382,82 @@ impl ShardedPool {
     /// quota until it can take one more page without evicting, when
     /// adaptive quotas are on. Falls back to normal eviction when no
     /// donor has free headroom.
+    ///
+    /// A shard that arrives here full is *using* its whole capacity,
+    /// borrowed headroom included, so its decay clock restarts.
     fn grow_if_adaptive(&self, index: usize, shard: &mut LruBuffer) {
         if !self.adaptive.load(Ordering::Acquire) {
             return;
         }
+        if shard.len() >= shard.capacity() {
+            self.quota_used[index].store(self.evictions.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
         while shard.len() >= shard.capacity() && self.steal_quota(index) {
             let cap = shard.capacity();
             shard.set_capacity(cap + 1);
+        }
+    }
+
+    /// **Adaptive-quota decay**: stolen quota that goes unused for a
+    /// full eviction cycle flows back to the lenders.
+    ///
+    /// A borrower (capacity above its static split) whose decay clock
+    /// ([`quota_used`](Self::quota_used)) has fallen at least
+    /// `num_shards` global evictions behind — it never filled up for a
+    /// whole cycle while the rest of the pool was under replacement
+    /// pressure — returns one page of its *free* headroom per cycle to
+    /// a shard below its static quota. Quota is fungible, so the page
+    /// goes to the currently most-shorted lender reachable without
+    /// blocking, not necessarily the original donor.
+    ///
+    /// Locking: the borrower and the lender are both probed with
+    /// `try_lock` (never blocking, so this cannot deadlock with
+    /// thieves or other decayers), and **both guards are held across
+    /// the transfer** — any observer summing
+    /// [`shard_capacity`](ShardedPool::shard_capacity) blocks on one
+    /// of them until the `-1`/`+1` pair lands, so the per-shard
+    /// capacities sum to the global budget at every observable point
+    /// (the conservation invariant). The borrower shrinks within free
+    /// headroom, so the decay never evicts anything.
+    ///
+    /// Called from the insert path with no shard lock held; at most one
+    /// page moves per call.
+    fn decay_idle_quota(&self) {
+        if !self.adaptive.load(Ordering::Acquire) {
+            return;
+        }
+        let n = self.shards.len();
+        let capacity = self.capacity();
+        let now = self.evictions.load(Ordering::Relaxed);
+        let cycle = n as u64;
+        for i in 0..n {
+            // Cheap unsynchronized pre-check before touching any lock.
+            if now.saturating_sub(self.quota_used[i].load(Ordering::Relaxed)) < cycle {
+                continue;
+            }
+            let Ok(mut borrower) = self.shards[i].try_lock() else {
+                continue;
+            };
+            let cap = borrower.capacity();
+            if cap <= quota(capacity, n, i) || borrower.len() >= cap {
+                continue; // not a borrower, or its headroom is in use
+            }
+            for step in 1..n {
+                let j = (i + step) % n;
+                let Ok(mut lender) = self.shards[j].try_lock() else {
+                    continue;
+                };
+                if lender.capacity() >= quota(capacity, n, j) {
+                    continue; // not short of its static split
+                }
+                let grown = lender.capacity() + 1;
+                lender.set_capacity(grown);
+                let ev = borrower.set_capacity(cap - 1);
+                debug_assert!(ev.is_empty(), "borrower shrink within free headroom");
+                // One page per cycle: restart the borrower's clock.
+                self.quota_used[i].store(now, Ordering::Relaxed);
+                return;
+            }
         }
     }
 
@@ -314,8 +470,14 @@ impl ShardedPool {
     }
 
     /// Charge the writebacks of dirty evictions (clean evictions are
-    /// free), exactly like the single-lock pool.
+    /// free), exactly like the single-lock pool. Every evicted page
+    /// also ticks the global eviction counter driving the
+    /// adaptive-quota decay clock.
     fn charge_evictions(&self, evicted: Vec<(PageId, bool)>) {
+        if !evicted.is_empty() {
+            self.evictions
+                .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        }
         for (page, dirty) in evicted {
             if dirty {
                 self.disk
@@ -337,6 +499,7 @@ impl ShardedPool {
             shard.insert(page, dirty)
         };
         self.charge_evictions(ev);
+        self.decay_idle_quota();
     }
 
     /// Read a single page. Returns `true` on a buffer hit.
@@ -1229,5 +1392,101 @@ mod tests {
     fn sharded_pool_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ShardedPool>();
+    }
+
+    /// With arm affinity on, `ByRegion` routing places a region's pages
+    /// in the shard of its arm; off again, the plain region hash is
+    /// back. `ByPage` pools and 1-arm arrays stay untouched.
+    #[test]
+    fn arm_affinity_aligns_shards_with_arms() {
+        let pool = ShardedPool::with_routing(Disk::with_defaults(), 64, 4, Routing::ByRegion);
+        assert_eq!(pool.arm_affinity(), None);
+        pool.set_arm_affinity(4, StripePolicy::RoundRobin);
+        assert_eq!(pool.arm_affinity(), Some((4, StripePolicy::RoundRobin)));
+        for r in 0..16u16 {
+            let stripe = StripePolicy::RoundRobin;
+            let arm = stripe.arm_of(RegionId(r), 4);
+            assert_eq!(pool.shard_of(&pg(r, 0)), arm % 4, "region {r}");
+            // All pages of a region share the shard, like plain ByRegion.
+            assert_eq!(pool.shard_of(&pg(r, 7)), arm % 4, "region {r}");
+        }
+        // More arms than shards: arms fold onto shards mod N.
+        pool.set_arm_affinity(8, StripePolicy::RegionHash);
+        for r in 0..16u16 {
+            let arm = StripePolicy::RegionHash.arm_of(RegionId(r), 8);
+            assert_eq!(pool.shard_of(&pg(r, 0)), arm % 4, "region {r}");
+        }
+        // A single arm clears the affinity instead of funneling the
+        // whole pool through shard 0.
+        pool.set_arm_affinity(1, StripePolicy::RoundRobin);
+        assert_eq!(pool.arm_affinity(), None);
+        let spread: std::collections::HashSet<usize> =
+            (0..64u16).map(|r| pool.shard_of(&pg(r, 0))).collect();
+        assert!(spread.len() > 1, "region hash spreads shards again");
+
+        // ByPage routing ignores the affinity entirely.
+        let by_page = ShardedPool::with_routing(Disk::with_defaults(), 64, 4, Routing::ByPage);
+        let before: Vec<usize> = (0..32u16).map(|r| by_page.shard_of(&pg(r, 5))).collect();
+        by_page.set_arm_affinity(4, StripePolicy::RoundRobin);
+        let after: Vec<usize> = (0..32u16).map(|r| by_page.shard_of(&pg(r, 5))).collect();
+        assert_eq!(before, after);
+    }
+
+    /// Adaptive-quota decay: stolen quota left idle for a full
+    /// eviction cycle flows back to a shard below its static split —
+    /// while quota in active use never decays — and the per-shard
+    /// capacities sum to the budget at every observable point.
+    #[test]
+    fn adaptive_quota_decay_returns_idle_quota() {
+        let pool = ShardedPool::with_routing(Disk::with_defaults(), 8, 2, Routing::ByRegion);
+        pool.set_adaptive(true);
+        let sum = |p: &ShardedPool| (0..2).map(|i| p.shard_capacity(i)).sum::<usize>();
+        // Probe two regions hashing to distinct shards.
+        let a = (0..64u16).find(|r| pool.shard_of(&pg(*r, 0)) == 0).unwrap();
+        let b = (0..64u16).find(|r| pool.shard_of(&pg(*r, 0)) == 1).unwrap();
+        // Shard 0 borrows beyond its static half (4 pages).
+        for o in 0..6 {
+            pool.read_page(pg(a, o));
+            assert_eq!(sum(&pool), 8, "conservation while borrowing");
+        }
+        assert_eq!(pool.shard_capacity(0), 6, "borrowed two pages");
+        assert_eq!(pool.shard_capacity(1), 2);
+        // Shard 1 churns through its shrunken quota: shard 0 is full,
+        // so nothing can be stolen back and every insert evicts — the
+        // decay clock advances well past one cycle, but the borrowed
+        // quota is in active use, so nothing decays.
+        for o in 0..6 {
+            pool.read_page(pg(b, o));
+            assert_eq!(sum(&pool), 8, "conservation under eviction pressure");
+        }
+        assert_eq!(pool.shard_capacity(0), 6, "in-use quota does not decay");
+        // The borrowed headroom falls idle...
+        assert_eq!(pool.remove_page(&pg(a, 0)), Some(false));
+        assert_eq!(pool.remove_page(&pg(a, 1)), Some(false));
+        // ...and the next insert returns it: one page stolen back by
+        // the full shard plus one page decayed to the shorted lender
+        // restore the static split.
+        pool.read_page(pg(b, 6));
+        assert_eq!(pool.shard_capacity(0), 4, "idle quota returned");
+        assert_eq!(pool.shard_capacity(1), 4);
+        assert_eq!(sum(&pool), 8);
+    }
+
+    /// Switching affinity flushes dirty pages and drops residents, so
+    /// no page stays buffered in a shard the new mapping no longer
+    /// routes it to.
+    #[test]
+    fn arm_affinity_switch_flushes_and_invalidates() {
+        let disk = Disk::with_defaults();
+        let pool = ShardedPool::with_routing(disk.clone(), 64, 4, Routing::ByRegion);
+        pool.write_page(pg(3, 0));
+        assert_eq!(pool.dirty_pages().len(), 1);
+        pool.set_arm_affinity(4, StripePolicy::RoundRobin);
+        assert!(pool.is_empty(), "residents dropped on switch");
+        assert_eq!(disk.stats().pages_written, 1, "dirty page flushed");
+        // Re-setting the same affinity is a no-op: no second flush.
+        pool.read_page(pg(3, 0));
+        pool.set_arm_affinity(4, StripePolicy::RoundRobin);
+        assert!(!pool.is_empty());
     }
 }

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bulk;
 pub mod config;
 pub mod entry;
 pub mod io;
@@ -45,6 +46,7 @@ pub mod split;
 pub mod tree;
 pub mod validate;
 
+pub use bulk::{BulkBuild, Tile, TilingParams, DEFAULT_STR_FILL};
 pub use config::RTreeConfig;
 pub use entry::{DirEntry, LeafEntry, ObjectId};
 pub use io::{NoIo, NodeIo};

@@ -117,6 +117,31 @@ impl RStarTree {
         }
     }
 
+    /// Assemble a tree from pre-built parts (the bottom-up bulk loader
+    /// in [`crate::bulk`]). The caller guarantees the structural
+    /// invariants; debug builds re-check them in `bulk`'s tests.
+    pub(crate) fn from_parts(
+        config: RTreeConfig,
+        store: NodeStore,
+        root: NodeId,
+        pages: ExtentAllocator,
+        len: usize,
+    ) -> Self {
+        RStarTree {
+            config,
+            store,
+            root,
+            pages,
+            len,
+        }
+    }
+
+    /// The disk region the tree's nodes are allocated in.
+    #[inline]
+    pub fn region(&self) -> RegionId {
+        self.pages.region()
+    }
+
     /// The configuration.
     #[inline]
     pub fn config(&self) -> &RTreeConfig {

@@ -23,13 +23,15 @@
 use crate::model::{QueryStats, SharedPool, TransferTechnique, WindowTechnique};
 use crate::object::ObjectRecord;
 use crate::packer::{BytePacker, Placement};
-use crate::store::SpatialStore;
+use crate::store::{SpatialStore, StrPlan};
 use spatialdb_disk::{
     slm_gap_limit, BuddyAllocator, BuddyConfig, DiskHandle, IoKind, PageId, PageRun, ReadMode,
     RegionId, SeekPolicy, PAGE_SIZE,
 };
 use spatialdb_geom::{Point, Rect};
-use spatialdb_rtree::{LeafEntry, NodeId, ObjectId, RStarTree, RTreeConfig};
+use spatialdb_rtree::{
+    bulk, LeafEntry, NodeId, ObjectId, RStarTree, RTreeConfig, Tile, TilingParams, DEFAULT_STR_FILL,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Configuration of a [`ClusterOrganization`].
@@ -704,6 +706,64 @@ impl SpatialStore for ClusterOrganization {
             self.drop_from_buffer(unit.extent);
         }
         true
+    }
+
+    fn str_plan(&self, records: &[ObjectRecord]) -> StrPlan {
+        // Cluster entries carry the exact size — the tiler's payload
+        // limit (Smax via the tree config) is the cluster-split bound,
+        // so every tile maps to one legal cluster unit.
+        let entries = records
+            .iter()
+            .map(|r| {
+                assert!(
+                    u64::from(r.size_bytes) <= self.config.smax_bytes,
+                    "object {} larger than Smax; store it in a separate storage unit \
+                     (paper §4.2.2 footnote)",
+                    r.oid
+                );
+                LeafEntry::new(r.mbr, r.oid, r.size_bytes)
+            })
+            .collect();
+        StrPlan {
+            entries,
+            params: TilingParams::from_config(self.tree.config(), DEFAULT_STR_FILL),
+        }
+    }
+
+    fn str_tree_region(&self) -> Option<RegionId> {
+        Some(self.tree_region)
+    }
+
+    fn str_install(&mut self, records: &[ObjectRecord], tiles: Vec<Tile>, params: &TilingParams) {
+        assert!(self.sizes.is_empty(), "STR install requires an empty store");
+        let build = bulk::build_tree(self.tree.config().clone(), self.tree_region, tiles, params);
+        for run in build.level_runs.iter().skip(1) {
+            self.disk.charge(IoKind::Write, *run, false);
+        }
+        // Sizes first: `pack_unit` reads them.
+        for rec in records {
+            self.sizes.insert(rec.oid, rec.size_bytes);
+        }
+        // Pack one cluster unit per data page, in node-id order — the
+        // same deterministic rebuild order the split/delete paths use,
+        // so physical placement is a pure function of the tile
+        // sequence (see `placement_determinism.rs`).
+        let leaves: Vec<(NodeId, Vec<ObjectId>)> = build
+            .tree
+            .leaves()
+            .map(|(id, node)| (id, node.leaf_entries().iter().map(|e| e.oid).collect()))
+            .collect();
+        self.tree = build.tree;
+        for (leaf, oids) in leaves {
+            let unit = self.pack_unit(&oids);
+            self.total_member_pages += unit.member_pages_total();
+            self.disk.charge(IoKind::Write, unit.used_extent(), false);
+            for oid in &oids {
+                self.location.insert(*oid, leaf);
+            }
+            self.units.insert(leaf, unit);
+        }
+        debug_assert_eq!(self.check_consistency(), Ok(()));
     }
 }
 

@@ -50,7 +50,7 @@ pub use packer::{PagePacker, Placement};
 pub use primary::PrimaryOrganization;
 pub use secondary::SecondaryOrganization;
 pub use spatialdb_disk::Routing;
-pub use store::SpatialStore;
+pub use store::{SpatialStore, StrPlan};
 
 /// Legacy name of [`SpatialStore`], kept so pre-redesign imports keep
 /// compiling. Prefer `SpatialStore`.

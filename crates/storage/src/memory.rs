@@ -12,7 +12,9 @@ use crate::object::ObjectRecord;
 use crate::store::SpatialStore;
 use spatialdb_disk::{DiskHandle, PAGE_SIZE};
 use spatialdb_geom::{Point, Rect};
-use spatialdb_rtree::{LeafEntry, NoIo, ObjectId, RStarTree, RTreeConfig};
+use spatialdb_rtree::{
+    bulk, LeafEntry, NoIo, ObjectId, RStarTree, RTreeConfig, Tile, TilingParams,
+};
 use std::collections::HashMap;
 
 /// A purely in-memory spatial store (no simulated I/O).
@@ -126,6 +128,24 @@ impl SpatialStore for MemoryStore {
 
     fn object_size(&self, oid: ObjectId) -> u32 {
         self.sizes[&oid]
+    }
+
+    // `str_plan`'s default (payload 0) and `str_tree_region`'s default
+    // (`None` — no I/O charged) are already right for a memory store;
+    // only the install needs the bottom-up build.
+    fn str_install(&mut self, records: &[ObjectRecord], tiles: Vec<Tile>, params: &TilingParams) {
+        assert!(self.sizes.is_empty(), "STR install requires an empty store");
+        let build = bulk::build_tree(
+            self.tree.config().clone(),
+            self.tree.region(),
+            tiles,
+            params,
+        );
+        self.tree = build.tree;
+        for rec in records {
+            self.sizes.insert(rec.oid, rec.size_bytes);
+            self.mbrs.insert(rec.oid, rec.mbr);
+        }
     }
 }
 

@@ -284,6 +284,27 @@ impl SpatialStore for Organization {
     fn delete(&mut self, oid: ObjectId) -> bool {
         delegate!(self, o => o.delete(oid))
     }
+
+    fn str_plan(&self, records: &[ObjectRecord]) -> crate::store::StrPlan {
+        delegate!(self, o => o.str_plan(records))
+    }
+
+    fn str_tree_region(&self) -> Option<spatialdb_disk::RegionId> {
+        delegate!(self, o => o.str_tree_region())
+    }
+
+    fn str_install(
+        &mut self,
+        records: &[ObjectRecord],
+        tiles: Vec<spatialdb_rtree::Tile>,
+        params: &spatialdb_rtree::TilingParams,
+    ) {
+        delegate!(self, o => o.str_install(records, tiles, params))
+    }
+
+    fn bulk_load_str(&mut self, records: &[ObjectRecord]) {
+        delegate!(self, o => o.bulk_load_str(records))
+    }
 }
 
 #[cfg(test)]

@@ -12,11 +12,13 @@
 use crate::model::{QueryStats, SharedPool, WindowTechnique};
 use crate::object::ObjectRecord;
 use crate::packer::PagePacker;
-use crate::store::SpatialStore;
+use crate::store::{SpatialStore, StrPlan};
 use spatialdb_disk::{DiskHandle, IoKind, PageId, PageRun, RegionId, SeekPolicy, PAGE_SIZE};
 use spatialdb_geom::{Point, Rect};
 use spatialdb_rtree::config::ENTRY_BYTES;
-use spatialdb_rtree::{LeafEntry, ObjectId, RStarTree, RTreeConfig};
+use spatialdb_rtree::{
+    bulk, LeafEntry, ObjectId, RStarTree, RTreeConfig, Tile, TilingParams, DEFAULT_STR_FILL,
+};
 use std::collections::HashMap;
 
 /// The primary organization.
@@ -247,6 +249,71 @@ impl SpatialStore for PrimaryOrganization {
             }
         }
         true
+    }
+
+    fn str_plan(&self, records: &[ObjectRecord]) -> StrPlan {
+        // The entry payload is what the object costs *inside* the data
+        // page: entry + representation when inline, entry alone when
+        // the representation overflows (§5.2).
+        let entries = records
+            .iter()
+            .map(|r| {
+                let payload = if r.size_bytes <= Self::inline_limit() {
+                    ENTRY_BYTES as u32 + r.size_bytes
+                } else {
+                    ENTRY_BYTES as u32
+                };
+                LeafEntry::new(r.mbr, r.oid, payload)
+            })
+            .collect();
+        StrPlan {
+            entries,
+            params: TilingParams::from_config(self.tree.config(), DEFAULT_STR_FILL),
+        }
+    }
+
+    fn str_tree_region(&self) -> Option<RegionId> {
+        Some(self.tree_region)
+    }
+
+    fn str_install(&mut self, records: &[ObjectRecord], tiles: Vec<Tile>, params: &TilingParams) {
+        assert!(self.sizes.is_empty(), "STR install requires an empty store");
+        let build = bulk::build_tree(self.tree.config().clone(), self.tree_region, tiles, params);
+        for run in build.level_runs.iter().skip(1) {
+            self.disk.charge(IoKind::Write, *run, false);
+        }
+        for (id, leaf) in build.tree.leaves() {
+            for e in leaf.leaf_entries() {
+                self.leaf_of.insert(e.oid, id);
+            }
+        }
+        self.tree = build.tree;
+        // Overflow objects go to their exclusive pages in tile order —
+        // same file layout the insertion path would produce for the
+        // same object order.
+        for rec in records {
+            self.sizes.insert(rec.oid, rec.size_bytes);
+        }
+        let mut overflow: Vec<ObjectId> = Vec::new();
+        for (_, leaf) in self.tree.leaves() {
+            for e in leaf.leaf_entries() {
+                if self.sizes[&e.oid] > Self::inline_limit() {
+                    overflow.push(e.oid);
+                }
+            }
+        }
+        for oid in overflow {
+            let placement = self
+                .overflow_packer
+                .place_exclusive(u64::from(self.sizes[&oid]));
+            self.overflow_packer.seal();
+            let run = PageRun::new(
+                PageId::new(self.overflow_region, placement.first_page),
+                placement.num_pages,
+            );
+            self.disk.charge(IoKind::Write, run, false);
+            self.overflow.insert(oid, run);
+        }
     }
 }
 

@@ -14,7 +14,7 @@ use crate::packer::PagePacker;
 use crate::store::SpatialStore;
 use spatialdb_disk::{DiskHandle, IoKind, PageId, PageRun, RegionId, SeekPolicy, PAGE_SIZE};
 use spatialdb_geom::{Point, Rect};
-use spatialdb_rtree::{LeafEntry, ObjectId, RStarTree, RTreeConfig};
+use spatialdb_rtree::{bulk, LeafEntry, ObjectId, RStarTree, RTreeConfig, Tile, TilingParams};
 use std::collections::HashMap;
 
 /// The secondary organization.
@@ -179,6 +179,47 @@ impl SpatialStore for SecondaryOrganization {
             self.freed_bytes += u64::from(size);
         }
         true
+    }
+
+    fn str_tree_region(&self) -> Option<RegionId> {
+        Some(self.tree_region)
+    }
+
+    fn str_install(&mut self, records: &[ObjectRecord], tiles: Vec<Tile>, params: &TilingParams) {
+        assert!(self.sizes.is_empty(), "STR install requires an empty store");
+        let build = bulk::build_tree(self.tree.config().clone(), self.tree_region, tiles, params);
+        for run in build.level_runs.iter().skip(1) {
+            self.disk.charge(IoKind::Write, *run, false);
+        }
+        for rec in records {
+            self.sizes.insert(rec.oid, rec.size_bytes);
+            self.mbrs.insert(rec.oid, rec.mbr);
+        }
+        // Lay the sequential file out in tile order: one sealed,
+        // contiguous byte range per data page of the tree, written as
+        // one sequential request. Spatially adjacent objects become
+        // file-adjacent — the big STR win for this organization.
+        for (_, leaf) in build.tree.leaves() {
+            let first = self.packer.pages_used();
+            for e in leaf.leaf_entries() {
+                let placement = self.packer.place(u64::from(self.sizes[&e.oid]));
+                self.locations.insert(
+                    e.oid,
+                    PageRun::new(
+                        PageId::new(self.file_region, placement.first_page),
+                        placement.num_pages,
+                    ),
+                );
+            }
+            self.packer.seal();
+            let len = self.packer.pages_used() - first;
+            self.disk.charge(
+                IoKind::Write,
+                PageRun::new(PageId::new(self.file_region, first), len),
+                false,
+            );
+        }
+        self.tree = build.tree;
     }
 }
 

@@ -47,10 +47,27 @@
 
 use crate::model::{QueryStats, SharedPool, TransferTechnique, WindowTechnique};
 use crate::object::ObjectRecord;
-use spatialdb_disk::{DiskHandle, PageRequest};
+use spatialdb_disk::{DiskHandle, IoKind, PageId, PageRequest, PageRun, RegionId};
 use spatialdb_geom::{Point, Rect};
-use spatialdb_rtree::{LeafEntry, NoIo, ObjectId, RStarTree};
+use spatialdb_rtree::{LeafEntry, NoIo, ObjectId, RStarTree, Tile, TilingParams, DEFAULT_STR_FILL};
 use std::collections::HashSet;
+
+/// The sort-tile-recursive half of a bulk load, produced by
+/// [`SpatialStore::str_plan`]: the leaf entries to pack (payloads
+/// already set to the store's accounting unit) and the tiling
+/// capacities.
+///
+/// Planning takes `&self` and tiling is a pure function (see
+/// [`spatialdb_rtree::bulk`]), so a driver may sort and tile the plan on
+/// worker threads before handing the tiles back to `&mut self` via
+/// [`SpatialStore::str_install`].
+#[derive(Clone, Debug)]
+pub struct StrPlan {
+    /// One leaf entry per record, in record order (unsorted).
+    pub entries: Vec<LeafEntry>,
+    /// Packing capacities derived from the store's tree configuration.
+    pub params: TilingParams,
+}
 
 /// A pluggable storage backend for spatial objects.
 ///
@@ -231,4 +248,83 @@ pub trait SpatialStore: Send + Sync {
 
     /// Size in bytes of a stored object.
     fn object_size(&self, oid: ObjectId) -> u32;
+
+    /// Plan an STR bulk load: one leaf entry per record, with the
+    /// payload the store accounts per entry (0 for the secondary and
+    /// memory organizations; the inline/overflow byte cost for the
+    /// primary; the exact size for the cluster), plus the tiling
+    /// capacities at [`DEFAULT_STR_FILL`].
+    ///
+    /// Takes `&self`: a parallel driver plans once, then sorts and
+    /// tiles on worker threads.
+    fn str_plan(&self, records: &[ObjectRecord]) -> StrPlan {
+        StrPlan {
+            entries: records
+                .iter()
+                .map(|r| LeafEntry::new(r.mbr, r.oid, 0))
+                .collect(),
+            params: TilingParams::from_config(self.tree().config(), DEFAULT_STR_FILL),
+        }
+    }
+
+    /// The region the packed tree's data pages are written to, or
+    /// `None` when building the tree charges no I/O (the in-memory
+    /// baseline, or a foreign backend without the bottom-up path).
+    ///
+    /// The **caller** of [`str_install`](SpatialStore::str_install)
+    /// charges one sequential write run of `tiles.len()` pages against
+    /// this region — that split lets a partitioned driver charge each
+    /// partition's leaf run on the worker thread that packed it.
+    fn str_tree_region(&self) -> Option<RegionId> {
+        None
+    }
+
+    /// Install pre-tiled leaves: build the packed tree bottom-up and
+    /// place the exact representations tile by tile. `tiles` must come
+    /// from this store's own [`str_plan`](SpatialStore::str_plan)
+    /// (sorted with [`spatialdb_rtree::bulk::sort_entries`] and tiled
+    /// with the plan's params), and the store must be empty.
+    ///
+    /// Charges everything **except** the leaf-level write run, which
+    /// the caller already charged per the
+    /// [`str_tree_region`](SpatialStore::str_tree_region) contract.
+    ///
+    /// The default (for foreign backends without a bottom-up build)
+    /// falls back to inserting the records in tile order — same
+    /// answers, insertion-built structure.
+    fn str_install(&mut self, records: &[ObjectRecord], tiles: Vec<Tile>, params: &TilingParams) {
+        let _ = params;
+        let by_oid: std::collections::HashMap<ObjectId, &ObjectRecord> =
+            records.iter().map(|r| (r.oid, r)).collect();
+        for tile in tiles {
+            for e in tile {
+                self.insert(by_oid[&e.oid]);
+            }
+        }
+    }
+
+    /// Sequential STR bulk load: plan, sort, tile, charge the leaf-run
+    /// write, install. The parallel driver in `spatialdb-core`
+    /// distributes exactly this pipeline over scoped threads and
+    /// produces a byte-identical store at every thread count.
+    ///
+    /// The store must be empty. Compared to
+    /// [`bulk_load`](SpatialStore::bulk_load) (the insertion loop) the
+    /// resulting tree is packed at the configured fill factor and the
+    /// build charges sequential writes instead of per-insertion
+    /// directory traffic.
+    fn bulk_load_str(&mut self, records: &[ObjectRecord]) {
+        let StrPlan { entries, params } = self.str_plan(records);
+        let tiles = spatialdb_rtree::bulk::plan_tiles(entries, &params);
+        if let Some(region) = self.str_tree_region() {
+            if !tiles.is_empty() {
+                self.disk().charge(
+                    IoKind::Write,
+                    PageRun::new(PageId::new(region, 0), tiles.len() as u64),
+                    false,
+                );
+            }
+        }
+        self.str_install(records, tiles, &params);
+    }
 }

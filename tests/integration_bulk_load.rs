@@ -1,0 +1,312 @@
+//! STR bulk-load equivalence matrix: the sequential bulk load and the
+//! parallel driver at 1/2/8 threads must produce identical trees,
+//! identical physical placement and identical answers across all three
+//! organization models × all four window techniques; single-threaded
+//! parallel must be *byte-identical* in I/O accounting to the
+//! sequential path; STR-built trees must beat insertion-built trees on
+//! construction I/O and directory size while answering identically; and
+//! a worker panic mid-tile must salvage the completed partitions'
+//! charges, mirroring the parallel-join contract.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use spatialdb::bulk_load_records_par;
+use spatialdb::geom::{Geometry, Point, Polyline, Rect};
+use spatialdb::storage::{
+    new_shared_pool, ObjectRecord, OrganizationKind, SecondaryOrganization, WindowTechnique,
+};
+use spatialdb::{DbOptions, Disk, ObjectId, SpatialDatabase, Workspace};
+
+const ALL_KINDS: [OrganizationKind; 3] = [
+    OrganizationKind::Secondary,
+    OrganizationKind::Primary,
+    OrganizationKind::Cluster,
+];
+
+const ALL_TECHNIQUES: [WindowTechnique; 4] = [
+    WindowTechnique::Complete,
+    WindowTechnique::Threshold,
+    WindowTechnique::Slm,
+    WindowTechnique::PageByPage,
+];
+
+/// A deterministic street-like map of `n` polylines on the unit square.
+fn objects(n: u64) -> Vec<(u64, Geometry)> {
+    let side = (n as f64).sqrt().ceil() as u64;
+    (0..n)
+        .map(|i| {
+            let x = (i % side) as f64 / side as f64;
+            let y = (i / side) as f64 / side as f64;
+            let line = Polyline::new(vec![
+                Point::new(x, y),
+                Point::new(x + 0.6 / side as f64, y + 0.3 / side as f64),
+                Point::new(x + 1.2 / side as f64, y),
+            ]);
+            (i, Geometry::from(line))
+        })
+        .collect()
+}
+
+fn windows() -> Vec<Rect> {
+    vec![
+        Rect::new(0.0, 0.0, 0.3, 0.3),
+        Rect::new(0.2, 0.2, 0.6, 0.5),
+        Rect::new(0.5, 0.1, 0.9, 0.4),
+        Rect::new(0.05, 0.55, 0.45, 0.95),
+        Rect::new(0.45, 0.45, 0.55, 0.55),
+        Rect::new(-1.0, -1.0, 2.0, 2.0),
+    ]
+}
+
+/// Build a database with the sequential STR bulk load.
+fn load_str(ws: &Workspace, kind: OrganizationKind, n: u64) -> SpatialDatabase {
+    let mut db = ws.create_database(DbOptions::new(kind));
+    db.bulk_load(objects(n));
+    db.finish_loading();
+    db
+}
+
+/// Build a database with the parallel STR bulk load on `threads`.
+fn load_str_par(ws: &Workspace, kind: OrganizationKind, n: u64, threads: usize) -> SpatialDatabase {
+    let mut db = ws.create_database(DbOptions::new(kind));
+    ws.bulk_load_par(&mut db, objects(n), threads);
+    db.finish_loading();
+    db
+}
+
+/// Build a database with the insertion loop (the pre-STR path).
+fn load_insert(ws: &Workspace, kind: OrganizationKind, n: u64) -> SpatialDatabase {
+    let mut db = ws.create_database(DbOptions::new(kind));
+    for (id, g) in objects(n) {
+        db.insert(id, g);
+    }
+    db.finish_loading();
+    db
+}
+
+/// `bulk_load_par(.., 1)` is byte-identical to the sequential
+/// `SpatialDatabase::bulk_load` — same I/O statistics to the last
+/// fraction of a millisecond, same tree, same placement.
+#[test]
+fn str_par1_is_byte_identical_to_sequential() {
+    const N: u64 = 6_000;
+    for kind in ALL_KINDS {
+        let ws_seq = Workspace::new(256);
+        let ws_par = Workspace::new(256);
+        let mut seq = load_str(&ws_seq, kind, N);
+        let mut par = load_str_par(&ws_par, kind, N, 1);
+        assert_eq!(seq.io_stats(), par.io_stats(), "{kind:?} build stats");
+        assert_eq!(seq.occupied_pages(), par.occupied_pages(), "{kind:?}");
+        assert_eq!(seq.len(), par.len(), "{kind:?}");
+        assert_tree_placement_identical(&mut seq, &mut par, kind);
+    }
+}
+
+/// The full matrix: at 2 and 8 threads the parallel bulk load builds
+/// the same tree with the same physical placement — every window query
+/// under every technique answers identically, page run for page run —
+/// and writes the same number of pages (only the leaf-run *request
+/// count* may differ across thread counts).
+#[test]
+fn str_par_threads_agree_across_orgs_and_techniques() {
+    const N: u64 = 6_000;
+    for kind in ALL_KINDS {
+        let ws_seq = Workspace::new(256);
+        let mut seq = load_str(&ws_seq, kind, N);
+        let s = seq.io_stats(); // snapshot before queries pollute the cumulative stats
+        for threads in [2usize, 8] {
+            let ws_par = Workspace::new(256);
+            let mut par = load_str_par(&ws_par, kind, N, threads);
+            let p = par.io_stats();
+            assert_eq!(s.pages_written, p.pages_written, "{kind:?} t={threads}");
+            assert_eq!(s.pages_read, p.pages_read, "{kind:?} t={threads}");
+            assert_eq!(
+                seq.occupied_pages(),
+                par.occupied_pages(),
+                "{kind:?} t={threads}"
+            );
+            assert_tree_placement_identical(&mut seq, &mut par, kind);
+        }
+    }
+}
+
+/// Assert two databases have structurally identical trees and answer
+/// every window × technique with identical stats, ids and physical
+/// page requests (placement equivalence).
+fn assert_tree_placement_identical(
+    a: &mut SpatialDatabase,
+    b: &mut SpatialDatabase,
+    kind: OrganizationKind,
+) {
+    assert_eq!(
+        a.store().tree().height(),
+        b.store().tree().height(),
+        "{kind:?}"
+    );
+    assert_eq!(
+        a.store().tree().num_nodes(),
+        b.store().tree().num_nodes(),
+        "{kind:?}"
+    );
+    assert_eq!(
+        a.store().tree().num_leaves(),
+        b.store().tree().num_leaves(),
+        "{kind:?}"
+    );
+    for technique in ALL_TECHNIQUES {
+        for (i, w) in windows().into_iter().enumerate() {
+            // Cold-start both stores so buffer state from earlier
+            // queries cannot skew the comparison.
+            a.store_mut().begin_query();
+            b.store_mut().begin_query();
+            let (stats_a, trace_a) = a.store().window_query_traced(&w, technique);
+            let (stats_b, trace_b) = b.store().window_query_traced(&w, technique);
+            assert_eq!(stats_a, stats_b, "{kind:?}/{technique:?}/{i} stats");
+            assert_eq!(trace_a, trace_b, "{kind:?}/{technique:?}/{i} requests");
+        }
+    }
+}
+
+/// STR construction charges strictly less simulated I/O than the
+/// insertion loop, packs a strictly smaller directory, and the finished
+/// database answers the full technique matrix with the same result sets.
+#[test]
+fn str_beats_insertion_and_answers_identically() {
+    const N: u64 = 6_000;
+    for kind in ALL_KINDS {
+        let ws_ins = Workspace::new(256);
+        let ws_str = Workspace::new(256);
+        let ins = load_insert(&ws_ins, kind, N);
+        let str_db = load_str(&ws_str, kind, N);
+        assert!(
+            str_db.io_stats().io_ms < ins.io_stats().io_ms,
+            "{kind:?}: STR build {} ms not below insertion build {} ms",
+            str_db.io_stats().io_ms,
+            ins.io_stats().io_ms,
+        );
+        assert!(
+            str_db.store().tree().num_nodes() < ins.store().tree().num_nodes(),
+            "{kind:?}: STR packs no fewer nodes",
+        );
+        for technique in ALL_TECHNIQUES {
+            for (i, w) in windows().into_iter().enumerate() {
+                let mut ids_ins: Vec<u64> = str_db
+                    .query()
+                    .window(w)
+                    .technique(technique)
+                    .run()
+                    .map(|(id, _)| id)
+                    .collect();
+                let mut ids_str: Vec<u64> = ins
+                    .query()
+                    .window(w)
+                    .technique(technique)
+                    .run()
+                    .map(|(id, _)| id)
+                    .collect();
+                ids_ins.sort_unstable();
+                ids_str.sort_unstable();
+                assert_eq!(ids_ins, ids_str, "{kind:?}/{technique:?}/{i}");
+            }
+        }
+    }
+}
+
+/// Packing quality: at the default 0.9 fill factor the STR leaf level
+/// is near-minimal — no more than 6 % above ⌈N / leaf_cap⌉ leaves
+/// (slack for per-slice ragged tails) — while the insertion-built tree
+/// runs ~30 % fatter.
+#[test]
+fn str_leaf_level_is_packed() {
+    const N: u64 = 10_000;
+    let ws = Workspace::new(256);
+    let db = load_str(&ws, OrganizationKind::Secondary, N);
+    let tree = db.store().tree();
+    let leaf_cap = (tree.config().max_entries as f64 * 0.9).floor() as usize;
+    let minimal = (N as usize).div_ceil(leaf_cap);
+    assert!(
+        tree.num_leaves() <= minimal + minimal / 16,
+        "{} leaves for a minimal packing of {minimal}",
+        tree.num_leaves(),
+    );
+    let ws_ins = Workspace::new(256);
+    let ins = load_insert(&ws_ins, OrganizationKind::Secondary, N);
+    assert!(ins.store().tree().num_leaves() > tree.num_leaves());
+}
+
+/// The in-memory baseline takes the same bulk-load entry points and
+/// answers identically to its insertion-built twin.
+#[test]
+fn memory_store_bulk_load_matches_insertion() {
+    use spatialdb::storage::MemoryStore;
+    const N: u64 = 2_000;
+    let ws_a = Workspace::new(64);
+    let mut a = ws_a.create_database_with(Box::new(MemoryStore::new(ws_a.disk(), ws_a.pool())));
+    ws_a.bulk_load_par(&mut a, objects(N), 4);
+    let ws_b = Workspace::new(64);
+    let mut b = ws_b.create_database_with(Box::new(MemoryStore::new(ws_b.disk(), ws_b.pool())));
+    for (id, g) in objects(N) {
+        b.insert(id, g);
+    }
+    assert_eq!(a.len(), b.len());
+    for (i, w) in windows().into_iter().enumerate() {
+        let mut ids_a: Vec<u64> = a.query().window(w).run().map(|(id, _)| id).collect();
+        let mut ids_b: Vec<u64> = b.query().window(w).run().map(|(id, _)| id).collect();
+        ids_a.sort_unstable();
+        ids_b.sort_unstable();
+        assert_eq!(ids_a, ids_b, "window {i}");
+    }
+}
+
+/// Duplicate object ids are rejected up front, before any I/O.
+#[test]
+#[should_panic(expected = "already stored")]
+fn bulk_load_rejects_duplicate_ids() {
+    let ws = Workspace::new(64);
+    let mut db = ws.create_database(DbOptions::new(OrganizationKind::Secondary));
+    let mut objs = objects(100);
+    objs.push((42, objs[42].1.clone()));
+    db.bulk_load(objs);
+}
+
+/// A worker panicking mid-tile (here: a non-finite MBR smuggled past
+/// the planner) must not lose the I/O already charged by the
+/// partitions that completed — the scratch tallies absorb on unwind,
+/// exactly like the parallel MBR join's salvage contract.
+#[test]
+fn worker_panic_salvages_completed_partition_io() {
+    const N: u64 = 4_000;
+    let disk = Disk::with_defaults();
+    let pool = new_shared_pool(disk.clone(), 128);
+    let mut org = SecondaryOrganization::new(disk.clone(), pool);
+    let side = (N as f64).sqrt().ceil() as u64;
+    let mut records: Vec<ObjectRecord> = (0..N)
+        .map(|i| {
+            let x = (i % side) as f64 / side as f64;
+            let y = (i / side) as f64 / side as f64;
+            ObjectRecord::new(ObjectId(i), Rect::new(x, y, x + 0.01, y + 0.01), 512)
+        })
+        .collect();
+    // NaN sorts last under the STR total order, so the poisoned entry
+    // lands in the final partition; the earlier partitions finish their
+    // tiling (and leaf-run charges) before the panic propagates.
+    records.push(ObjectRecord::new(
+        ObjectId(N),
+        Rect {
+            xmin: f64::NAN,
+            ymin: 0.0,
+            xmax: f64::NAN,
+            ymax: 1.0,
+        },
+        512,
+    ));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        bulk_load_records_par(&mut org, &records, 4);
+    }));
+    assert!(result.is_err(), "non-finite MBR must abort the bulk load");
+    let stats = disk.stats();
+    assert!(
+        stats.pages_written > 0,
+        "completed partitions' leaf-run charges were lost",
+    );
+}
