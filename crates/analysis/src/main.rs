@@ -1,0 +1,84 @@
+//! CLI for the invariant analyzer.
+//!
+//! ```text
+//! cargo run -p spatialdb-analysis --release -- crates/
+//! cargo run -p spatialdb-analysis --release -- --allowlist audit.txt crates/
+//! ```
+//!
+//! Exits 0 when every analyzed file is clean (after allowlisting),
+//! 1 when any finding survives, 2 on usage or I/O errors.
+
+use spatialdb_analysis::{analyze_tree_with_allowlist, Allowlist};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--allowlist" => {
+                let Some(p) = args.next() else {
+                    eprintln!("error: --allowlist requires a path");
+                    return ExitCode::from(2);
+                };
+                allowlist_path = Some(PathBuf::from(p));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: spatialdb-analysis [--allowlist FILE] PATH...");
+                return ExitCode::SUCCESS;
+            }
+            _ => roots.push(PathBuf::from(arg)),
+        }
+    }
+    if roots.is_empty() {
+        eprintln!("usage: spatialdb-analysis [--allowlist FILE] PATH...");
+        return ExitCode::from(2);
+    }
+
+    // Default allowlist: `analysis-allowlist.txt` next to the first
+    // root, so `spatialdb-analysis crates/` picks up the repo's audited
+    // sites without extra flags.
+    let allow = match &allowlist_path {
+        Some(p) => {
+            if !p.is_file() {
+                eprintln!("error: allowlist {} not found", p.display());
+                return ExitCode::from(2);
+            }
+            Allowlist::load(p)
+        }
+        None => {
+            let default = roots[0]
+                .parent()
+                .unwrap_or(&roots[0])
+                .join("analysis-allowlist.txt");
+            Allowlist::load(&default)
+        }
+    };
+
+    let mut total = 0usize;
+    for root in &roots {
+        match analyze_tree_with_allowlist(root, &allow) {
+            Ok(findings) => {
+                for f in &findings {
+                    println!("{f}");
+                }
+                total += findings.len();
+            }
+            Err(e) => {
+                eprintln!("error: {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if total > 0 {
+        eprintln!(
+            "spatialdb-analysis: {total} finding(s); audited sites go in the \
+             allowlist or get a `// lint: <waiver>` comment"
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: float sort keys built on `partial_cmp`.
+//! Lines marked BAD must be flagged; OK lines must not.
+//! Not compiled — cargo only builds top-level `tests/*.rs` files.
+
+/// A NaN in `xs` makes `partial_cmp` return `None`: the `unwrap`
+/// panics, and with `sort_by`'s weaker guarantees a non-total order
+/// can scramble the result instead.
+pub fn rank_costs(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // BAD: float-sort
+    xs
+}
+
+pub fn rank_costs_total(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.total_cmp(b)); // OK: total order
+    xs
+}

@@ -1,0 +1,43 @@
+//! Fixture: hash-collection iteration whose order leaks into results.
+//! Lines marked BAD must be flagged; OK lines must not.
+//! Not compiled — cargo only builds top-level `tests/*.rs` files.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    sizes: HashMap<u64, usize>,
+    seen: HashSet<u64>,
+}
+
+impl Registry {
+    /// Order-dependent fold over an unordered map: the checksum changes
+    /// run-to-run with the hasher seed.
+    pub fn checksum(&self) -> usize {
+        let mut acc = 0usize;
+        for (page, size) in self.sizes.iter() { // BAD: hash-iter
+            acc = acc.wrapping_mul(31).wrapping_add(*page as usize + size);
+        }
+        acc
+    }
+
+    /// "First" element of a set with no defined order.
+    pub fn first_seen(&self) -> Option<u64> {
+        self.seen.iter().copied().next() // BAD: hash-iter
+    }
+
+    // -- padding so the sorted case below sits outside the ------------
+    // -- analyzer's adjacency window for the BAD lines above ----------
+
+    /// Collect-then-sort normalizes the arbitrary order before use.
+    pub fn sorted_pages(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.sizes.keys().copied().collect(); // OK: adjacent sort
+        v.sort_unstable();
+        v
+    }
+
+    pub fn total(&self) -> usize {
+        // lint: order-insensitive — an integer sum commutes, so the
+        // iteration order never reaches the result.
+        self.sizes.values().sum() // OK: waived
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: raw mutex acquisition outside the lockdep helpers.
+//! Lines marked BAD must be flagged; OK lines must not.
+//! Not compiled — cargo only builds top-level `tests/*.rs` files.
+
+use std::sync::Mutex;
+
+pub struct Counters {
+    state: Mutex<u64>,
+}
+
+impl Counters {
+    pub fn bump(&self) {
+        *self.state.lock().unwrap() += 1; // BAD: raw-lock
+    }
+
+    pub fn probe(&self) -> bool {
+        self.state.try_lock().is_ok() // BAD: raw-lock
+    }
+
+    pub fn read(&self) -> u64 {
+        // lint: raw-lock-audited — fixture demonstrating the waiver.
+        *self.state.lock().unwrap() // OK: waived
+    }
+}

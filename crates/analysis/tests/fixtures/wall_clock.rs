@@ -1,0 +1,13 @@
+//! Fixture: wall clock leaking into what should be simulated time.
+//! Lines marked BAD must be flagged; OK lines must not.
+//! Not compiled — cargo only builds top-level `tests/*.rs` files.
+
+pub fn measure_query() -> u128 {
+    let start = std::time::Instant::now(); // BAD: wall-clock
+    let _stamp = std::time::SystemTime::now(); // BAD: wall-clock
+    start.elapsed().as_millis()
+}
+
+pub fn simulated_cost(pages: u64, ms_per_page: f64) -> f64 {
+    pages as f64 * ms_per_page // OK: model time, no clock
+}

@@ -75,6 +75,7 @@ impl DbOptions {
 }
 
 /// One simulated machine: a disk and a shared buffer pool.
+#[derive(Debug)]
 pub struct Workspace {
     disk: DiskHandle,
     pool: SharedPool,
@@ -447,6 +448,17 @@ pub struct SpatialDatabase {
     pub(crate) store: Box<dyn SpatialStore>,
     pub(crate) technique: WindowTechnique,
     pub(crate) geometry: HashMap<u64, Geometry>,
+}
+
+impl std::fmt::Debug for SpatialDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The store is a trait object; identify it by its backend name.
+        f.debug_struct("SpatialDatabase")
+            .field("store", &self.store.name())
+            .field("technique", &self.technique)
+            .field("objects", &self.geometry.len())
+            .finish()
+    }
 }
 
 impl SpatialDatabase {

@@ -138,6 +138,7 @@ pub(crate) fn candidate_ids(
 /// A fluent query under construction. Created by
 /// [`SpatialDatabase::query`]; consumed by [`Query::run`].
 #[must_use = "a Query does nothing until .run()"]
+#[derive(Debug)]
 pub struct Query<'a> {
     pub(crate) db: &'a SpatialDatabase,
     pub(crate) target: Option<Target>,
@@ -227,6 +228,7 @@ impl<'a> Query<'a> {
 /// [`stats`](ResultCursor::stats) and
 /// [`io_stats`](ResultCursor::io_stats) describe **this query alone**,
 /// not the workspace's cumulative counters.
+#[derive(Debug)]
 pub struct ResultCursor<'a> {
     db: &'a SpatialDatabase,
     target: Target,
@@ -295,6 +297,7 @@ impl<'a> Iterator for ResultCursor<'a> {
 /// A spatial join under construction. Created by
 /// [`SpatialDatabase::join`]; consumed by [`JoinQuery::run`].
 #[must_use = "a JoinQuery does nothing until .run()"]
+#[derive(Debug)]
 pub struct JoinQuery<'a> {
     left: &'a SpatialDatabase,
     right: &'a SpatialDatabase,
@@ -431,6 +434,7 @@ impl<'a> JoinQuery<'a> {
 
 /// A lazy stream of join results: candidate pairs in MBR-join processing
 /// order, each tested on the exact geometries as the caller iterates.
+#[derive(Debug)]
 pub struct JoinCursor<'a> {
     left: &'a SpatialDatabase,
     right: &'a SpatialDatabase,

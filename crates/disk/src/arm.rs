@@ -359,11 +359,13 @@ impl LatencyStats {
 
     /// End-to-end latency the query observed: last completion minus
     /// arrival.
+    #[must_use = "the latency delta is the measurement; dropping it loses it"]
     pub fn latency_ms(&self) -> f64 {
         self.completed_ms - self.arrival_ms
     }
 
     /// Mean queue wait per request (0 for a query without I/O).
+    #[must_use = "the mean queue wait is the measurement; dropping it loses it"]
     pub fn mean_queue_ms(&self) -> f64 {
         if self.requests == 0 {
             0.0

@@ -277,6 +277,8 @@ impl LruBuffer {
 
     /// Iterate over all buffered pages (arbitrary order).
     pub fn pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        // lint: order-insensitive — callers filter/collect and sort (or
+        // remove per page); the arbitrary order never reaches any stats.
         self.map.keys().copied()
     }
 

@@ -2,10 +2,11 @@
 
 use crate::arm::{ArmGeometry, ArmPolicy, ArmStats, Completion, PageRequest, RotationModel};
 use crate::array::{ArrayConfig, DiskArray, StripePolicy};
+use crate::lockdep::{DepMutex, LockClass};
 use crate::model::{DiskParams, PageRun, RegionId};
 use crate::stats::{IoKind, IoStats};
 use std::cell::{Cell, RefCell};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A shared handle to a [`Disk`].
 ///
@@ -40,18 +41,21 @@ thread_local! {
 /// disk provides is (a) region id allocation and (b) request cost
 /// accounting via [`Disk::charge`].
 ///
-/// The cumulative counters live behind a [`Mutex`], so a `Disk` can be
+/// The cumulative counters live behind a mutex, so a `Disk` can be
 /// charged from any thread. Per-query deltas should be taken against
 /// [`Disk::local_stats`] (the calling thread's tally), not against the
 /// global [`Disk::stats`].
-/// Lock order: the array mutex is only ever taken *before* the state
-/// mutex (completions charge the disk while the array is locked), never
-/// the reverse — acyclic, so the disk cannot deadlock.
+///
+/// Lock order: the array mutex ([`LockClass::ArmQueue`]) is only ever
+/// taken *before* the state mutex ([`LockClass::DiskCounters`]) —
+/// completions charge the disk while the array is locked — never the
+/// reverse. The order is machine-checked in debug builds by the
+/// [`lockdep`](crate::lockdep) classes on both mutexes.
 #[derive(Debug)]
 pub struct Disk {
     params: DiskParams,
-    state: Mutex<DiskState>,
-    array: Mutex<DiskArray>,
+    state: DepMutex<DiskState>,
+    array: DepMutex<DiskArray>,
 }
 
 #[derive(Debug, Default)]
@@ -66,13 +70,12 @@ impl Disk {
     pub fn new(params: DiskParams) -> DiskHandle {
         Arc::new(Disk {
             params,
-            state: Mutex::new(DiskState::default()),
+            state: DepMutex::new(LockClass::DiskCounters, DiskState::default()),
             // A 1-arm array is byte-identical to the single DiskArm.
-            array: Mutex::new(DiskArray::new(
-                params,
-                ArmGeometry::default(),
-                ArrayConfig::default(),
-            )),
+            array: DepMutex::new(
+                LockClass::ArmQueue,
+                DiskArray::new(params, ArmGeometry::default(), ArrayConfig::default()),
+            ),
         })
     }
 
@@ -90,7 +93,7 @@ impl Disk {
 
     /// Allocate a fresh region (an independent file / storage area).
     pub fn create_region(&self, name: &str) -> RegionId {
-        let mut st = self.state.lock().expect("disk state poisoned");
+        let mut st = self.state.acquire();
         let id = RegionId(st.next_region);
         st.next_region = st
             .next_region
@@ -102,13 +105,12 @@ impl Disk {
 
     /// Name a region was created with (for diagnostics).
     pub fn region_name(&self, region: RegionId) -> String {
-        self.state.lock().expect("disk state poisoned").region_names[region.0 as usize].clone()
+        self.state.acquire().region_names[region.0 as usize].clone()
     }
 
     fn record(&self, kind: IoKind, pages: u64, cost_ms: f64, seeked: bool) {
         self.state
-            .lock()
-            .expect("disk state poisoned")
+            .acquire()
             .stats
             .record(kind, pages, cost_ms, seeked);
         THREAD_TALLY.with(|t| {
@@ -165,19 +167,13 @@ impl Disk {
     /// [`complete_next`](Disk::complete_next) (uniform across the
     /// array's arms). Affects only requests not yet serviced.
     pub fn set_arm_policy(&self, policy: ArmPolicy) {
-        self.array
-            .lock()
-            .expect("disk array poisoned")
-            .set_policy(policy);
+        self.array.acquire().set_policy(policy);
     }
 
     /// Set the rotational-latency model of every arm's timeline. The
     /// charged accounting always stays on the flat §5.1 average.
     pub fn set_rotation_model(&self, rotation: RotationModel) {
-        self.array
-            .lock()
-            .expect("disk array poisoned")
-            .set_rotation(rotation);
+        self.array.acquire().set_rotation(rotation);
     }
 
     /// Rebuild the disk's array with `arms` arms under `stripe`,
@@ -190,7 +186,7 @@ impl Disk {
     /// Panics if requests are still outstanding — reconfiguring with a
     /// non-empty queue would drop their completions.
     pub fn configure_arms(&self, arms: usize, stripe: StripePolicy) {
-        let mut array = self.array.lock().expect("disk array poisoned");
+        let mut array = self.array.acquire();
         assert_eq!(
             array.pending(),
             0,
@@ -207,18 +203,18 @@ impl Disk {
 
     /// Number of arms in the disk's array.
     pub fn num_arms(&self) -> usize {
-        self.array.lock().expect("disk array poisoned").num_arms()
+        self.array.acquire().num_arms()
     }
 
     /// The array's stripe policy.
     pub fn stripe_policy(&self) -> StripePolicy {
-        self.array.lock().expect("disk array poisoned").stripe()
+        self.array.acquire().stripe()
     }
 
     /// Per-arm cumulative statistics (utilization, queue depth),
     /// indexed by arm.
     pub fn arm_stats(&self) -> Vec<ArmStats> {
-        self.array.lock().expect("disk array poisoned").arm_stats()
+        self.array.acquire().arm_stats()
     }
 
     /// Submit a request to the owning arm's queue without charging it
@@ -230,12 +226,7 @@ impl Disk {
         if request.run.is_empty() {
             return None;
         }
-        Some(
-            self.array
-                .lock()
-                .expect("disk array poisoned")
-                .submit(request),
-        )
+        Some(self.array.acquire().submit(request))
     }
 
     /// Service the globally-earliest outstanding completion across the
@@ -247,7 +238,7 @@ impl Disk {
     /// elevator-merged same-cylinder requests are not double-charged
     /// (§5.4.3 across queued requests).
     pub fn complete_next(&self) -> Option<Completion> {
-        let mut array = self.array.lock().expect("disk array poisoned");
+        let mut array = self.array.acquire();
         let completion = array.service_next()?;
         // Charged while the array is locked so the accounting order
         // equals the timeline order (lock order array → state, see the
@@ -272,7 +263,7 @@ impl Disk {
 
     /// Number of submitted requests the array has not yet serviced.
     pub fn arm_pending(&self) -> usize {
-        self.array.lock().expect("disk array poisoned").pending()
+        self.array.acquire().pending()
     }
 
     /// Charge an already-computed cost for a request of `pages` pages.
@@ -293,7 +284,7 @@ impl Disk {
     /// cumulative workspace accounting still covers the join.
     pub fn absorb(&self, stats: &IoStats) {
         {
-            let mut st = self.state.lock().expect("disk state poisoned");
+            let mut st = self.state.acquire();
             st.stats = st.stats.plus(stats);
         }
         THREAD_TALLY.with(|t| t.set(t.get().plus(stats)));
@@ -301,7 +292,7 @@ impl Disk {
 
     /// Snapshot of the accumulated statistics (all threads).
     pub fn stats(&self) -> IoStats {
-        self.state.lock().expect("disk state poisoned").stats
+        self.state.acquire().stats
     }
 
     /// Snapshot of the calling thread's I/O tally.
@@ -318,7 +309,7 @@ impl Disk {
     /// Only the global counters are reset; thread tallies are monotone
     /// (deltas against them are unaffected by resets).
     pub fn reset_stats(&self) {
-        self.state.lock().expect("disk state poisoned").stats = IoStats::new();
+        self.state.acquire().stats = IoStats::new();
     }
 }
 

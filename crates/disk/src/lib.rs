@@ -85,6 +85,7 @@ pub mod array;
 pub mod buddy;
 pub mod buffer;
 pub mod disk;
+pub mod lockdep;
 pub mod model;
 pub mod schedule;
 pub mod shard;
@@ -99,6 +100,7 @@ pub use array::{simulate_queries_striped, ArrayConfig, DiskArray, StripePolicy};
 pub use buddy::{BuddyAllocator, BuddyConfig};
 pub use buffer::{BufferPool, LruBuffer, ReadMode, SeekPolicy};
 pub use disk::{Disk, DiskHandle, ScratchTally};
+pub use lockdep::{DepGuard, DepMutex, LockClass};
 pub use model::{DiskParams, PageId, PageRun, RegionId, PAGE_SIZE};
 pub use schedule::{slm_gap_limit, slm_schedule, ScheduledRun};
 pub use shard::{Routing, ShardedPool};

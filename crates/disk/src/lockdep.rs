@@ -1,0 +1,435 @@
+//! Debug-build lock-order checking ("lockdep") for the disk crate.
+//!
+//! The crate's deadlock-freedom argument is a documented hierarchy:
+//!
+//! 1. [`LockClass::Shard`]`(i)` — the sharded pool's per-shard buffer
+//!    locks, ordered **ascending by index** within the class (the
+//!    stop-the-world `lock_all` takes them 0, 1, 2, …);
+//! 2. [`LockClass::ArmQueue`] — the disk's array mutex (arm request
+//!    queues and timelines);
+//! 3. [`LockClass::DiskCounters`] — the disk's statistics/region state.
+//!
+//! A *blocking* acquisition must never take a class that ranks at or
+//! below something already held (equal rank is allowed only for a
+//! strictly higher shard index). `try_*` acquisitions are **exempt from
+//! the hierarchy as acquirers** — a try-lock never waits, so it can
+//! never close a deadlock cycle (this is what makes the adaptive-quota
+//! steal/decay probing safe) — but the locks they *hold* still count
+//! against later blocking acquisitions on the same thread: blocking on
+//! a lower rank while holding a try-taken higher lock is a real
+//! inversion and is flagged.
+//!
+//! In debug builds every [`DepMutex::acquire`] checks the calling
+//! thread's held-stack against the hierarchy and records the cross-class
+//! acquisition edge in a global graph; the first hierarchy violation or
+//! graph cycle panics with both classes named. In release builds the
+//! whole checker compiles away: [`DepMutex`] is a plain [`Mutex`] plus a
+//! unit class tag, and [`DepGuard`] is a plain guard.
+
+use std::fmt;
+use std::sync::{Mutex, MutexGuard, TryLockError};
+
+/// The lock classes of the disk crate, in hierarchy order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockClass {
+    /// A sharded-pool buffer shard (intra-class order: ascending index).
+    Shard(usize),
+    /// The disk's arm-array mutex (request queues, timelines).
+    ArmQueue,
+    /// The disk's counter/region state mutex.
+    DiskCounters,
+}
+
+impl LockClass {
+    /// Rank in the hierarchy (lower acquires first).
+    pub fn rank(self) -> u8 {
+        match self {
+            LockClass::Shard(_) => 0,
+            LockClass::ArmQueue => 1,
+            LockClass::DiskCounters => 2,
+        }
+    }
+
+    /// Whether blocking on `self` while already holding `held` violates
+    /// the hierarchy. Equal-rank shard acquisitions are ordered by
+    /// index; re-acquiring the same non-shard class is self-deadlock.
+    #[cfg(debug_assertions)]
+    fn conflicts_with(self, held: LockClass) -> bool {
+        match (held, self) {
+            (LockClass::Shard(i), LockClass::Shard(j)) => j <= i,
+            _ => self.rank() <= held.rank(),
+        }
+    }
+}
+
+impl fmt::Display for LockClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockClass::Shard(i) => write!(f, "Shard({i})"),
+            LockClass::ArmQueue => f.write_str("ArmQueue"),
+            LockClass::DiskCounters => f.write_str("DiskCounters"),
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+mod checker {
+    use super::LockClass;
+    use std::cell::RefCell;
+    use std::sync::Mutex;
+
+    /// One lock the current thread holds.
+    struct Held {
+        class: LockClass,
+        /// Identity of the acquisition (guards drop in arbitrary order).
+        token: u64,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+        static NEXT_TOKEN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+
+    /// Cross-class *blocking* acquisition graph: `edges[a][b]` records
+    /// that some thread blocking-acquired rank-kind `b` while holding
+    /// rank-kind `a`. Three kinds (shard, arm queue, counters), so the
+    /// graph is a tiny adjacency matrix; a cycle in it means the
+    /// documented hierarchy itself is inconsistent with the code.
+    static GRAPH: Mutex<[[bool; 3]; 3]> = Mutex::new([[false; 3]; 3]);
+
+    fn kind(class: LockClass) -> usize {
+        class.rank() as usize
+    }
+
+    /// Depth-first reachability of `to` from `from` over recorded edges.
+    fn reaches(edges: &[[bool; 3]; 3], from: usize, to: usize, seen: &mut [bool; 3]) -> bool {
+        if from == to {
+            return true;
+        }
+        seen[from] = true;
+        (0..3).any(|n| edges[from][n] && !seen[n] && reaches(edges, n, to, seen))
+    }
+
+    /// Check a **blocking** acquisition of `class` against everything
+    /// the thread holds, record the acquisition edges, and push the
+    /// lock onto the held-stack. Panics (debug builds only — the whole
+    /// module is compiled out in release) on the first hierarchy
+    /// violation or acquisition-graph cycle.
+    pub(super) fn acquire_blocking(class: LockClass) -> u64 {
+        HELD.with(|held| {
+            let held = held.borrow();
+            for h in held.iter() {
+                assert!(
+                    !class.conflicts_with(h.class),
+                    "lock hierarchy violation: blocking acquisition of {class} \
+                     while holding {held} (declared order: Shard(asc) -> ArmQueue -> \
+                     DiskCounters; see crates/disk/src/lockdep.rs)",
+                    held = h.class,
+                );
+            }
+            let mut graph = GRAPH.lock().expect("lockdep graph poisoned");
+            for h in held.iter() {
+                let (a, b) = (kind(h.class), kind(class));
+                if a == b || graph[a][b] {
+                    continue;
+                }
+                graph[a][b] = true;
+                let mut seen = [false; 3];
+                assert!(
+                    !reaches(&graph, b, a, &mut seen),
+                    "lock acquisition graph cycle: {held} -> {class} closes a cycle",
+                    held = h.class,
+                );
+            }
+        });
+        push(class)
+    }
+
+    /// Track a `try_*` acquisition that succeeded. Exempt from the
+    /// hierarchy check (a try-lock never waits, so it cannot close a
+    /// deadlock cycle) but pushed onto the held-stack: blocking on a
+    /// lower rank while holding this lock is still flagged.
+    pub(super) fn acquire_try(class: LockClass) -> u64 {
+        push(class)
+    }
+
+    fn push(class: LockClass) -> u64 {
+        let token = NEXT_TOKEN.with(|t| {
+            let v = t.get();
+            t.set(v + 1);
+            v
+        });
+        HELD.with(|held| held.borrow_mut().push(Held { class, token }));
+        token
+    }
+
+    /// Pop the acquisition identified by `token` (guards may drop in
+    /// any order, so search from the top).
+    pub(super) fn release(token: u64) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            let idx = held
+                .iter()
+                .rposition(|h| h.token == token)
+                .expect("released a lock this thread does not hold");
+            held.remove(idx);
+        });
+    }
+}
+
+/// A [`Mutex`] tagged with a [`LockClass`], hierarchy-checked in debug
+/// builds (see the [module docs](self)); a plain mutex in release.
+pub struct DepMutex<T> {
+    class: LockClass,
+    inner: Mutex<T>,
+}
+
+impl<T> DepMutex<T> {
+    /// Wrap `value` in a mutex of the given class.
+    pub fn new(class: LockClass, value: T) -> Self {
+        DepMutex {
+            class,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// This mutex's class.
+    pub fn class(&self) -> LockClass {
+        self.class
+    }
+
+    /// Blocking acquisition, checked against the hierarchy in debug
+    /// builds. Panics if a holder panicked (poisoning), like the
+    /// `expect` calls it replaces.
+    pub fn acquire(&self) -> DepGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let token = checker::acquire_blocking(self.class);
+        let guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(|_| panic!("lock poisoned: {}", self.class));
+        DepGuard {
+            guard,
+            #[cfg(debug_assertions)]
+            token,
+        }
+    }
+
+    /// Non-blocking acquisition: `None` if the lock is held elsewhere.
+    /// Exempt from the hierarchy check (can never wait, so can never
+    /// deadlock) but the held lock still counts against later blocking
+    /// acquisitions on this thread.
+    pub fn try_acquire(&self) -> Option<DepGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(DepGuard {
+                guard,
+                #[cfg(debug_assertions)]
+                token: checker::acquire_try(self.class),
+            }),
+            Err(TryLockError::WouldBlock) => None,
+            Err(TryLockError::Poisoned(_)) => panic!("lock poisoned: {}", self.class),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for DepMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("DepMutex");
+        s.field("class", &self.class);
+        match self.inner.try_lock() {
+            Ok(guard) => s.field("data", &&*guard).finish(),
+            Err(_) => s.field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// Guard returned by [`DepMutex::acquire`]/[`DepMutex::try_acquire`];
+/// releases the hierarchy tracking (debug builds) on drop.
+pub struct DepGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    token: u64,
+}
+
+impl<T> std::ops::Deref for DepGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for DepGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for DepGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        checker::release(self.token);
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for DepGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panics(f: impl FnOnce() + Send + 'static) -> bool {
+        // Violations panic; run them on a scratch thread so this test's
+        // own held-stack and the shared mutexes stay clean.
+        std::thread::spawn(f).join().is_err()
+    }
+
+    #[test]
+    fn guard_derefs_to_the_value() {
+        let m = DepMutex::new(LockClass::DiskCounters, 7u32);
+        {
+            let mut g = m.acquire();
+            *g += 1;
+        }
+        assert_eq!(*m.acquire(), 8);
+    }
+
+    #[test]
+    fn in_order_acquisitions_pass() {
+        let a = DepMutex::new(LockClass::Shard(0), ());
+        let b = DepMutex::new(LockClass::Shard(1), ());
+        let c = DepMutex::new(LockClass::ArmQueue, ());
+        let d = DepMutex::new(LockClass::DiskCounters, ());
+        let _ga = a.acquire();
+        let _gb = b.acquire();
+        let _gc = c.acquire();
+        let _gd = d.acquire();
+    }
+
+    #[test]
+    fn guards_may_drop_out_of_order() {
+        let a = DepMutex::new(LockClass::Shard(0), ());
+        let b = DepMutex::new(LockClass::ArmQueue, ());
+        let ga = a.acquire();
+        let gb = b.acquire();
+        drop(ga);
+        drop(gb);
+        // The held-stack is clean: a fresh in-order chain still works.
+        let _ga = a.acquire();
+        let _gb = b.acquire();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn rank_regression_is_caught() {
+        assert!(panics(|| {
+            let d = DepMutex::new(LockClass::DiskCounters, ());
+            let s = DepMutex::new(LockClass::Shard(3), ());
+            let _gd = d.acquire();
+            let _gs = s.acquire(); // counters -> shard: inversion
+        }));
+        assert!(panics(|| {
+            let q = DepMutex::new(LockClass::ArmQueue, ());
+            let s = DepMutex::new(LockClass::Shard(0), ());
+            let _gq = q.acquire();
+            let _gs = s.acquire(); // arm queue -> shard: inversion
+        }));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn shard_index_order_is_enforced() {
+        assert!(panics(|| {
+            let hi = DepMutex::new(LockClass::Shard(5), ());
+            let lo = DepMutex::new(LockClass::Shard(2), ());
+            let _ghi = hi.acquire();
+            let _glo = lo.acquire(); // descending shard order
+        }));
+        assert!(panics(|| {
+            let a = DepMutex::new(LockClass::Shard(4), ());
+            let b = DepMutex::new(LockClass::Shard(4), ());
+            let _ga = a.acquire();
+            let _gb = b.acquire(); // same index: self-deadlock shape
+        }));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn reacquiring_a_nonshard_class_is_caught() {
+        assert!(panics(|| {
+            let a = DepMutex::new(LockClass::DiskCounters, ());
+            let b = DepMutex::new(LockClass::DiskCounters, ());
+            let _ga = a.acquire();
+            let _gb = b.acquire();
+        }));
+    }
+
+    #[test]
+    fn try_acquire_is_exempt_as_acquirer() {
+        // The adaptive-quota paths probe *lower-or-equal* classes with
+        // try_lock while holding a shard; a try acquisition never waits,
+        // so this must pass.
+        let s5 = DepMutex::new(LockClass::Shard(5), ());
+        let s2 = DepMutex::new(LockClass::Shard(2), ());
+        let _g5 = s5.acquire();
+        let g2 = s2.try_acquire();
+        assert!(g2.is_some());
+    }
+
+    #[test]
+    fn try_acquire_reports_contention_as_none() {
+        let m = std::sync::Arc::new(DepMutex::new(LockClass::ArmQueue, ()));
+        let g = m.acquire();
+        let m2 = std::sync::Arc::clone(&m);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                assert!(m2.try_acquire().is_none());
+            });
+        });
+        drop(g);
+        assert!(m.try_acquire().is_some());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn try_held_locks_count_against_blocking_acquisitions() {
+        assert!(panics(|| {
+            let d = DepMutex::new(LockClass::DiskCounters, ());
+            let s = DepMutex::new(LockClass::Shard(0), ());
+            let _gd = d.try_acquire().expect("uncontended");
+            let _gs = s.acquire(); // blocking below a try-held lock
+        }));
+    }
+
+    #[test]
+    fn blocking_up_from_a_try_held_lock_passes() {
+        let s = DepMutex::new(LockClass::Shard(1), ());
+        let d = DepMutex::new(LockClass::DiskCounters, ());
+        let _gs = s.try_acquire().expect("uncontended");
+        let _gd = d.acquire();
+    }
+
+    #[test]
+    fn debug_formatting_shows_class_and_state() {
+        let m = DepMutex::new(LockClass::Shard(2), 42u8);
+        let text = format!("{m:?}");
+        assert!(text.contains("Shard(2)"));
+        assert!(text.contains("42"));
+        let g = m.acquire();
+        let text = format!("{m:?}");
+        assert!(text.contains("<locked>"));
+        assert_eq!(format!("{g:?}"), "42");
+    }
+
+    #[test]
+    fn class_display_names() {
+        assert_eq!(LockClass::Shard(3).to_string(), "Shard(3)");
+        assert_eq!(LockClass::ArmQueue.to_string(), "ArmQueue");
+        assert_eq!(LockClass::DiskCounters.to_string(), "DiskCounters");
+        assert!(LockClass::Shard(9).rank() < LockClass::ArmQueue.rank());
+        assert!(LockClass::ArmQueue.rank() < LockClass::DiskCounters.rank());
+    }
+}

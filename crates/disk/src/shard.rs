@@ -33,17 +33,22 @@
 //! [`reset`](ShardedPool::reset), [`dirty_pages`](ShardedPool::dirty_pages)),
 //! which acquire all shard locks in ascending index order. The disk's
 //! counter mutex is only ever taken *under* shard locks, never the
-//! reverse. This ordering is acyclic, so the pool cannot deadlock.
+//! reverse. This ordering is acyclic, so the pool cannot deadlock; it
+//! is machine-checked in debug builds by [`lockdep`](crate::lockdep)
+//! (each shard is [`LockClass::Shard`]`(i)`, and the adaptive-quota
+//! steal/decay probes are `try_acquire`-only — never blocking with a
+//! shard lock held, so they are exempt from the hierarchy as
+//! acquirers).
 
 use crate::arm::PageRequest;
 use crate::array::StripePolicy;
 use crate::buffer::{LruBuffer, ReadMode, ReadOutcome, SeekPolicy};
 use crate::disk::DiskHandle;
+use crate::lockdep::{DepGuard, DepMutex, LockClass};
 use crate::model::{runs_of, PageId, PageRun, RegionId};
 use crate::schedule::{slm_schedule, ScheduledRun};
 use crate::stats::IoKind;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
 
 /// How pages are routed to shards.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -73,7 +78,7 @@ pub enum Routing {
 pub struct ShardedPool {
     disk: DiskHandle,
     routing: Routing,
-    shards: Box<[Mutex<LruBuffer>]>,
+    shards: Box<[DepMutex<LruBuffer>]>,
     /// Total capacity budget in pages (sum of the per-shard quotas).
     capacity: AtomicUsize,
     write_through: AtomicBool,
@@ -153,8 +158,8 @@ impl ShardedPool {
     ) -> Self {
         let n = shards.max(1);
         let quota_used: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-        let shards: Vec<Mutex<LruBuffer>> = (0..n)
-            .map(|i| Mutex::new(LruBuffer::new(quota(capacity, n, i))))
+        let shards: Vec<DepMutex<LruBuffer>> = (0..n)
+            .map(|i| DepMutex::new(LockClass::Shard(i), LruBuffer::new(quota(capacity, n, i))))
             .collect();
         ShardedPool {
             disk,
@@ -189,10 +194,7 @@ impl ShardedPool {
     /// headroom between shards; the sum over all shards always equals
     /// [`capacity`](ShardedPool::capacity).
     pub fn shard_capacity(&self, shard: usize) -> usize {
-        self.shards[shard]
-            .lock()
-            .expect("buffer shard poisoned")
-            .capacity()
+        self.shards[shard].acquire().capacity()
     }
 
     /// Enable or disable **adaptive shard quotas** (default: off).
@@ -337,20 +339,19 @@ impl ShardedPool {
     }
 
     #[inline]
-    fn shard(&self, page: &PageId) -> MutexGuard<'_, LruBuffer> {
+    fn shard(&self, page: &PageId) -> DepGuard<'_, LruBuffer> {
         self.shard_at(self.shard_of(page))
     }
 
     #[inline]
-    fn shard_at(&self, index: usize) -> MutexGuard<'_, LruBuffer> {
+    fn shard_at(&self, index: usize) -> DepGuard<'_, LruBuffer> {
         let mutex = &self.shards[index];
-        match mutex.try_lock() {
-            Ok(guard) => guard,
-            Err(std::sync::TryLockError::WouldBlock) => {
+        match mutex.try_acquire() {
+            Some(guard) => guard,
+            None => {
                 self.contended.fetch_add(1, Ordering::Relaxed);
-                mutex.lock().expect("buffer shard poisoned")
+                mutex.acquire()
             }
-            Err(std::sync::TryLockError::Poisoned(_)) => panic!("buffer shard poisoned"),
         }
     }
 
@@ -366,7 +367,7 @@ impl ShardedPool {
         let n = self.shards.len();
         for step in 1..n {
             let candidate = (thief + step) % n;
-            if let Ok(mut donor) = self.shards[candidate].try_lock() {
+            if let Some(mut donor) = self.shards[candidate].try_acquire() {
                 let cap = donor.capacity();
                 if cap > 1 && donor.len() < cap {
                     let ev = donor.set_capacity(cap - 1);
@@ -435,7 +436,7 @@ impl ShardedPool {
             if now.saturating_sub(self.quota_used[i].load(Ordering::Relaxed)) < cycle {
                 continue;
             }
-            let Ok(mut borrower) = self.shards[i].try_lock() else {
+            let Some(mut borrower) = self.shards[i].try_acquire() else {
                 continue;
             };
             let cap = borrower.capacity();
@@ -444,7 +445,7 @@ impl ShardedPool {
             }
             for step in 1..n {
                 let j = (i + step) % n;
-                let Ok(mut lender) = self.shards[j].try_lock() else {
+                let Some(mut lender) = self.shards[j].try_acquire() else {
                     continue;
                 };
                 if lender.capacity() >= quota(capacity, n, j) {
@@ -461,12 +462,10 @@ impl ShardedPool {
         }
     }
 
-    /// Lock every shard in ascending index order (stop-the-world ops).
-    fn lock_all(&self) -> Vec<MutexGuard<'_, LruBuffer>> {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("buffer shard poisoned"))
-            .collect()
+    /// Lock every shard in ascending index order (stop-the-world ops;
+    /// the one blocking multi-shard pattern the hierarchy allows).
+    fn lock_all(&self) -> Vec<DepGuard<'_, LruBuffer>> {
+        self.shards.iter().map(|s| s.acquire()).collect()
     }
 
     /// Charge the writebacks of dirty evictions (clean evictions are
@@ -692,7 +691,7 @@ impl ShardedPool {
     /// [`BufferPool::invalidate_regions`](crate::buffer::BufferPool::invalidate_regions)).
     pub fn invalidate_regions(&self, regions: &[RegionId]) {
         for shard in self.shards.iter() {
-            let mut buf = shard.lock().expect("buffer shard poisoned");
+            let mut buf = shard.acquire();
             let victims: Vec<PageId> = buf
                 .pages()
                 .filter(|p| regions.contains(&p.region))
@@ -833,10 +832,7 @@ impl ShardedPool {
 
     /// Number of buffered pages across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("buffer shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| s.acquire().len()).sum()
     }
 
     /// `true` if no page is buffered.
@@ -860,7 +856,7 @@ impl ShardedPool {
         self.flush_locked(&mut guards);
     }
 
-    fn flush_locked(&self, guards: &mut [MutexGuard<'_, LruBuffer>]) {
+    fn flush_locked(&self, guards: &mut [DepGuard<'_, LruBuffer>]) {
         let mut dirty: Vec<PageId> = guards.iter().flat_map(|g| g.dirty_pages()).collect();
         dirty.sort_unstable();
         for run in runs_of(&dirty) {

@@ -79,6 +79,7 @@ impl IoStats {
 
     /// Difference `self - earlier`: the I/O performed since `earlier` was
     /// captured. All counters of `earlier` must be ≤ those of `self`.
+    #[must_use = "the delta is the query's accounting; dropping it loses the measurement"]
     pub fn since(&self, earlier: &IoStats) -> IoStats {
         IoStats {
             read_requests: self.read_requests - earlier.read_requests,
@@ -92,6 +93,7 @@ impl IoStats {
     }
 
     /// Component-wise sum.
+    #[must_use = "plus returns the sum without modifying self"]
     pub fn plus(&self, other: &IoStats) -> IoStats {
         IoStats {
             read_requests: self.read_requests + other.read_requests,

@@ -68,6 +68,16 @@ pub struct SpatialJoin<'a> {
     s: &'a dyn SpatialStore,
 }
 
+impl std::fmt::Debug for SpatialJoin<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The operands are trait objects; identify them by backend name.
+        f.debug_struct("SpatialJoin")
+            .field("r", &self.r.name())
+            .field("s", &self.s.name())
+            .finish()
+    }
+}
+
 impl<'a> SpatialJoin<'a> {
     /// Prepare a join. Both stores must live on the same disk and share
     /// the same buffer pool (the paper's joins run on one machine with

@@ -207,6 +207,7 @@ pub fn plan_tiles(mut entries: Vec<LeafEntry>, params: &TilingParams) -> Vec<Til
 }
 
 /// Result of a bottom-up build.
+#[derive(Debug)]
 pub struct BulkBuild {
     /// The packed tree.
     pub tree: RStarTree,

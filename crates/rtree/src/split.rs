@@ -34,8 +34,7 @@ fn sorted_indices<T: SplitItem, F: Fn(&Rect) -> (f64, f64)>(items: &[T], key: F)
     idx.sort_by(|&a, &b| {
         let ka = key(&items[a].rect());
         let kb = key(&items[b].rect());
-        ka.partial_cmp(&kb)
-            .expect("non-finite rectangle coordinate")
+        ka.0.total_cmp(&kb.0).then(ka.1.total_cmp(&kb.1))
     });
     idx
 }

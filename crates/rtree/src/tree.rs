@@ -87,6 +87,7 @@ impl AnyEntry {
 
 /// The R\*-tree. See the crate documentation for the algorithmic
 /// provenance.
+#[derive(Debug)]
 pub struct RStarTree {
     config: RTreeConfig,
     store: NodeStore,
@@ -285,8 +286,7 @@ impl RStarTree {
                 entries[a]
                     .mbr
                     .enlargement(rect)
-                    .partial_cmp(&entries[b].mbr.enlargement(rect))
-                    .expect("non-finite enlargement")
+                    .total_cmp(&entries[b].mbr.enlargement(rect))
             });
             candidates.truncate(PREFILTER);
         }
@@ -402,7 +402,7 @@ impl RStarTree {
                     order.sort_by(|&a, &b| {
                         let da = entries[a].mbr.center().distance_sq(&center);
                         let db = entries[b].mbr.center().distance_sq(&center);
-                        db.partial_cmp(&da).expect("non-finite distance")
+                        db.total_cmp(&da)
                     });
                     let mut far: Vec<usize> = order[..p].to_vec();
                     far.sort_unstable_by(|a, b| b.cmp(a)); // remove from the back
@@ -415,7 +415,7 @@ impl RStarTree {
                     order.sort_by(|&a, &b| {
                         let da = entries[a].mbr.center().distance_sq(&center);
                         let db = entries[b].mbr.center().distance_sq(&center);
-                        db.partial_cmp(&da).expect("non-finite distance")
+                        db.total_cmp(&da)
                     });
                     let mut far: Vec<usize> = order[..p].to_vec();
                     far.sort_unstable_by(|a, b| b.cmp(a));
@@ -432,7 +432,7 @@ impl RStarTree {
         ordered.sort_by(|a, b| {
             let da = a.rect().center().distance_sq(&center);
             let db = b.rect().center().distance_sq(&center);
-            da.partial_cmp(&db).expect("non-finite distance")
+            da.total_cmp(&db)
         });
         for item in ordered {
             self.insert_at_level(item, level, ctx, io);

@@ -105,11 +105,13 @@ impl ClusterUnit {
 
     /// Sum of pages over all members (for the `nop∅` average).
     fn member_pages_total(&self) -> u64 {
+        // lint: order-insensitive — an integer sum commutes.
         self.members.values().map(|p| p.num_pages).sum()
     }
 }
 
 /// The cluster organization.
+#[derive(Debug)]
 pub struct ClusterOrganization {
     disk: DiskHandle,
     pool: SharedPool,
@@ -469,6 +471,9 @@ impl ClusterOrganization {
     /// unit payloads respect `Smax`.
     pub fn check_consistency(&self) -> Result<(), String> {
         let mut seen = HashSet::new();
+        // lint: order-insensitive — a pass/fail check over all units;
+        // only the first error's *content* depends on order, and that
+        // is diagnostic text, never stats or placement.
         for (leaf, unit) in &self.units {
             let node = self.tree.node(*leaf);
             if !node.is_leaf() {

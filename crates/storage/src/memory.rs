@@ -18,6 +18,7 @@ use spatialdb_rtree::{
 use std::collections::HashMap;
 
 /// A purely in-memory spatial store (no simulated I/O).
+#[derive(Debug)]
 pub struct MemoryStore {
     disk: DiskHandle,
     pool: SharedPool,

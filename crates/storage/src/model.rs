@@ -110,6 +110,7 @@ pub struct QueryStats {
 impl QueryStats {
     /// The paper's normalized cost: I/O milliseconds per 4 KB of queried
     /// data (Figures 8, 10, 12). Returns `None` when nothing qualified.
+    #[must_use = "the normalized cost is the figure's data point"]
     pub fn ms_per_4kb(&self) -> Option<f64> {
         if self.result_bytes == 0 {
             None
@@ -170,6 +171,7 @@ impl std::fmt::Display for OrganizationKind {
 
 /// An organization model chosen at run time (the experiment harness
 /// iterates over all three).
+#[derive(Debug)]
 pub enum Organization {
     /// Secondary organization.
     Secondary(SecondaryOrganization),

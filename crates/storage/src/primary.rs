@@ -22,6 +22,7 @@ use spatialdb_rtree::{
 use std::collections::HashMap;
 
 /// The primary organization.
+#[derive(Debug)]
 pub struct PrimaryOrganization {
     disk: DiskHandle,
     pool: SharedPool,

@@ -18,6 +18,7 @@ use spatialdb_rtree::{bulk, LeafEntry, ObjectId, RStarTree, RTreeConfig, Tile, T
 use std::collections::HashMap;
 
 /// The secondary organization.
+#[derive(Debug)]
 pub struct SecondaryOrganization {
     disk: DiskHandle,
     pool: SharedPool,
