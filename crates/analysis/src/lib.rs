@@ -147,9 +147,77 @@ pub fn analyze_tree_with_allowlist(root: &Path, allow: &Allowlist) -> io::Result
     Ok(out)
 }
 
+/// Filter a `git diff --name-only` listing down to the analyzer's
+/// inputs: `.rs` files under one of `roots` (any file when `roots` is
+/// empty), excluding the same `target/` and `fixtures/` trees
+/// [`collect_sources`] skips. Paths come back sorted and deduplicated;
+/// existence is **not** checked here (pure function — the CLI drops
+/// deleted files before analyzing).
+pub fn filter_changed_paths(name_only: &str, roots: &[PathBuf]) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = name_only
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.ends_with(".rs"))
+        .filter(|l| {
+            !Path::new(l)
+                .components()
+                .any(|c| matches!(c.as_os_str().to_str(), Some("target" | "fixtures" | ".git")))
+        })
+        .filter(|l| roots.is_empty() || roots.iter().any(|r| Path::new(l).starts_with(r)))
+        .map(PathBuf::from)
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The `.rs` files touched since `rev`, per `git diff --name-only`,
+/// restricted to `roots` and to files that still exist (a deletion is
+/// nothing to analyze). Errors when `git` itself fails — an unknown
+/// revision should stop a pre-commit hook, not silently pass it.
+pub fn changed_sources(rev: &str, roots: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
+    let output = std::process::Command::new("git")
+        .args(["diff", "--name-only", rev])
+        .output()?;
+    if !output.status.success() {
+        return Err(io::Error::other(format!(
+            "git diff --name-only {rev} failed: {}",
+            String::from_utf8_lossy(&output.stderr).trim()
+        )));
+    }
+    let listing = String::from_utf8_lossy(&output.stdout);
+    Ok(filter_changed_paths(&listing, roots)
+        .into_iter()
+        .filter(|p| p.is_file())
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn changed_path_filtering() {
+        let listing = "crates/disk/src/shard.rs\n\
+                       crates/analysis/fixtures/bad.rs\n\
+                       target/debug/build/foo.rs\n\
+                       README.md\n\
+                       crates/core/src/executor.rs\n\
+                       crates/core/src/executor.rs\n\
+                       docs/notes.rs\n";
+        let roots = vec![PathBuf::from("crates")];
+        let got = filter_changed_paths(listing, &roots);
+        assert_eq!(
+            got,
+            vec![
+                PathBuf::from("crates/core/src/executor.rs"),
+                PathBuf::from("crates/disk/src/shard.rs"),
+            ]
+        );
+        // No roots: everything .rs outside the skip dirs, docs included.
+        let all = filter_changed_paths(listing, &[]);
+        assert_eq!(all.len(), 3);
+    }
 
     #[test]
     fn profile_classification() {

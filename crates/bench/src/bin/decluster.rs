@@ -1,103 +1,31 @@
 //! Declustered-storage scaling: an organizations × arm-count ×
-//! stripe-policy grid over a multi-database window-query burst, emitted
-//! as `BENCH_decluster.json`.
+//! stripe-policy grid over a multi-database window-query stream,
+//! emitted as `BENCH_decluster.json`.
 //!
-//! Several databases share one workspace, so their regions decluster
-//! across the simulated [`DiskArray`](spatialdb::disk::DiskArray): each
-//! organization's filter steps run once, synchronously, through the
-//! traced read path (identical charges to the paper's throughput
-//! model), then the traces replay through [`simulate_queries_striped`]
-//! under **open arrivals**: queries arrive every
-//! `(mean service time) / load` simulated ms (the `io_latency`
-//! discipline) with up to `--depth` requests outstanding. With one arm
-//! the replay is byte-identical to the single-arm harness; with more
-//! arms the stripe policy decides which regions can be serviced in
-//! parallel — aggregate IOPS (= total requests / makespan) shows the
-//! throughput scaling, and the per-cell p95/p99 latency percentiles
-//! show how declustering trims the queueing tail. Per-arm FCFS rows
-//! isolate pure declustering parallelism (an arm never reorders);
-//! elevator rows show the combined effect.
-//!
-//! The databases are built with the parallel STR bulk load
-//! ([`Workspace::bulk_load_par`]), so the bench inherits the packed
-//! construction path.
+//! The whole experiment is one declarative [`Scenario`]: several
+//! databases share one workspace (their regions are the units the
+//! stripe policies spread across the simulated disk array), queries
+//! round-robin over them, and each grid cell replays the traced
+//! workload under open arrivals at the configured depth — byte-identical
+//! to the hand-rolled driver this binary used to carry. Aggregate IOPS
+//! (= total requests / makespan) shows the throughput scaling; the
+//! p95/p99 percentiles show how declustering trims the queueing tail.
 //!
 //! Flags: `--objects N` (default 6000, split across the databases),
 //! `--queries N` (default 144), `--dbs N` (default 6), `--depth N`
 //! (default 16), `--load F` (default 0.7), `--out PATH`. The arm grid
 //! is env-overridable: `SPATIALDB_BENCH_ARMS=1,2,4,8`.
 
-use spatialdb::disk::{
-    simulate_queries_striped, ArmGeometry, ArmPolicy, ArrayConfig, QueryTrace, StripePolicy,
-};
-use spatialdb::geom::{Geometry, Point, Polyline, Rect};
-use spatialdb::report::summarize_latencies;
-use spatialdb::storage::{OrganizationKind, WindowTechnique};
-use spatialdb::{DbOptions, SpatialDatabase, Workspace};
+use spatialdb::disk::{ArmPolicy, StripePolicy};
+use spatialdb::{Arrival, EngineConfig};
 use spatialdb_bench::{arg, grid_from_env};
+use spatialdb_workload::{org_label, policy_label, stripe_label, Dataset, Scenario, WindowSweep};
 
 const ALL_STRIPES: [StripePolicy; 3] = [
     StripePolicy::RoundRobin,
     StripePolicy::RegionHash,
     StripePolicy::MbrLocality,
 ];
-
-fn load_db(ws: &Workspace, kind: OrganizationKind, n: u64, salt: u64) -> SpatialDatabase {
-    let mut db = ws.create_database(DbOptions::new(kind).technique(WindowTechnique::Slm));
-    let side = (n as f64).sqrt().ceil() as u64;
-    let objects: Vec<(u64, Geometry)> = (0..n)
-        .map(|i| {
-            let x = ((i + salt * 17) % side) as f64 / side as f64;
-            let y = (i / side) as f64 / side as f64;
-            let line = Polyline::new(vec![
-                Point::new(x, y),
-                Point::new(x + 0.6 / side as f64, y + 0.3 / side as f64),
-                Point::new(x + 1.2 / side as f64, y),
-            ]);
-            (i, Geometry::from(line))
-        })
-        .collect();
-    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
-    ws.bulk_load_par(&mut db, objects, threads);
-    db.finish_loading();
-    db
-}
-
-/// Deterministic mix of window sizes sweeping the data space.
-fn workload(n_queries: usize) -> Vec<Rect> {
-    (0..n_queries)
-        .map(|i| {
-            let f = i as f64 / n_queries as f64;
-            let size = 0.05 + 0.20 * ((i % 5) as f64 / 5.0);
-            let x = (f * 13.0) % (1.0 - size);
-            let y = (f * 7.0) % (1.0 - size);
-            Rect::new(x, y, x + size, y + size)
-        })
-        .collect()
-}
-
-fn org_label(kind: OrganizationKind) -> &'static str {
-    match kind {
-        OrganizationKind::Secondary => "secondary",
-        OrganizationKind::Primary => "primary",
-        OrganizationKind::Cluster => "cluster",
-    }
-}
-
-fn stripe_label(stripe: StripePolicy) -> &'static str {
-    match stripe {
-        StripePolicy::RoundRobin => "round_robin",
-        StripePolicy::RegionHash => "region_hash",
-        StripePolicy::MbrLocality => "mbr_locality",
-    }
-}
-
-fn policy_label(policy: ArmPolicy) -> &'static str {
-    match policy {
-        ArmPolicy::Fcfs => "fcfs",
-        ArmPolicy::Elevator => "elevator",
-    }
-}
 
 fn main() {
     let n_objects: u64 = arg("--objects")
@@ -111,119 +39,43 @@ fn main() {
     assert!(load > 0.0, "--load must be positive");
     let out_path = arg("--out").unwrap_or_else(|| "BENCH_decluster.json".to_string());
     let arm_grid = grid_from_env("SPATIALDB_BENCH_ARMS", &[1, 2, 4, 8]);
-    let windows = workload(n_queries);
 
     println!(
         "decluster: {n_objects} objects across {n_dbs} databases, {n_queries} queries, \
          depth {depth}, arms {arm_grid:?}"
     );
-    let mut rows = Vec::new();
-    for kind in [
-        OrganizationKind::Secondary,
-        OrganizationKind::Primary,
-        OrganizationKind::Cluster,
-    ] {
-        // One workspace, several databases: their regions are the units
-        // the stripe policies spread across arms.
-        let ws = Workspace::new(512 * n_dbs);
-        let mut dbs: Vec<SpatialDatabase> = (0..n_dbs)
-            .map(|d| load_db(&ws, kind, n_objects / n_dbs as u64, d as u64))
-            .collect();
-        for db in &mut dbs {
-            db.store_mut().begin_query();
-        }
-        // One synchronous traced pass, queries round-robined over the
-        // databases — the traces are what the array replays. The mean
-        // synchronous service time sets the open-arrival spacing.
-        let mut total_requests = 0usize;
-        let mut total_io_ms = 0.0;
-        let traced: Vec<Vec<_>> = windows
-            .iter()
-            .enumerate()
-            .map(|(i, w)| {
-                let db = &dbs[i % n_dbs];
-                let (stats, requests) = db.store().window_query_traced(w, WindowTechnique::Slm);
-                total_requests += requests.len();
-                total_io_ms += stats.io_ms;
-                requests
-            })
-            .collect();
-        let inter_arrival_ms = (total_io_ms / n_queries as f64) / load;
-        let qtraces: Vec<QueryTrace> = traced
-            .into_iter()
-            .enumerate()
-            .map(|(i, requests)| QueryTrace {
-                arrival_ms: i as f64 * inter_arrival_ms,
-                requests,
-            })
-            .collect();
-        println!(
-            "  {} ({} requests, arrival every {:.3} ms):",
-            org_label(kind),
-            total_requests,
-            inter_arrival_ms
+    let report = Scenario::new("decluster")
+        .dataset(Dataset::grid(n_objects))
+        .databases(n_dbs)
+        .engine(EngineConfig::default().buffer_pages(512 * n_dbs))
+        .windows(
+            WindowSweep::new(n_queries)
+                .size_base(0.05)
+                .size_amp(0.20)
+                .size_period(5),
+        )
+        .arrivals(Arrival::open(load))
+        .depth(depth)
+        .sweep_policies(&[ArmPolicy::Fcfs, ArmPolicy::Elevator])
+        .sweep_arms(&arm_grid)
+        .sweep_stripes(&ALL_STRIPES)
+        .run();
+    report.assert_stats_conserved();
+
+    for group in report.cells().chunks(arm_grid.len()) {
+        let mut line = format!(
+            "  {:>9} {:>12}/{:<8}:",
+            org_label(group[0].org),
+            stripe_label(group[0].stripe),
+            policy_label(group[0].policy)
         );
-        let params = ws.disk().params();
-        for stripe in ALL_STRIPES {
-            for policy in [ArmPolicy::Fcfs, ArmPolicy::Elevator] {
-                let mut line = format!(
-                    "    {:>12}/{:<8}:",
-                    stripe_label(stripe),
-                    policy_label(policy)
-                );
-                for &arms in &arm_grid {
-                    let (latency, arm_stats) = simulate_queries_striped(
-                        params,
-                        ArmGeometry::default(),
-                        ArrayConfig {
-                            arms,
-                            stripe,
-                            policy,
-                            ..ArrayConfig::default()
-                        },
-                        depth,
-                        &qtraces,
-                    );
-                    let makespan = latency.iter().map(|s| s.completed_ms).fold(0.0, f64::max);
-                    let iops = if makespan > 0.0 {
-                        total_requests as f64 / makespan * 1000.0
-                    } else {
-                        0.0
-                    };
-                    let mut latencies: Vec<f64> = latency.iter().map(|s| s.latency_ms()).collect();
-                    let s = summarize_latencies(&mut latencies);
-                    let busy: Vec<usize> = arm_stats
-                        .iter()
-                        .filter(|a| a.serviced > 0)
-                        .map(|a| a.arm)
-                        .collect();
-                    let max_util = arm_stats
-                        .iter()
-                        .map(|a| a.utilization())
-                        .fold(0.0, f64::max);
-                    rows.push(format!(
-                        "    {{\"org\": \"{}\", \"stripe\": \"{}\", \"policy\": \"{}\", \
-                         \"arms\": {arms}, \"busy_arms\": {}, \"requests\": {total_requests}, \
-                         \"inter_arrival_ms\": {inter_arrival_ms:.4}, \
-                         \"makespan_ms\": {makespan:.3}, \"iops\": {iops:.2}, \
-                         \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
-                         \"p99_ms\": {:.3}, \"max_util\": {max_util:.3}}}",
-                        org_label(kind),
-                        stripe_label(stripe),
-                        policy_label(policy),
-                        busy.len(),
-                        s.mean,
-                        s.p50,
-                        s.p95,
-                        s.p99,
-                    ));
-                    line.push_str(&format!(" {arms}a {iops:7.1} iops |"));
-                }
-                println!("{}", line.trim_end_matches(" |"));
-            }
+        for cell in group {
+            line.push_str(&format!(" {}a {:7.1} iops |", cell.arms, cell.iops));
         }
+        println!("{}", line.trim_end_matches(" |"));
     }
 
+    let rows: Vec<String> = report.cells().iter().map(|c| c.decluster_row()).collect();
     let arms_json: Vec<String> = arm_grid.iter().map(|a| a.to_string()).collect();
     let json = format!(
         "{{\n  \"bench\": \"decluster\",\n  \"objects\": {n_objects},\n  \

@@ -2,76 +2,21 @@
 //! organizations × queue-depth × policy grid over an open-arrival
 //! window-query workload, emitted as `BENCH_io_latency.json`.
 //!
-//! For each organization the workload's filter steps run once,
-//! synchronously, through the stores' batched read path — capturing each
-//! query's disk-request trace (identical charges to the paper's
-//! throughput model). The traces are then replayed through the
-//! [`simulate_queries`] harness: queries arrive every
-//! `inter_arrival_ms = mean service / load` simulated ms, keep up to
-//! `depth` requests outstanding, and the single arm services the union
-//! under FCFS or elevator (SCAN) ordering. Reported per cell:
-//! p50/p95/p99/mean end-to-end latency, makespan, and total service
-//! time — the dimension the synchronous cost model cannot see.
+//! The whole experiment is one declarative [`Scenario`]: the harness
+//! runs the traced filter pass, derives the open-arrival spacing
+//! (`inter_arrival_ms = mean service / load`), and replays the traces
+//! through the single-arm scheduler at each queue depth under FCFS and
+//! elevator ordering — byte-identical to the hand-rolled driver this
+//! binary used to carry.
 //!
 //! Flags: `--objects N` (default 6000), `--queries N` (default 160),
 //! `--load F` (default 0.9), `--out PATH`. The depth grid is
 //! env-overridable: `SPATIALDB_BENCH_DEPTHS=1,2,4,8,16`.
 
-use spatialdb::disk::{simulate_queries, ArmGeometry, ArmPolicy, QueryTrace};
-use spatialdb::geom::{Geometry, Point, Polyline, Rect};
-use spatialdb::report::summarize_latencies;
-use spatialdb::storage::{OrganizationKind, WindowTechnique};
-use spatialdb::{DbOptions, SpatialDatabase, Workspace};
+use spatialdb::disk::ArmPolicy;
+use spatialdb::{Arrival, EngineConfig};
 use spatialdb_bench::{arg, grid_from_env};
-
-fn load_db(ws: &Workspace, kind: OrganizationKind, n: u64) -> SpatialDatabase {
-    let mut db = ws.create_database(DbOptions::new(kind).technique(WindowTechnique::Slm));
-    let side = (n as f64).sqrt().ceil() as u64;
-    let objects: Vec<(u64, Geometry)> = (0..n)
-        .map(|i| {
-            let x = (i % side) as f64 / side as f64;
-            let y = (i / side) as f64 / side as f64;
-            let line = Polyline::new(vec![
-                Point::new(x, y),
-                Point::new(x + 0.6 / side as f64, y + 0.3 / side as f64),
-                Point::new(x + 1.2 / side as f64, y),
-            ]);
-            (i, Geometry::from(line))
-        })
-        .collect();
-    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
-    ws.bulk_load_par(&mut db, objects, threads);
-    db.finish_loading();
-    db
-}
-
-/// Deterministic mix of window sizes sweeping the data space.
-fn workload(n_queries: usize) -> Vec<Rect> {
-    (0..n_queries)
-        .map(|i| {
-            let f = i as f64 / n_queries as f64;
-            let size = 0.04 + 0.22 * ((i % 7) as f64 / 7.0);
-            let x = (f * 13.0) % (1.0 - size);
-            let y = (f * 7.0) % (1.0 - size);
-            Rect::new(x, y, x + size, y + size)
-        })
-        .collect()
-}
-
-fn org_label(kind: OrganizationKind) -> &'static str {
-    match kind {
-        OrganizationKind::Secondary => "secondary",
-        OrganizationKind::Primary => "primary",
-        OrganizationKind::Cluster => "cluster",
-    }
-}
-
-fn policy_label(policy: ArmPolicy) -> &'static str {
-    match policy {
-        ArmPolicy::Fcfs => "fcfs",
-        ArmPolicy::Elevator => "elevator",
-    }
-}
+use spatialdb_workload::{org_label, Dataset, Scenario, WindowSweep};
 
 fn main() {
     let n_objects: u64 = arg("--objects")
@@ -82,83 +27,38 @@ fn main() {
     assert!(load > 0.0, "--load must be positive");
     let out_path = arg("--out").unwrap_or_else(|| "BENCH_io_latency.json".to_string());
     let depths = grid_from_env("SPATIALDB_BENCH_DEPTHS", &[1, 2, 4, 8, 16]);
-    let windows = workload(n_queries);
 
     println!(
         "io latency: {n_objects} objects, {n_queries} queries, load {load}, depths {depths:?}"
     );
-    let mut rows = Vec::new();
-    for kind in [
-        OrganizationKind::Secondary,
-        OrganizationKind::Primary,
-        OrganizationKind::Cluster,
-    ] {
-        let ws = Workspace::new(512);
-        let mut db = load_db(&ws, kind, n_objects);
-        db.store_mut().begin_query();
-        // One synchronous traced pass: the charged costs are the paper's
-        // figures; the traces are what the arm replays.
-        let mut traces: Vec<Vec<_>> = Vec::with_capacity(n_queries);
-        let mut total_io_ms = 0.0;
-        let mut total_requests = 0usize;
-        for w in &windows {
-            let (stats, trace) = db.store().window_query_traced(w, WindowTechnique::Slm);
-            total_io_ms += stats.io_ms;
-            total_requests += trace.len();
-            traces.push(trace);
-        }
-        let inter_arrival_ms = (total_io_ms / n_queries as f64) / load;
+    let report = Scenario::new("io_latency")
+        .dataset(Dataset::grid(n_objects))
+        .engine(EngineConfig::default().buffer_pages(512))
+        .windows(
+            WindowSweep::new(n_queries)
+                .size_base(0.04)
+                .size_amp(0.22)
+                .size_period(7),
+        )
+        .arrivals(Arrival::open(load))
+        .sweep_depths(&depths)
+        .sweep_policies(&[ArmPolicy::Fcfs, ArmPolicy::Elevator])
+        .run();
+    report.assert_stats_conserved();
+
+    for pair in report.cells().chunks(2) {
+        let (fcfs, elevator) = (&pair[0], &pair[1]);
         println!(
-            "  {} ({} requests, {:.1} ms mean service, {:.4} ms inter-arrival):",
-            org_label(kind),
-            total_requests,
-            total_io_ms / n_queries as f64,
-            inter_arrival_ms
+            "  {} depth {:2}: fcfs mean {:9.1} ms | elevator mean {:9.1} ms ({:+.1}%)",
+            org_label(fcfs.org),
+            fcfs.depth,
+            fcfs.latency.mean,
+            elevator.latency.mean,
+            (elevator.latency.mean / fcfs.latency.mean - 1.0) * 100.0
         );
-        let params = ws.disk().params();
-        // Arrival stamps and traces are invariant across the grid —
-        // build the replayable workload once per organization.
-        let qtraces: Vec<QueryTrace> = traces
-            .into_iter()
-            .enumerate()
-            .map(|(i, requests)| QueryTrace {
-                arrival_ms: i as f64 * inter_arrival_ms,
-                requests,
-            })
-            .collect();
-        for &depth in &depths {
-            let mut means = Vec::new();
-            for policy in [ArmPolicy::Fcfs, ArmPolicy::Elevator] {
-                let stats =
-                    simulate_queries(params, ArmGeometry::default(), policy, depth, &qtraces);
-                let mut latencies: Vec<f64> = stats.iter().map(|s| s.latency_ms()).collect();
-                let s = summarize_latencies(&mut latencies);
-                let makespan = stats.iter().map(|x| x.completed_ms).fold(0.0, f64::max);
-                let service: f64 = stats.iter().map(|x| x.service_ms).sum();
-                means.push(s.mean);
-                rows.push(format!(
-                    "    {{\"org\": \"{}\", \"policy\": \"{}\", \"depth\": {depth}, \
-                     \"inter_arrival_ms\": {inter_arrival_ms:.4}, \"p50_ms\": {:.3}, \
-                     \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \
-                     \"makespan_ms\": {makespan:.3}, \"service_ms\": {service:.3}, \
-                     \"requests\": {total_requests}}}",
-                    org_label(kind),
-                    policy_label(policy),
-                    s.p50,
-                    s.p95,
-                    s.p99,
-                    s.mean,
-                ));
-            }
-            let (fcfs, elevator) = (means[0], means[1]);
-            println!(
-                "    depth {depth:2}: fcfs mean {fcfs:9.1} ms | elevator mean {elevator:9.1} ms \
-                 ({:+.1}%)",
-                (elevator / fcfs - 1.0) * 100.0
-            );
-        }
     }
 
+    let rows: Vec<String> = report.cells().iter().map(|c| c.io_latency_row()).collect();
     let depths_json: Vec<String> = depths.iter().map(|d| d.to_string()).collect();
     let json = format!(
         "{{\n  \"bench\": \"io_latency\",\n  \"objects\": {n_objects},\n  \

@@ -16,15 +16,17 @@
 //! ([`crate::executor`]) fans batches across a scoped thread pool —
 //! while updates keep `&mut self`.
 
+use crate::config::{ConfigError, EngineConfig};
+use crate::executor::ExecPlan;
 use crate::query::{JoinQuery, Query};
 use spatialdb_disk::Routing;
 use spatialdb_disk::{Disk, DiskHandle, DiskParams, IoStats, StripePolicy, PAGE_SIZE};
 use spatialdb_geom::{Geometry, HasMbr};
 use spatialdb_rtree::ObjectId;
 use spatialdb_storage::{
-    new_shared_pool_with_routing, new_shared_pool_with_shards, ClusterConfig, ClusterOrganization,
-    ObjectRecord, OrganizationKind, PrimaryOrganization, SecondaryOrganization, SharedPool,
-    SpatialStore, WindowTechnique,
+    new_shared_pool_with_routing, ClusterConfig, ClusterOrganization, ObjectRecord,
+    OrganizationKind, PrimaryOrganization, SecondaryOrganization, SharedPool, SpatialStore,
+    WindowTechnique,
 };
 use std::collections::HashMap;
 
@@ -84,79 +86,150 @@ pub struct Workspace {
 impl Workspace {
     /// Create a workspace with the paper's disk parameters and a buffer
     /// of `buffer_pages` pages (a single-shard pool — the deterministic
-    /// configuration; see [`with_shards`](Workspace::with_shards)).
+    /// configuration). Every other knob of the machine goes through
+    /// [`from_config`](Workspace::from_config).
     pub fn new(buffer_pages: usize) -> Self {
-        Self::with_params(DiskParams::default(), buffer_pages)
+        Self::from_config(EngineConfig::default().buffer_pages(buffer_pages))
     }
 
     /// Create a workspace with explicit disk parameters and a
     /// single-shard pool.
     pub fn with_params(params: DiskParams, buffer_pages: usize) -> Self {
-        Self::with_params_sharded(params, buffer_pages, 1)
+        Self::from_config(
+            EngineConfig::default()
+                .params(params)
+                .buffer_pages(buffer_pages),
+        )
+    }
+
+    /// Build the machine an [`EngineConfig`] describes — the one entry
+    /// point for every configuration knob (buffer capacity, pool
+    /// sharding and routing, disk-arm array, adaptive quotas):
+    ///
+    /// ```
+    /// use spatialdb::{EngineConfig, Routing, StripePolicy, Workspace};
+    ///
+    /// let ws = Workspace::from_config(
+    ///     EngineConfig::default()
+    ///         .buffer_pages(1024)
+    ///         .shards(8)
+    ///         .routing(Routing::ByRegion)
+    ///         .arms(4, StripePolicy::RoundRobin),
+    /// );
+    /// # let _ = ws;
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid
+    /// ([`EngineConfig::validate`]); use
+    /// [`try_from_config`](Workspace::try_from_config) to handle the
+    /// error instead.
+    pub fn from_config(config: EngineConfig) -> Self {
+        match Self::try_from_config(config) {
+            Ok(ws) => ws,
+            Err(e) => panic!("invalid EngineConfig: {e}"),
+        }
+    }
+
+    /// Fallible [`from_config`](Workspace::from_config): returns the
+    /// [`ConfigError`] naming the rejected knob combination instead of
+    /// panicking.
+    pub fn try_from_config(config: EngineConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let disk = Disk::new(config.params);
+        let pool = new_shared_pool_with_routing(
+            disk.clone(),
+            config.buffer_pages,
+            config.shards,
+            config.routing,
+        );
+        let ws = Workspace { disk, pool };
+        if config.arms > 1 {
+            ws.apply_arms(config.arms, config.stripe);
+        }
+        if config.adaptive_shards {
+            ws.pool.set_adaptive(true);
+        }
+        Ok(ws)
     }
 
     /// Create a workspace whose buffer pool is split across `shards`
     /// page-hash shards under the one `buffer_pages` budget.
-    ///
-    /// More shards let concurrent readers touching disjoint pages avoid
-    /// contending on one pool lock (see
-    /// [`run_batch_overlapped`](Workspace::run_batch_overlapped)); a
-    /// single shard (the default elsewhere) reproduces the paper's
-    /// figures byte-for-byte. Hit/miss totals are conserved across
-    /// shard counts for a fixed access sequence, but *which* accesses
-    /// hit depends on the per-shard LRU horizon, so simulated `io_ms`
-    /// may differ from the 1-shard figure.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Workspace::from_config(EngineConfig::default()\
+                .buffer_pages(..).shards(..))"
+    )]
     pub fn with_shards(buffer_pages: usize, shards: usize) -> Self {
-        Self::with_params_sharded(DiskParams::default(), buffer_pages, shards)
+        Self::from_config(
+            EngineConfig::default()
+                .buffer_pages(buffer_pages)
+                .shards(shards),
+        )
     }
 
     /// Create a workspace with explicit disk parameters and shard count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Workspace::from_config(EngineConfig::default()\
+                .params(..).buffer_pages(..).shards(..))"
+    )]
     pub fn with_params_sharded(params: DiskParams, buffer_pages: usize, shards: usize) -> Self {
-        let disk = Disk::new(params);
-        let pool = new_shared_pool_with_shards(disk.clone(), buffer_pages, shards);
-        Workspace { disk, pool }
+        Self::from_config(
+            EngineConfig::default()
+                .params(params)
+                .buffer_pages(buffer_pages)
+                .shards(shards),
+        )
     }
 
     /// Create a sharded workspace with an explicit shard
     /// [`Routing`] mode.
-    ///
-    /// [`Routing::ByRegion`] keys whole regions to shards, so each
-    /// database file (R\*-tree region, object file, cluster-unit area)
-    /// gets its **own lock domain** — workloads partitioned by database
-    /// never contend on a pool lock, at the cost of coarser spreading
-    /// within one hot file. [`Routing::ByPage`] is the default
-    /// page-hash spreading of [`with_shards`](Workspace::with_shards).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Workspace::from_config(EngineConfig::default()\
+                .buffer_pages(..).shards(..).routing(..))"
+    )]
     pub fn with_shard_routing(buffer_pages: usize, shards: usize, routing: Routing) -> Self {
-        let disk = Disk::new(DiskParams::default());
-        let pool = new_shared_pool_with_routing(disk.clone(), buffer_pages, shards, routing);
-        Workspace { disk, pool }
+        Self::from_config(
+            EngineConfig::default()
+                .buffer_pages(buffer_pages)
+                .shards(shards)
+                .routing(routing),
+        )
     }
 
     /// Reconfigure the simulated disk as an `arms`-way array whose
-    /// regions are declustered by `stripe` (see
-    /// [`StripePolicy`]). One arm with any policy is byte-identical to
-    /// the plain single-arm disk; more arms service independent
-    /// regions in parallel on the simulated timeline while every
-    /// *charged* figure ([`IoStats`], `QueryStats`) stays flat.
+    /// regions are declustered by `stripe` (see [`StripePolicy`]).
     ///
     /// # Panics
     ///
     /// Panics if requests are still pending on the current array.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Workspace::from_config(EngineConfig::default().arms(..))"
+    )]
     pub fn configure_arms(&self, arms: usize, stripe: StripePolicy) {
+        self.apply_arms(arms, stripe);
+    }
+
+    /// Shape the disk as an `arms`-way array and keep the buffer
+    /// pool's shard routing aligned with the new arm assignment: under
+    /// `Routing::ByRegion` with multiple shards, each shard's miss
+    /// stream then feeds exactly one arm (see
+    /// `ShardedPool::set_arm_affinity`; dormant in other modes).
+    fn apply_arms(&self, arms: usize, stripe: StripePolicy) {
         self.disk.configure_arms(arms, stripe);
-        // Keep the buffer pool's shard routing aligned with the new arm
-        // assignment: under `Routing::ByRegion` with multiple shards,
-        // each shard's miss stream then feeds exactly one arm (see
-        // `ShardedPool::set_arm_affinity`; dormant in other modes).
         self.pool.set_arm_affinity(arms, stripe);
     }
 
-    /// Enable (or disable) adaptive shard quotas on the buffer pool:
-    /// a shard that fills its static share may borrow unused headroom
-    /// from sibling shards, one page at a time, without a global lock.
-    /// Total capacity is conserved; `reset`/`invalidate_all` restore
-    /// the static split. Off (the default) is byte-identical to the
-    /// static quotas.
+    /// Enable (or disable) adaptive shard quotas on the buffer pool.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Workspace::from_config(EngineConfig::default()\
+                .adaptive_shards(true))"
+    )]
     pub fn set_adaptive_shards(&self, on: bool) {
         self.pool.set_adaptive(on);
     }
@@ -214,19 +287,25 @@ impl Workspace {
         }
     }
 
-    /// Execute a batch of independent window/point queries, fanning the
-    /// refinement work across `n_threads` worker threads.
+    /// Execute a batch of independent window/point queries under an
+    /// [`ExecPlan`] — the one batch entry point.
     ///
     /// Build the queries with [`SpatialDatabase::query`] (without calling
     /// `run`) and hand them over; they may target different databases of
-    /// **this workspace**. The filter steps are issued in submission
-    /// order against the workspace's single simulated disk — see the
-    /// [`executor`](crate::executor) module docs for why that keeps every
-    /// per-query and aggregate statistic **identical to sequential
-    /// execution**, at any thread count — while the exact-geometry
-    /// refinement runs on the thread pool. (For a batch spanning several
-    /// workspaces, call [`executor::run_batch`](crate::executor::run_batch)
-    /// directly.)
+    /// **this workspace**. A bare thread count (as below) is the
+    /// serialized deterministic plan: the filter steps are issued in
+    /// submission order against the workspace's single simulated disk —
+    /// see the [`executor`](crate::executor) module docs for why that
+    /// keeps every per-query and aggregate statistic **identical to
+    /// sequential execution**, at any thread count — while the
+    /// exact-geometry refinement runs on the thread pool.
+    /// `ExecPlan::threads(k).overlapped()` fans the filter steps across
+    /// the workers too (built for sharded pools), and
+    /// `ExecPlan::threads(k).timed(OverlapConfig)` replays the filter
+    /// I/O through the disk-arm scheduler, attaching per-query
+    /// [`LatencyStats`](spatialdb_disk::LatencyStats) to the outcomes.
+    /// (For a batch spanning several workspaces, call
+    /// [`executor::run_batch`](crate::executor::run_batch) directly.)
     ///
     /// ```
     /// # use spatialdb::{DbOptions, OrganizationKind, Workspace};
@@ -258,66 +337,40 @@ impl Workspace {
     pub fn run_batch(
         &self,
         queries: Vec<Query<'_>>,
-        n_threads: usize,
+        plan: impl Into<ExecPlan>,
     ) -> crate::executor::BatchOutcome {
         self.assert_same_workspace(&queries);
-        crate::executor::run_batch(queries, n_threads)
+        crate::executor::run_batch(queries, plan)
     }
 
     /// Execute a batch with the **filter steps overlapped** across the
     /// worker pool as well (see
     /// [`FilterMode::Overlapped`](crate::executor::FilterMode)).
-    ///
-    /// Built for sharded workspaces
-    /// ([`with_shards`](Workspace::with_shards)): concurrent filter
-    /// steps whose page sets hash to disjoint shards proceed without
-    /// contending on any pool lock. Per-query stats remain exact
-    /// (thread-local deltas) and the result ids are identical to
-    /// [`run_batch`](Workspace::run_batch); the *aggregate* simulated
-    /// I/O may differ from the serialized figure when queries share
-    /// pages, because the shared LRU sees a different interleaving.
-    /// With `n_threads <= 1` it degenerates to the deterministic
-    /// serialized order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a query targets a database of another workspace.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use run_batch(queries, ExecPlan::threads(n).overlapped())"
+    )]
     pub fn run_batch_overlapped(
         &self,
         queries: Vec<Query<'_>>,
         n_threads: usize,
     ) -> crate::executor::BatchOutcome {
-        self.assert_same_workspace(&queries);
-        crate::executor::run_batch_with(queries, n_threads, crate::executor::FilterMode::Overlapped)
+        self.run_batch(queries, ExecPlan::threads(n_threads).overlapped())
     }
 
     /// Execute a batch under the **overlapped-I/O scheduler**
-    /// ([`FilterMode::OverlappedIo`](crate::executor::FilterMode)): the
-    /// filter steps run in submission order through the stores' batched
-    /// read path — answers, per-query `QueryStats` and charged
-    /// `IoStats` **byte-identical** to [`run_batch`](Workspace::run_batch)
-    /// — and each query's captured request trace is replayed through
-    /// the disk-arm scheduler with a depth-*k* submission window under
-    /// an open-arrival workload, attaching per-query
-    /// [`LatencyStats`](spatialdb_disk::LatencyStats) to the outcomes.
-    /// Refinement fans across `n_threads` workers while the timeline is
-    /// computed; the whole run is deterministic at every thread count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a query targets a database of another workspace.
+    /// ([`FilterMode::OverlappedIo`](crate::executor::FilterMode)).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use run_batch(queries, ExecPlan::threads(n).timed(config))"
+    )]
     pub fn run_batch_timed(
         &self,
         queries: Vec<Query<'_>>,
         n_threads: usize,
         config: crate::executor::OverlapConfig,
     ) -> crate::executor::BatchOutcome {
-        self.assert_same_workspace(&queries);
-        crate::executor::run_batch_with(
-            queries,
-            n_threads,
-            crate::executor::FilterMode::OverlappedIo(config),
-        )
+        self.run_batch(queries, ExecPlan::threads(n_threads).timed(config))
     }
 
     /// STR-bulk-load `objects` into the empty database `db`, fanning

@@ -29,12 +29,12 @@
 //! whenever reproducing the paper's figures.
 //!
 //! Entry points: [`Query::run_par`](crate::query::Query::run_par) for
-//! one query, [`Workspace::run_batch`](crate::db::Workspace::run_batch)
+//! one query, and [`Workspace::run_batch`](crate::db::Workspace::run_batch)
 //! for a batch (the queries may target different databases — anything
 //! `Send + Sync`, which every [`SpatialStore`](spatialdb_storage::SpatialStore)
-//! is), and
-//! [`Workspace::run_batch_overlapped`](crate::db::Workspace::run_batch_overlapped)
-//! for the concurrent filter phase.
+//! is). An [`ExecPlan`] picks the thread count and [`FilterMode`];
+//! a bare thread count (`run_batch(queries, 8)`) is the serialized
+//! deterministic default.
 
 use crate::query::{
     candidate_ids, execute_filter, execute_filter_traced, refined_geometry, Query, Target,
@@ -97,6 +97,7 @@ impl QueryOutcome {
 pub struct BatchOutcome {
     outcomes: Vec<QueryOutcome>,
     arm_stats: Vec<ArmStats>,
+    inter_arrival_ms: f64,
 }
 
 impl BatchOutcome {
@@ -110,6 +111,14 @@ impl BatchOutcome {
     /// for batches run under [`FilterMode::OverlappedIo`].
     pub fn arm_stats(&self) -> &[ArmStats] {
         &self.arm_stats
+    }
+
+    /// The open-arrival spacing the timed run actually used: query *i*
+    /// arrived at `i · inter_arrival_ms` on the simulated clock. Derived
+    /// from the batch's own mean service time under
+    /// [`Arrival::Open`]; `0.0` for untimed batches and closed bursts.
+    pub fn inter_arrival_ms(&self) -> f64 {
+        self.inter_arrival_ms
     }
 
     /// Number of queries executed.
@@ -217,9 +226,54 @@ fn refine(db: &crate::db::SpatialDatabase, target: &Target, candidates: &[u64]) 
         .collect()
 }
 
+/// When the queries of a timed batch arrive on the simulated clock
+/// (the arrival process of [`FilterMode::OverlappedIo`]).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum Arrival {
+    /// All queries arrive at time 0 — a closed burst with maximal
+    /// queueing. The default.
+    #[default]
+    Burst,
+    /// Fixed spacing: query *i* arrives at `i ·` the given milliseconds.
+    Every(f64),
+    /// Open arrivals at a load factor: the spacing is the batch's own
+    /// mean synchronous service time (`Σ io_ms / n`, measured during the
+    /// traced filter phase) divided by the load. `Open(1.0)` keeps the
+    /// arm saturated on average; lower loads thin the queue. The factor
+    /// must be positive.
+    Open(f64),
+}
+
+impl Arrival {
+    /// Open arrivals at `load` (see [`Arrival::Open`]).
+    pub fn open(load: f64) -> Self {
+        assert!(load > 0.0, "arrival load factor must be positive");
+        Arrival::Open(load)
+    }
+
+    /// Fixed spacing of `ms` simulated milliseconds between arrivals.
+    pub fn every_ms(ms: f64) -> Self {
+        assert!(ms >= 0.0, "arrival spacing must be non-negative");
+        Arrival::Every(ms)
+    }
+
+    /// The inter-arrival spacing in ms, given the batch's mean
+    /// synchronous service time.
+    fn spacing_ms(&self, mean_service_ms: f64) -> f64 {
+        match *self {
+            Arrival::Burst => 0.0,
+            Arrival::Every(ms) => ms,
+            Arrival::Open(load) => {
+                assert!(load > 0.0, "arrival load factor must be positive");
+                mean_service_ms / load
+            }
+        }
+    }
+}
+
 /// Configuration of the overlapped-I/O filter mode
 /// ([`FilterMode::OverlappedIo`]): how deep each query's submission
-/// window is, how the arm orders outstanding requests, and how fast
+/// window is, how the arms order outstanding requests, and how fast
 /// queries arrive.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct OverlapConfig {
@@ -230,10 +284,8 @@ pub struct OverlapConfig {
     pub depth: usize,
     /// Arm scheduling policy across the queries' outstanding requests.
     pub policy: ArmPolicy,
-    /// Open-arrival spacing: query *i* arrives at `i · inter_arrival_ms`
-    /// on the simulated clock. 0 means all queries arrive at once
-    /// (a closed burst).
-    pub inter_arrival_ms: f64,
+    /// The arrival process stamping each query's arrival time.
+    pub arrival: Arrival,
     /// Number of independent disk arms the simulated array declusters
     /// regions across (0 is treated as 1). With 1 arm (the default) the
     /// timeline is byte-identical to the single-arm scheduler whatever
@@ -252,7 +304,7 @@ impl Default for OverlapConfig {
         OverlapConfig {
             depth: 4,
             policy: ArmPolicy::Elevator,
-            inter_arrival_ms: 0.0,
+            arrival: Arrival::Burst,
             arms: 1,
             stripe: StripePolicy::RoundRobin,
             rotation: RotationModel::FlatAverage,
@@ -292,28 +344,104 @@ pub enum FilterMode {
     OverlappedIo(OverlapConfig),
 }
 
-/// Run a batch: serial deterministic filter phase, then refinement
-/// fanned across `n_threads` scoped worker threads (contiguous chunks of
-/// the batch, merged back in submission order).
-pub fn run_batch(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutcome {
-    run_batch_with(queries, n_threads, FilterMode::Serialized)
+/// How a batch executes: worker-thread count plus [`FilterMode`].
+///
+/// The one argument of [`run_batch`] (and of
+/// [`Workspace::run_batch`](crate::db::Workspace::run_batch)). A bare
+/// `usize` converts into the serialized deterministic default, so
+/// `run_batch(queries, 8)` keeps working:
+///
+/// ```
+/// use spatialdb::executor::{ExecPlan, OverlapConfig};
+///
+/// let deterministic = ExecPlan::threads(8);
+/// let concurrent = ExecPlan::threads(8).overlapped();
+/// let timed = ExecPlan::threads(8).timed(OverlapConfig::default());
+/// # let _ = (deterministic, concurrent, timed);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ExecPlan {
+    /// Worker threads for the refinement fan (and, under
+    /// [`FilterMode::Overlapped`], the filter fan).
+    pub threads: usize,
+    /// How the filter steps are scheduled.
+    pub mode: FilterMode,
 }
 
-/// Run a batch under an explicit [`FilterMode`].
-pub fn run_batch_with(queries: Vec<Query<'_>>, n_threads: usize, mode: FilterMode) -> BatchOutcome {
-    match mode {
-        // Overlapped scheduling only differs once two workers exist;
-        // at one thread the serialized path *is* the overlap order,
-        // which keeps the single-thread path deterministic.
-        FilterMode::Overlapped if n_threads > 1 => run_batch_overlapped(queries, n_threads),
-        FilterMode::OverlappedIo(cfg) => run_batch_overlapped_io(queries, n_threads, cfg),
-        _ => run_batch_serialized(queries, n_threads),
+impl ExecPlan {
+    /// A serialized (deterministic) plan on `n` worker threads.
+    pub fn threads(n: usize) -> Self {
+        ExecPlan {
+            threads: n,
+            mode: FilterMode::Serialized,
+        }
+    }
+
+    /// Fan whole queries (filter + refinement) across the workers
+    /// ([`FilterMode::Overlapped`]).
+    #[must_use]
+    pub fn overlapped(mut self) -> Self {
+        self.mode = FilterMode::Overlapped;
+        self
+    }
+
+    /// Replay the filter steps through the disk-arm scheduler
+    /// ([`FilterMode::OverlappedIo`]), attaching per-query
+    /// [`LatencyStats`] to the outcomes.
+    #[must_use]
+    pub fn timed(mut self, cfg: OverlapConfig) -> Self {
+        self.mode = FilterMode::OverlappedIo(cfg);
+        self
     }
 }
 
+impl Default for ExecPlan {
+    fn default() -> Self {
+        ExecPlan::threads(1)
+    }
+}
+
+impl From<usize> for ExecPlan {
+    fn from(n_threads: usize) -> Self {
+        ExecPlan::threads(n_threads)
+    }
+}
+
+/// Run a batch under an [`ExecPlan`] (a bare thread count converts to
+/// the serialized deterministic default): filter phase per the plan's
+/// [`FilterMode`], then refinement fanned across the plan's worker
+/// threads (contiguous chunks of the batch, merged back in submission
+/// order).
+pub fn run_batch(queries: Vec<Query<'_>>, plan: impl Into<ExecPlan>) -> BatchOutcome {
+    let plan = plan.into();
+    match plan.mode {
+        // Overlapped scheduling only differs once two workers exist;
+        // at one thread the serialized path *is* the overlap order,
+        // which keeps the single-thread path deterministic.
+        FilterMode::Overlapped if plan.threads > 1 => run_batch_overlapped(queries, plan.threads),
+        FilterMode::OverlappedIo(cfg) => run_batch_overlapped_io(queries, plan.threads, cfg),
+        _ => run_batch_serialized(queries, plan.threads),
+    }
+}
+
+/// Run a batch under an explicit [`FilterMode`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_batch(queries, ExecPlan { threads, mode })"
+)]
+pub fn run_batch_with(queries: Vec<Query<'_>>, n_threads: usize, mode: FilterMode) -> BatchOutcome {
+    run_batch(
+        queries,
+        ExecPlan {
+            threads: n_threads,
+            mode,
+        },
+    )
+}
+
 /// The overlapped-I/O batch runner (see [`FilterMode::OverlappedIo`]):
-/// serialized traced filter phase, then the arm-timeline simulation on
-/// the calling thread concurrently with refinement on the worker pool.
+/// serialized traced filter phase, then the shared tail with the
+/// arm-timeline simulation.
 fn run_batch_overlapped_io(
     queries: Vec<Query<'_>>,
     n_threads: usize,
@@ -323,11 +451,12 @@ fn run_batch_overlapped_io(
         return BatchOutcome {
             outcomes: Vec::new(),
             arm_stats: Vec::new(),
+            inter_arrival_ms: 0.0,
         };
     }
     // The timed mode is the one mode with cross-query shared state (one
     // disk array, one set of DiskParams), so it must hold even when
-    // called directly rather than through `Workspace::run_batch_timed`.
+    // called directly rather than through `Workspace::run_batch`.
     let disk = queries[0].db.store.disk();
     for (i, q) in queries.iter().enumerate() {
         assert!(
@@ -338,23 +467,54 @@ fn run_batch_overlapped_io(
     }
     let params = disk.params();
     let mut scratch: Vec<LeafEntry> = Vec::new();
-    let mut prepared: Vec<Prepared<'_>> = queries
+    let prepared: Vec<Prepared<'_>> = queries
         .into_iter()
         .map(|q| prepare_one(q, &mut scratch, true))
         .collect();
-    let traces: Vec<QueryTrace> = prepared
-        .iter_mut()
-        .enumerate()
-        .map(|(i, p)| QueryTrace {
-            arrival_ms: i as f64 * cfg.inter_arrival_ms,
-            // The trace is only needed by the simulation — move it out
-            // instead of copying every request.
-            requests: std::mem::take(&mut p.trace),
-        })
-        .collect();
+    finish_batch(prepared, n_threads, Some((params, cfg)))
+}
+
+/// The shared tail of the serialized and timed paths: fan refinement
+/// across the worker pool — optionally replaying the captured request
+/// traces through the disk-arm scheduler on the calling thread
+/// *meanwhile* — then zip the outcomes back in submission order.
+fn finish_batch(
+    mut prepared: Vec<Prepared<'_>>,
+    n_threads: usize,
+    timing: Option<(spatialdb_disk::DiskParams, OverlapConfig)>,
+) -> BatchOutcome {
+    if prepared.is_empty() {
+        return BatchOutcome {
+            outcomes: Vec::new(),
+            arm_stats: Vec::new(),
+            inter_arrival_ms: 0.0,
+        };
+    }
+    // The open-arrival spacing comes from the batch's own traced filter
+    // phase: mean synchronous service time over the load factor,
+    // accumulated in submission order (the same summation order as a
+    // sequential loop, so the figure is bit-reproducible).
+    let spacing = timing.as_ref().map_or(0.0, |(_, cfg)| {
+        let mean = prepared.iter().map(|p| p.stats.io_ms).sum::<f64>() / prepared.len() as f64;
+        cfg.arrival.spacing_ms(mean)
+    });
+    let traces: Vec<QueryTrace> = if timing.is_some() {
+        prepared
+            .iter_mut()
+            .enumerate()
+            .map(|(i, p)| QueryTrace {
+                arrival_ms: i as f64 * spacing,
+                // The trace is only needed by the simulation — move it
+                // out instead of copying every request.
+                requests: std::mem::take(&mut p.trace),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let threads = n_threads.clamp(1, prepared.len());
     let per = prepared.len().div_ceil(threads);
-    let (refined, latency) = std::thread::scope(|scope| {
+    let (refined, timed) = std::thread::scope(|scope| {
         let handles: Vec<_> = prepared
             .chunks(per)
             .map(|chunk| {
@@ -369,25 +529,30 @@ fn run_batch_overlapped_io(
         // Refinement CPU overlaps with the simulated I/O: the workers
         // grind exact-geometry tests while this thread schedules the
         // depth-k request windows on the array's arms.
-        let latency = simulate_queries_striped(
-            params,
-            ArmGeometry::default(),
-            ArrayConfig {
-                arms: cfg.arms,
-                stripe: cfg.stripe,
-                policy: cfg.policy,
-                rotation: cfg.rotation,
-            },
-            cfg.depth,
-            &traces,
-        );
+        let timed = timing.map(|(params, cfg)| {
+            simulate_queries_striped(
+                params,
+                ArmGeometry::default(),
+                ArrayConfig {
+                    arms: cfg.arms,
+                    stripe: cfg.stripe,
+                    policy: cfg.policy,
+                    rotation: cfg.rotation,
+                },
+                cfg.depth,
+                &traces,
+            )
+        });
         let refined: Vec<Vec<u64>> = handles
             .into_iter()
             .flat_map(|h| h.join().expect("refinement worker panicked"))
             .collect();
-        (refined, latency)
+        (refined, timed)
     });
-    let (latency, arm_stats) = latency;
+    let (latency, arm_stats) = match timed {
+        Some((latency, arm_stats)) => (latency.into_iter().map(Some).collect(), arm_stats),
+        None => (vec![None; prepared.len()], Vec::new()),
+    };
     let outcomes = prepared
         .into_iter()
         .zip(refined)
@@ -396,12 +561,13 @@ fn run_batch_overlapped_io(
             ids,
             stats: p.stats,
             io: p.io,
-            latency: Some(lat),
+            latency: lat,
         })
         .collect();
     BatchOutcome {
         outcomes,
         arm_stats,
+        inter_arrival_ms: spacing,
     }
 }
 
@@ -416,6 +582,7 @@ fn run_batch_overlapped(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutco
         return BatchOutcome {
             outcomes: Vec::new(),
             arm_stats: Vec::new(),
+            inter_arrival_ms: 0.0,
         };
     }
     let threads = n_threads.clamp(1, queries.len());
@@ -460,50 +627,14 @@ fn run_batch_overlapped(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutco
     BatchOutcome {
         outcomes,
         arm_stats: Vec::new(),
+        inter_arrival_ms: 0.0,
     }
 }
 
+/// Serialized scheduling: deterministic filter phase on the calling
+/// thread, then the shared refinement tail.
 fn run_batch_serialized(queries: Vec<Query<'_>>, n_threads: usize) -> BatchOutcome {
-    let prepared = filter_phase(queries);
-    if prepared.is_empty() {
-        return BatchOutcome {
-            outcomes: Vec::new(),
-            arm_stats: Vec::new(),
-        };
-    }
-    let threads = n_threads.clamp(1, prepared.len());
-    let per = prepared.len().div_ceil(threads);
-    let refined: Vec<Vec<u64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = prepared
-            .chunks(per)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|p| refine(p.db, &p.target, &p.candidates))
-                        .collect::<Vec<Vec<u64>>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("refinement worker panicked"))
-            .collect()
-    });
-    let outcomes = prepared
-        .into_iter()
-        .zip(refined)
-        .map(|(p, ids)| QueryOutcome {
-            ids,
-            stats: p.stats,
-            io: p.io,
-            latency: None,
-        })
-        .collect();
-    BatchOutcome {
-        outcomes,
-        arm_stats: Vec::new(),
-    }
+    finish_batch(filter_phase(queries), n_threads, None)
 }
 
 /// Run one query with its refinement partitioned across `n_threads`

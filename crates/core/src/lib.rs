@@ -72,6 +72,7 @@
 #![warn(missing_docs)]
 
 pub mod bulkload;
+pub mod config;
 pub mod db;
 pub mod executor;
 pub mod experiments;
@@ -79,8 +80,9 @@ pub mod query;
 pub mod report;
 
 pub use bulkload::bulk_load_records_par;
+pub use config::{ConfigError, EngineConfig};
 pub use db::{DbOptions, SpatialDatabase, Workspace};
-pub use executor::{BatchOutcome, FilterMode, OverlapConfig, QueryOutcome};
+pub use executor::{Arrival, BatchOutcome, ExecPlan, FilterMode, OverlapConfig, QueryOutcome};
 pub use query::{JoinCursor, JoinQuery, Query, ResultCursor};
 
 pub use spatialdb_data as data;

@@ -1,0 +1,141 @@
+//! Golden-file regression support: extract the `"rows"` array of a
+//! checked-in `BENCH_*.json` and key rows for exact-match comparison.
+//!
+//! The benchmark files are written as one row per line inside a
+//! `"rows": [ … ]` block, so no general JSON parser is needed — rows
+//! are compared as **verbatim strings** (the whole point: the harness
+//! must reproduce the binaries' formatting byte for byte), and only
+//! the key fields are scanned out for matching.
+
+use std::path::Path;
+
+/// Which benchmark's row shape a cell should be rendered and keyed as.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowFormat {
+    /// `BENCH_io_latency.json`: keyed by `org`/`policy`/`depth`.
+    IoLatency,
+    /// `BENCH_decluster.json`: keyed by `org`/`stripe`/`policy`/`arms`.
+    Decluster,
+}
+
+/// The identifying fields of one benchmark row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowKey {
+    /// `"org"` field.
+    pub org: String,
+    /// `"policy"` field.
+    pub policy: String,
+    /// `"depth"` field (io-latency rows; 0 otherwise).
+    pub depth: u64,
+    /// `"stripe"` field (decluster rows; empty otherwise).
+    pub stripe: String,
+    /// `"arms"` field (decluster rows; 0 otherwise).
+    pub arms: u64,
+}
+
+/// Scan one `"field": value` out of a row, returning the raw value
+/// text (quotes stripped for strings).
+pub fn field<'a>(row: &'a str, name: &str) -> Option<&'a str> {
+    let needle = format!("\"{name}\": ");
+    let start = row.find(&needle)? + needle.len();
+    let rest = &row[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(&stripped[..end])
+    } else {
+        let end = rest
+            .find([',', '}'])
+            .unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// Key a row (generated or golden) for matching. `None` when a
+/// required key field is missing.
+pub fn row_key(row: &str, format: RowFormat) -> Option<RowKey> {
+    let org = field(row, "org")?.to_string();
+    let policy = field(row, "policy")?.to_string();
+    match format {
+        RowFormat::IoLatency => Some(RowKey {
+            org,
+            policy,
+            depth: field(row, "depth")?.parse().ok()?,
+            stripe: String::new(),
+            arms: 0,
+        }),
+        RowFormat::Decluster => Some(RowKey {
+            org,
+            policy,
+            depth: 0,
+            stripe: field(row, "stripe")?.to_string(),
+            arms: field(row, "arms")?.parse().ok()?,
+        }),
+    }
+}
+
+/// Read a benchmark golden file and return its rows, one verbatim
+/// line each (trailing commas stripped, indentation kept).
+pub fn load_rows(path: &Path) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse_rows(&text).ok_or_else(|| "no \"rows\": [ … ] block found".to_string())
+}
+
+/// Extract the row lines from a benchmark JSON text.
+pub fn parse_rows(text: &str) -> Option<Vec<String>> {
+    let start = text.find("\"rows\": [")?;
+    let mut rows = Vec::new();
+    let mut in_rows = false;
+    for line in text[start..].lines() {
+        if !in_rows {
+            in_rows = true; // the `"rows": [` line itself
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed == "]" || trimmed.starts_with(']') {
+            return Some(rows);
+        }
+        rows.push(line.trim_end_matches(',').to_string());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "{\n  \"bench\": \"io_latency\",\n  \"rows\": [\n    \
+        {\"org\": \"secondary\", \"policy\": \"fcfs\", \"depth\": 1, \"p50_ms\": 1.125},\n    \
+        {\"org\": \"cluster\", \"policy\": \"elevator\", \"depth\": 16, \"p50_ms\": 2.5}\n  ]\n}\n";
+
+    #[test]
+    fn parses_rows_and_fields() {
+        let rows = parse_rows(SAMPLE).expect("rows");
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].starts_with("    {\"org\": \"secondary\""));
+        assert!(!rows[0].ends_with(','));
+        assert_eq!(field(&rows[0], "org"), Some("secondary"));
+        assert_eq!(field(&rows[0], "depth"), Some("1"));
+        assert_eq!(field(&rows[0], "p50_ms"), Some("1.125"));
+        assert_eq!(field(&rows[0], "missing"), None);
+    }
+
+    #[test]
+    fn keys_io_latency_rows() {
+        let rows = parse_rows(SAMPLE).expect("rows");
+        let k = row_key(&rows[1], RowFormat::IoLatency).expect("key");
+        assert_eq!(k.org, "cluster");
+        assert_eq!(k.policy, "elevator");
+        assert_eq!(k.depth, 16);
+        // Decluster keying fails: no stripe field.
+        assert!(row_key(&rows[1], RowFormat::Decluster).is_none());
+    }
+
+    #[test]
+    fn keys_decluster_rows() {
+        let row = "    {\"org\": \"primary\", \"stripe\": \"region_hash\", \
+                   \"policy\": \"fcfs\", \"arms\": 4, \"iops\": 100.25}";
+        let k = row_key(row, RowFormat::Decluster).expect("key");
+        assert_eq!(k.stripe, "region_hash");
+        assert_eq!(k.arms, 4);
+    }
+}

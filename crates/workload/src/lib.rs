@@ -1,0 +1,56 @@
+//! # spatialdb-workload
+//!
+//! A declarative scenario harness over the `spatialdb` engine: declare
+//! *what* to measure — dataset, engine configuration, window sweep,
+//! arrival discipline, replay grid, mixed operation stream — and the
+//! driver handles *how*: workspace construction from one
+//! [`EngineConfig`](spatialdb::EngineConfig), deterministic bulk
+//! loading, the traced filter pass, the arm-array replay, and report
+//! assembly.
+//!
+//! ```no_run
+//! use spatialdb::{Arrival, EngineConfig, Routing, StripePolicy};
+//! use spatialdb_workload::{Dataset, Mix, Scenario, SchedPolicy};
+//!
+//! let report = Scenario::new("fig-like")
+//!     .dataset(Dataset::uniform(10_000).polyline_segments(8))
+//!     .engine(
+//!         EngineConfig::default()
+//!             .shards(8)
+//!             .routing(Routing::ByRegion)
+//!             .arms(4, StripePolicy::RoundRobin),
+//!     )
+//!     .arrivals(Arrival::open(0.7))
+//!     .mix(Mix::new().window(0.6).point(0.2).join(0.1).insert(0.1))
+//!     .depth(8)
+//!     .policy(SchedPolicy::Elevator)
+//!     .run();
+//!
+//! report
+//!     .assert_p99_under_ms(50_000.0)
+//!     .assert_stats_conserved();
+//! ```
+//!
+//! The harness is exact where it matters: the same scenario and seed
+//! produce a byte-identical [`ScenarioReport`] at any thread count,
+//! and the benchmark-shaped scenarios reproduce the checked-in
+//! `BENCH_io_latency.json` / `BENCH_decluster.json` rows byte for byte
+//! ([`ScenarioReport::assert_matches_golden`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod golden;
+pub mod mix;
+pub mod report;
+pub mod scenario;
+
+pub use dataset::Dataset;
+pub use golden::RowFormat;
+pub use mix::Mix;
+pub use report::{org_label, policy_label, stripe_label, Cell, MixOutcome, ScenarioReport};
+pub use scenario::{Scenario, WindowSweep};
+
+/// The arm scheduling policy, under the name scenarios speak.
+pub use spatialdb::ArmPolicy as SchedPolicy;

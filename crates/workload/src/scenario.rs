@@ -1,0 +1,459 @@
+//! The declarative scenario builder and driver.
+//!
+//! A [`Scenario`] declares a complete experiment — dataset, engine
+//! configuration, window sweep, arrival discipline, replay grid, and
+//! optionally a mixed operation stream — and [`run`](Scenario::run)
+//! executes it: build the workspace from one [`EngineConfig`], bulk
+//! load every database, sweep the grid cell by cell through the
+//! unified [`Workspace::run_batch`] entry point, and fold everything
+//! into a [`ScenarioReport`].
+//!
+//! The driver reproduces the benchmark binaries exactly: the same
+//! deterministic datasets, the same window sweeps, the same
+//! open-arrival spacing derived from the same traced filter pass — so
+//! a scenario's cells match the checked-in `BENCH_*.json` rows byte
+//! for byte ([`ScenarioReport::assert_matches_golden`]).
+
+use crate::dataset::Dataset;
+use crate::mix::{run_mix, Mix};
+use crate::report::{Cell, Conservation, ScenarioReport};
+use spatialdb::geom::Rect;
+use spatialdb::report::summarize_latencies;
+use spatialdb::storage::{OrganizationKind, WindowTechnique};
+use spatialdb::{
+    ArmPolicy, Arrival, DbOptions, EngineConfig, ExecPlan, OverlapConfig, SpatialDatabase,
+    StripePolicy, Workspace,
+};
+
+/// The benchmark binaries' deterministic window sweep: `count` windows
+/// whose sizes cycle with period `size_period` between `size_base` and
+/// `size_base + size_amp`, positions raking across the unit square.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowSweep {
+    count: usize,
+    size_base: f64,
+    size_amp: f64,
+    size_period: usize,
+}
+
+impl WindowSweep {
+    /// A sweep of `count` windows with the `io_latency` benchmark's
+    /// size cycle (0.04 … 0.26, period 7).
+    pub fn new(count: usize) -> Self {
+        WindowSweep {
+            count,
+            size_base: 0.04,
+            size_amp: 0.22,
+            size_period: 7,
+        }
+    }
+
+    /// Smallest window side length.
+    #[must_use]
+    pub fn size_base(mut self, base: f64) -> Self {
+        self.size_base = base;
+        self
+    }
+
+    /// Size-cycle amplitude (largest side = base + amp).
+    #[must_use]
+    pub fn size_amp(mut self, amp: f64) -> Self {
+        self.size_amp = amp;
+        self
+    }
+
+    /// Size-cycle period. Must be nonzero.
+    #[must_use]
+    pub fn size_period(mut self, period: usize) -> Self {
+        assert!(period > 0, "size period must be nonzero");
+        self.size_period = period;
+        self
+    }
+
+    /// Number of windows.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Materialize the sweep, byte-identical to the binaries'
+    /// `workload` helpers.
+    pub fn generate(&self) -> Vec<Rect> {
+        let n = self.count;
+        let period = self.size_period as f64;
+        (0..n)
+            .map(|i| {
+                let f = i as f64 / n as f64;
+                let size =
+                    self.size_base + self.size_amp * ((i % self.size_period) as f64 / period);
+                let x = (f * 13.0) % (1.0 - size);
+                let y = (f * 7.0) % (1.0 - size);
+                Rect::new(x, y, x + size, y + size)
+            })
+            .collect()
+    }
+}
+
+/// A declarative experiment: build it fluently, then [`run`](Scenario::run).
+///
+/// ```no_run
+/// use spatialdb::{Arrival, EngineConfig};
+/// use spatialdb_workload::{Dataset, Mix, Scenario, SchedPolicy, WindowSweep};
+///
+/// let report = Scenario::new("fig-like")
+///     .dataset(Dataset::uniform(10_000).polyline_segments(8))
+///     .engine(EngineConfig::default().buffer_pages(1024))
+///     .windows(WindowSweep::new(96))
+///     .arrivals(Arrival::open(0.7))
+///     .mix(Mix::new().window(0.6).point(0.2).join(0.1).insert(0.1))
+///     .depth(8)
+///     .policy(SchedPolicy::Elevator)
+///     .run();
+/// report.assert_p99_under_ms(10_000.0).assert_stats_conserved();
+/// ```
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    name: String,
+    dataset: Dataset,
+    databases: usize,
+    engine: EngineConfig,
+    organizations: Vec<OrganizationKind>,
+    technique: WindowTechnique,
+    windows: WindowSweep,
+    arrival: Arrival,
+    depths: Vec<usize>,
+    policies: Vec<ArmPolicy>,
+    arms_grid: Option<Vec<usize>>,
+    stripes: Option<Vec<StripePolicy>>,
+    threads: usize,
+    seed: u64,
+    mix: Option<Mix>,
+    operations: usize,
+}
+
+impl Scenario {
+    /// Start a scenario. The defaults are a one-database grid dataset
+    /// of 2 000 objects, the default engine, all three organizations,
+    /// a 64-window sweep, closed (burst) arrivals, and a single
+    /// depth-4 elevator cell per organization.
+    pub fn new(name: impl Into<String>) -> Self {
+        Scenario {
+            name: name.into(),
+            dataset: Dataset::grid(2_000),
+            databases: 1,
+            engine: EngineConfig::default(),
+            organizations: vec![
+                OrganizationKind::Secondary,
+                OrganizationKind::Primary,
+                OrganizationKind::Cluster,
+            ],
+            technique: WindowTechnique::Slm,
+            windows: WindowSweep::new(64),
+            arrival: Arrival::Burst,
+            depths: vec![4],
+            policies: vec![ArmPolicy::Elevator],
+            arms_grid: None,
+            stripes: None,
+            threads: 2,
+            seed: 42,
+            mix: None,
+            operations: 64,
+        }
+    }
+
+    /// What to load (total objects, split evenly across the databases).
+    #[must_use]
+    pub fn dataset(mut self, dataset: Dataset) -> Self {
+        self.dataset = dataset;
+        self
+    }
+
+    /// How many databases share the workspace (regions decluster
+    /// across the arm array per database). Must be nonzero.
+    #[must_use]
+    pub fn databases(mut self, n: usize) -> Self {
+        assert!(n > 0, "a scenario needs at least one database");
+        self.databases = n;
+        self
+    }
+
+    /// The one configuration of the simulated machine.
+    #[must_use]
+    pub fn engine(mut self, config: EngineConfig) -> Self {
+        self.engine = config;
+        self
+    }
+
+    /// Which storage organizations to sweep (default: all three).
+    #[must_use]
+    pub fn organizations(mut self, kinds: &[OrganizationKind]) -> Self {
+        assert!(!kinds.is_empty(), "need at least one organization");
+        self.organizations = kinds.to_vec();
+        self
+    }
+
+    /// Window-query technique (default: SLM).
+    #[must_use]
+    pub fn technique(mut self, technique: WindowTechnique) -> Self {
+        self.technique = technique;
+        self
+    }
+
+    /// The window sweep each cell replays.
+    #[must_use]
+    pub fn windows(mut self, sweep: WindowSweep) -> Self {
+        assert!(sweep.count() > 0, "a sweep needs at least one window");
+        self.windows = sweep;
+        self
+    }
+
+    /// Arrival discipline of the timed replay (default: closed burst).
+    #[must_use]
+    pub fn arrivals(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Replay with a single outstanding-request depth.
+    #[must_use]
+    pub fn depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "depth must be nonzero");
+        self.depths = vec![depth];
+        self
+    }
+
+    /// Sweep several outstanding-request depths.
+    #[must_use]
+    pub fn sweep_depths(mut self, depths: &[usize]) -> Self {
+        assert!(!depths.is_empty() && depths.iter().all(|&d| d > 0));
+        self.depths = depths.to_vec();
+        self
+    }
+
+    /// Replay under a single arm scheduling policy.
+    #[must_use]
+    pub fn policy(mut self, policy: ArmPolicy) -> Self {
+        self.policies = vec![policy];
+        self
+    }
+
+    /// Sweep several arm scheduling policies.
+    #[must_use]
+    pub fn sweep_policies(mut self, policies: &[ArmPolicy]) -> Self {
+        assert!(!policies.is_empty());
+        self.policies = policies.to_vec();
+        self
+    }
+
+    /// Sweep several arm counts (default: the engine's arm count).
+    #[must_use]
+    pub fn sweep_arms(mut self, arms: &[usize]) -> Self {
+        assert!(!arms.is_empty() && arms.iter().all(|&a| a > 0));
+        self.arms_grid = Some(arms.to_vec());
+        self
+    }
+
+    /// Sweep several stripe policies (default: the engine's stripe).
+    #[must_use]
+    pub fn sweep_stripes(mut self, stripes: &[StripePolicy]) -> Self {
+        assert!(!stripes.is_empty());
+        self.stripes = Some(stripes.to_vec());
+        self
+    }
+
+    /// Executor threads for the filter/refinement phases. The report
+    /// is byte-identical at any value (the determinism contract).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Seed for dataset synthesis and the mixed stream.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// After the sweep, run a mixed operation stream per organization
+    /// under the given weights ([`operations`](Scenario::operations)
+    /// sets its length; default 64).
+    #[must_use]
+    pub fn mix(mut self, mix: Mix) -> Self {
+        self.mix = Some(mix);
+        self
+    }
+
+    /// Length of the mixed operation stream (only meaningful with
+    /// [`mix`](Scenario::mix)).
+    #[must_use]
+    pub fn operations(mut self, operations: usize) -> Self {
+        self.operations = operations;
+        self
+    }
+
+    /// Execute the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine configuration is invalid
+    /// ([`EngineConfig::validate`]) or a builder invariant is violated.
+    pub fn run(self) -> ScenarioReport {
+        self.engine
+            .validate()
+            .unwrap_or_else(|e| panic!("scenario '{}': invalid engine config: {e}", self.name));
+        let windows = self.windows.generate();
+        let per_db = self.dataset.objects() / self.databases as u64;
+        let arms_grid = self
+            .arms_grid
+            .clone()
+            .unwrap_or_else(|| vec![self.engine.arms]);
+        let stripes = self
+            .stripes
+            .clone()
+            .unwrap_or_else(|| vec![self.engine.stripe]);
+
+        let mut report = ScenarioReport {
+            name: self.name.clone(),
+            objects: self.dataset.objects(),
+            queries: windows.len(),
+            databases: self.databases,
+            cells: Vec::new(),
+            conservation: Vec::new(),
+            mixes: Vec::new(),
+            mix_conservation: Vec::new(),
+        };
+
+        for &kind in &self.organizations {
+            let ws = Workspace::from_config(self.engine);
+            let load_threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+            let mut dbs: Vec<SpatialDatabase> = (0..self.databases)
+                .map(|d| {
+                    let mut db = ws.create_database(DbOptions::new(kind).technique(self.technique));
+                    let objects = self.dataset.materialize(per_db, d as u64, self.seed);
+                    ws.bulk_load_par(&mut db, objects, load_threads);
+                    db.finish_loading();
+                    db
+                })
+                .collect();
+
+            // The replay grid. Nesting order (stripes → depths →
+            // policies → arms) reproduces both benchmark binaries' row
+            // orders once the singleton dimensions collapse.
+            for &stripe in &stripes {
+                for &depth in &self.depths {
+                    for &policy in &self.policies {
+                        for &arms in &arms_grid {
+                            let (cell, conservation) = self.run_cell(
+                                &ws, &mut dbs, &windows, kind, depth, policy, arms, stripe,
+                            );
+                            report.cells.push(cell);
+                            report.conservation.push(conservation);
+                        }
+                    }
+                }
+            }
+
+            if let Some(mix) = &self.mix {
+                let (mut outcome, conservation) = run_mix(
+                    &ws,
+                    &mut dbs,
+                    mix,
+                    self.operations,
+                    self.threads,
+                    self.seed,
+                    per_db,
+                );
+                outcome.org = Some(kind);
+                report.mixes.push(outcome);
+                report.mix_conservation.push(conservation);
+            }
+        }
+        report
+    }
+
+    /// One grid cell: reset the caches to the same cold state, re-run
+    /// the traced filter pass (trace-identical every time), and replay
+    /// through the arm array.
+    #[allow(clippy::too_many_arguments)]
+    fn run_cell(
+        &self,
+        ws: &Workspace,
+        dbs: &mut [SpatialDatabase],
+        windows: &[Rect],
+        kind: OrganizationKind,
+        depth: usize,
+        policy: ArmPolicy,
+        arms: usize,
+        stripe: StripePolicy,
+    ) -> (Cell, Conservation) {
+        for db in dbs.iter_mut() {
+            db.store_mut().begin_query();
+        }
+        let global_before = ws.disk().stats();
+        let n_dbs = dbs.len();
+        let batch: Vec<_> = windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| dbs[i % n_dbs].query().window(*w).technique(self.technique))
+            .collect();
+        let out = ws.run_batch(
+            batch,
+            ExecPlan::threads(self.threads).timed(OverlapConfig {
+                depth,
+                policy,
+                arrival: self.arrival,
+                arms,
+                stripe,
+                ..OverlapConfig::default()
+            }),
+        );
+
+        let mut attributed = spatialdb::IoStats::default();
+        let mut latencies = Vec::with_capacity(out.len());
+        let mut makespan = 0.0f64;
+        let mut service = 0.0f64;
+        let mut requests = 0u64;
+        for q in out.outcomes() {
+            attributed = attributed.plus(&q.io_stats());
+            let lat = q.latency_stats().expect("timed batch attaches latency");
+            latencies.push(lat.latency_ms());
+            makespan = makespan.max(lat.completed_ms);
+            service += lat.service_ms;
+            requests += lat.requests;
+        }
+        let summary = summarize_latencies(&mut latencies);
+        let busy_arms = out.arm_stats().iter().filter(|a| a.serviced > 0).count();
+        let max_util = out
+            .arm_stats()
+            .iter()
+            .map(|a| a.utilization())
+            .fold(0.0, f64::max);
+        let iops = if makespan > 0.0 {
+            requests as f64 / makespan * 1000.0
+        } else {
+            0.0
+        };
+        let cell = Cell {
+            org: kind,
+            depth,
+            policy,
+            arms,
+            stripe,
+            latency: summary,
+            makespan_ms: makespan,
+            service_ms: service,
+            requests,
+            busy_arms,
+            max_util,
+            iops,
+            inter_arrival_ms: out.inter_arrival_ms(),
+        };
+        let conservation = Conservation {
+            attributed,
+            global: ws.disk().stats().since(&global_before),
+        };
+        (cell, conservation)
+    }
+}

@@ -6,13 +6,16 @@
 //! Run with: `cargo run --release -p spatialdb-core --example quickstart`
 
 use spatialdb::geom::{HasMbr, Point, Polygon, Polyline, Rect};
-use spatialdb::{DbOptions, OrganizationKind, Workspace};
+use spatialdb::{DbOptions, EngineConfig, OrganizationKind, Workspace};
 
 fn main() {
     // A workspace is one simulated machine: a 1994-style magnetic disk
     // (9 ms seek, 6 ms latency, 1 ms transfer per 4 KB page) plus an LRU
-    // buffer of 512 pages.
-    let ws = Workspace::new(512);
+    // buffer of 512 pages. Every knob of the machine — buffer capacity,
+    // pool sharding, the disk-arm array — lives on one validated
+    // `EngineConfig` (`Workspace::new(512)` is shorthand for exactly
+    // this default).
+    let ws = Workspace::from_config(EngineConfig::default().buffer_pages(512));
 
     // A database using the paper's cluster organization: the R*-tree
     // indexes MBRs, and each data page's objects live together in one

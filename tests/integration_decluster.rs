@@ -8,13 +8,14 @@
 //! The array-level anchors (partition properties, parallel drain order,
 //! one-arm equivalence of `DiskArray` itself) are asserted inside
 //! `spatialdb-disk`; these tests pin the same contract through
-//! `Workspace::run_batch_timed`.
+//! `Workspace::run_batch` under a timed [`ExecPlan`].
 
 use spatialdb::data::workload::WindowQuerySet;
 use spatialdb::data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
 use spatialdb::storage::WindowTechnique;
 use spatialdb::{
-    ArmPolicy, DbOptions, OrganizationKind, OverlapConfig, SpatialDatabase, StripePolicy, Workspace,
+    ArmPolicy, Arrival, DbOptions, EngineConfig, ExecPlan, OrganizationKind, OverlapConfig,
+    SpatialDatabase, StripePolicy, Workspace,
 };
 
 const ALL_KINDS: [OrganizationKind; 3] = [
@@ -68,7 +69,7 @@ fn run_timed(
         .iter()
         .map(|w| db.query().window(*w).technique(technique))
         .collect();
-    ws.run_batch_timed(batch, 2, config)
+    ws.run_batch(batch, ExecPlan::threads(2).timed(config))
 }
 
 fn makespan(batch: &spatialdb::BatchOutcome) -> f64 {
@@ -92,7 +93,7 @@ fn one_arm_any_stripe_matrix_matches_single_arm_path() {
             let base_cfg = OverlapConfig {
                 depth: 4,
                 policy: ArmPolicy::Elevator,
-                inter_arrival_ms: 10.0,
+                arrival: Arrival::every_ms(10.0),
                 ..OverlapConfig::default()
             };
             let ws_base = Workspace::new(BUFFER_PAGES);
@@ -149,7 +150,7 @@ fn multi_arm_replay_preserves_answers_and_charges() {
             OverlapConfig {
                 depth: 8,
                 policy: ArmPolicy::Fcfs,
-                inter_arrival_ms: 0.0,
+                arrival: Arrival::Burst,
                 arms,
                 stripe,
                 ..OverlapConfig::default()
@@ -263,17 +264,16 @@ fn declustered_batch_across_databases_shrinks_makespan() {
                     .technique(WindowTechnique::Slm)
             })
             .collect();
-        let out = ws.run_batch_timed(
+        let out = ws.run_batch(
             batch,
-            2,
-            OverlapConfig {
+            ExecPlan::threads(2).timed(OverlapConfig {
                 depth: 8,
                 policy: ArmPolicy::Fcfs,
-                inter_arrival_ms: 0.0,
+                arrival: Arrival::Burst,
                 arms,
                 stripe: StripePolicy::RoundRobin,
                 ..OverlapConfig::default()
-            },
+            }),
         );
         let ids: Vec<Vec<u64>> = out.outcomes().iter().map(|o| o.ids().to_vec()).collect();
         (makespan(&out), ids)
@@ -287,11 +287,10 @@ fn declustered_batch_across_databases_shrinks_makespan() {
     );
 }
 
-/// The `Workspace` conveniences: `configure_arms` re-shapes the
-/// workspace's own disk (visible via `num_arms`/`stripe_policy`)
-/// without touching the charged path, and `set_adaptive_shards`
-/// toggles the pool's quota mode — neither changes a synchronous
-/// workload's answers or charges.
+/// The `EngineConfig` knobs: `arms(..)` shapes the workspace's own
+/// disk (visible via `num_arms`/`stripe_policy`) without touching the
+/// charged path, and `adaptive_shards(true)` toggles the pool's quota
+/// mode — neither changes a synchronous workload's answers or charges.
 #[test]
 fn workspace_conveniences_leave_charges_flat() {
     let map = test_map();
@@ -312,14 +311,22 @@ fn workspace_conveniences_leave_charges_flat() {
     let plain = Workspace::new(BUFFER_PAGES);
     let base = run(&plain);
 
-    let striped = Workspace::new(BUFFER_PAGES);
-    striped.configure_arms(4, StripePolicy::RegionHash);
+    let striped = Workspace::from_config(
+        EngineConfig::default()
+            .buffer_pages(BUFFER_PAGES)
+            .arms(4, StripePolicy::RegionHash),
+    );
     assert_eq!(striped.disk().num_arms(), 4);
     assert_eq!(striped.disk().stripe_policy(), StripePolicy::RegionHash);
     assert_eq!(run(&striped), base, "arm config leaked into charges");
 
-    let adaptive = Workspace::with_shard_routing(BUFFER_PAGES, 4, spatialdb::Routing::ByRegion);
-    adaptive.set_adaptive_shards(true);
+    let adaptive = Workspace::from_config(
+        EngineConfig::default()
+            .buffer_pages(BUFFER_PAGES)
+            .shards(4)
+            .routing(spatialdb::Routing::ByRegion)
+            .adaptive_shards(true),
+    );
     let got = run(&adaptive);
     for ((ids, stats, _), (base_ids, base_stats, _)) in got.iter().zip(&base) {
         assert_eq!(ids, base_ids, "adaptive shards changed the answers");

@@ -14,7 +14,8 @@ use spatialdb::data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
 use spatialdb::disk::IoStats;
 use spatialdb::storage::{MemoryStore, QueryStats, WindowTechnique};
 use spatialdb::{
-    ArmPolicy, DbOptions, OrganizationKind, OverlapConfig, SpatialDatabase, Workspace,
+    ArmPolicy, Arrival, DbOptions, ExecPlan, OrganizationKind, OverlapConfig, SpatialDatabase,
+    Workspace,
 };
 
 const ALL_KINDS: [OrganizationKind; 3] = [
@@ -88,7 +89,7 @@ fn run_timed(
         .iter()
         .map(|w| db.query().window(*w).technique(technique))
         .collect();
-    ws.run_batch_timed(batch, 2, config)
+    ws.run_batch(batch, ExecPlan::threads(2).timed(config))
 }
 
 /// The acceptance matrix: at queue depth 1 under FCFS, the timed
@@ -102,7 +103,7 @@ fn depth_one_fcfs_matrix_matches_sync_path() {
     let config = OverlapConfig {
         depth: 1,
         policy: ArmPolicy::Fcfs,
-        inter_arrival_ms: 0.0,
+        arrival: Arrival::Burst,
         ..OverlapConfig::default()
     };
     for kind in ALL_KINDS {
@@ -165,7 +166,7 @@ fn timed_latency_is_deterministic() {
     let config = OverlapConfig {
         depth: 4,
         policy: ArmPolicy::Elevator,
-        inter_arrival_ms: 20.0,
+        arrival: Arrival::every_ms(20.0),
         ..OverlapConfig::default()
     };
     let run = || {
@@ -200,7 +201,7 @@ fn elevator_beats_fcfs_at_depth_four() {
             OverlapConfig {
                 depth: 4,
                 policy,
-                inter_arrival_ms: 0.0, // closed burst: maximal queueing
+                arrival: Arrival::Burst, // closed burst: maximal queueing
                 ..OverlapConfig::default()
             },
         );
@@ -247,7 +248,7 @@ fn depth_controls_per_query_overlap() {
             OverlapConfig {
                 depth,
                 policy: ArmPolicy::Elevator,
-                inter_arrival_ms: 1e7,
+                arrival: Arrival::every_ms(1e7),
                 ..OverlapConfig::default()
             },
         )
@@ -316,7 +317,7 @@ fn memory_store_has_zero_latency() {
         .iter()
         .map(|w| db.query().window(*w))
         .collect();
-    let out = ws.run_batch_timed(batch, 2, OverlapConfig::default());
+    let out = ws.run_batch(batch, ExecPlan::threads(2).timed(OverlapConfig::default()));
     for o in out.outcomes() {
         let l = o.latency_stats().expect("latency present");
         assert_eq!(l.requests, 0);

@@ -13,7 +13,7 @@ use spatialdb::data::workload::WindowQuerySet;
 use spatialdb::data::{DataSet, GeometryMode, MapId, SeriesId, SpatialMap};
 use spatialdb::disk::IoStats;
 use spatialdb::storage::{QueryStats, WindowTechnique};
-use spatialdb::{DbOptions, OrganizationKind, SpatialDatabase, Workspace};
+use spatialdb::{DbOptions, EngineConfig, ExecPlan, OrganizationKind, SpatialDatabase, Workspace};
 
 const ALL_KINDS: [OrganizationKind; 3] = [
     OrganizationKind::Secondary,
@@ -87,7 +87,8 @@ fn one_shard_matrix_byte_identical_stats() {
             let mut db_plain = load(&ws_plain, kind, &map);
             let plain = run_workload(&mut db_plain, &queries, technique);
 
-            let ws_sharded = Workspace::with_shards(BUFFER_PAGES, 1);
+            let ws_sharded =
+                Workspace::from_config(EngineConfig::default().buffer_pages(BUFFER_PAGES));
             let mut db_sharded = load(&ws_sharded, kind, &map);
             let sharded = run_workload(&mut db_sharded, &queries, technique);
 
@@ -110,13 +111,17 @@ fn multi_shard_conserves_answers_budget_and_access_counts() {
     let map = test_map();
     let queries = WindowQuerySet::generate(&map, 1e-2, 10, 5);
     for kind in ALL_KINDS {
-        let ws_one = Workspace::with_shards(BUFFER_PAGES, 1);
+        let ws_one = Workspace::from_config(EngineConfig::default().buffer_pages(BUFFER_PAGES));
         let mut db_one = load(&ws_one, kind, &map);
         let base = run_workload(&mut db_one, &queries, WindowTechnique::Slm);
         let base_accesses = ws_one.pool().hits() + ws_one.pool().misses();
 
         for shards in [2usize, 4] {
-            let ws = Workspace::with_shards(BUFFER_PAGES, shards);
+            let ws = Workspace::from_config(
+                EngineConfig::default()
+                    .buffer_pages(BUFFER_PAGES)
+                    .shards(shards),
+            );
             assert_eq!(ws.pool().num_shards(), shards);
             let quota_total: usize = (0..shards).map(|i| ws.pool().shard_capacity(i)).sum();
             assert_eq!(quota_total, BUFFER_PAGES, "budget conserved across quotas");
@@ -149,7 +154,7 @@ fn multi_shard_conserves_answers_budget_and_access_counts() {
     }
 }
 
-/// Region-keyed shard routing (`Workspace::with_shard_routing`): each
+/// Region-keyed shard routing (`EngineConfig::routing(ByRegion)`): each
 /// database file becomes one lock domain. Answers and candidate sets
 /// never change versus page-hash routing, the budget is conserved, and
 /// every page of one region really routes to one shard.
@@ -159,11 +164,17 @@ fn region_routing_conserves_answers_and_partitions_regions() {
     let map = test_map();
     let queries = WindowQuerySet::generate(&map, 1e-2, 10, 5);
     for kind in ALL_KINDS {
-        let ws_page = Workspace::with_shards(BUFFER_PAGES, 4);
+        let ws_page =
+            Workspace::from_config(EngineConfig::default().buffer_pages(BUFFER_PAGES).shards(4));
         let mut db_page = load(&ws_page, kind, &map);
         let base = run_workload(&mut db_page, &queries, WindowTechnique::Slm);
 
-        let ws_region = Workspace::with_shard_routing(BUFFER_PAGES, 4, Routing::ByRegion);
+        let ws_region = Workspace::from_config(
+            EngineConfig::default()
+                .buffer_pages(BUFFER_PAGES)
+                .shards(4)
+                .routing(Routing::ByRegion),
+        );
         assert_eq!(ws_region.pool().routing(), Routing::ByRegion);
         let mut db_region = load(&ws_region, kind, &map);
         let run = run_workload(&mut db_region, &queries, WindowTechnique::Slm);
@@ -199,7 +210,7 @@ fn region_routing_conserves_answers_and_partitions_regions() {
 fn overlapped_batch_matches_serialized_answers() {
     let map = test_map();
     let queries = WindowQuerySet::generate(&map, 1e-2, 16, 5);
-    let ws = Workspace::with_shards(BUFFER_PAGES, 4);
+    let ws = Workspace::from_config(EngineConfig::default().buffer_pages(BUFFER_PAGES).shards(4));
     let mut db = load(&ws, OrganizationKind::Cluster, &map);
 
     db.store_mut().begin_query();
@@ -212,13 +223,13 @@ fn overlapped_batch_matches_serialized_answers() {
         4,
     );
     db.store_mut().begin_query();
-    let overlapped = ws.run_batch_overlapped(
+    let overlapped = ws.run_batch(
         queries
             .windows
             .iter()
             .map(|w| db.query().window(*w))
-            .collect(),
-        4,
+            .collect::<Vec<_>>(),
+        ExecPlan::threads(4).overlapped(),
     );
     assert_eq!(serialized.len(), overlapped.len());
     for (s, o) in serialized.outcomes().iter().zip(overlapped.outcomes()) {
@@ -239,13 +250,13 @@ fn overlapped_batch_matches_serialized_answers() {
         1,
     );
     db.store_mut().begin_query();
-    let overlap_one = ws.run_batch_overlapped(
+    let overlap_one = ws.run_batch(
         queries
             .windows
             .iter()
             .map(|w| db.query().window(*w))
-            .collect(),
-        1,
+            .collect::<Vec<_>>(),
+        ExecPlan::threads(1).overlapped(),
     );
     for (s, o) in serial_one.outcomes().iter().zip(overlap_one.outcomes()) {
         assert_eq!(s.ids(), o.ids());
