@@ -7,7 +7,7 @@
 //! HashSet-order placement flap, the flush-under-old-mapping double
 //! charge), so this crate machine-checks them: a hand-rolled lexer
 //! (no external dependencies — the workspace builds offline) feeds
-//! five line-level rules over every `crates/*/src` file.
+//! six line-level rules over every `crates/*/src` file.
 //!
 //! Run it as `cargo run -p spatialdb-analysis --release -- crates/`;
 //! it exits nonzero with `file:line: [rule] message` diagnostics.

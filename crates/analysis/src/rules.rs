@@ -1,4 +1,4 @@
-//! The five repo-specific invariant rules.
+//! The six repo-specific invariant rules.
 //!
 //! Each rule is a line-level pattern over the lexer's code channel; the
 //! rules are deliberately lexical (no type information), so each one is
@@ -25,8 +25,14 @@ pub enum Rule {
     /// acquisition helpers (`lockdep.rs`).
     RawLock,
     /// Nested lock acquisitions whose lexical class order contradicts
-    /// the shard → arm-queue → counters hierarchy.
+    /// the writer → shard → arm-queue → counters → geometry → epoch
+    /// hierarchy.
     LockOrder,
+    /// Raw `fetch_add`/`fetch_sub` on an epoch-pin counter outside the
+    /// epoch crate — pin accounting must go through the collector's
+    /// guard types, or an unpaired update leaks (blocking reclamation)
+    /// or frees under a live reader.
+    EpochPin,
 }
 
 impl Rule {
@@ -38,6 +44,7 @@ impl Rule {
             Rule::FloatSort => "float-sort",
             Rule::RawLock => "raw-lock",
             Rule::LockOrder => "lock-order",
+            Rule::EpochPin => "epoch-pin",
         }
     }
 
@@ -51,6 +58,7 @@ impl Rule {
             Rule::FloatSort => "float-order-audited",
             Rule::RawLock => "raw-lock-audited",
             Rule::LockOrder => "lock-order-audited",
+            Rule::EpochPin => "epoch-pin-audited",
         }
     }
 }
@@ -93,6 +101,9 @@ pub struct Profile {
     /// This file *is* the approved lock-acquisition helper module, so
     /// raw `.lock()` calls are expected.
     pub lock_helper_module: bool,
+    /// This file belongs to the epoch-reclamation crate, whose whole
+    /// job is the raw pin accounting everyone else must not touch.
+    pub epoch_manager_module: bool,
 }
 
 impl Profile {
@@ -116,6 +127,7 @@ impl Profile {
             placement_critical: matches!(crate_name.as_str(), "disk" | "storage" | "rtree"),
             wall_clock_allowed: crate_name == "bench",
             lock_helper_module: file_name == "lockdep.rs",
+            epoch_manager_module: crate_name == "epoch",
         }
     }
 
@@ -126,6 +138,7 @@ impl Profile {
             placement_critical: true,
             wall_clock_allowed: false,
             lock_helper_module: false,
+            epoch_manager_module: false,
         }
     }
 }
@@ -153,6 +166,9 @@ pub fn analyze_source(file: &str, source: &str, profile: Profile) -> Vec<Finding
         check_raw_lock(file, &lines, &in_test, &mut findings);
     }
     check_lock_order(file, &lines, &in_test, &mut findings);
+    if !profile.epoch_manager_module {
+        check_epoch_pin(file, &lines, &in_test, &mut findings);
+    }
 
     findings
 }
@@ -448,12 +464,16 @@ fn check_float_sort(file: &str, lines: &[Line], in_test: &[bool], findings: &mut
 /// is classified by substring-matching the receiver expression; lower
 /// rank must be taken before higher rank.
 const LOCK_CLASSES: &[(&str, u8, &str)] = &[
-    ("shard", 0, "Shard"),
-    ("pool", 0, "Shard"),
-    ("array", 1, "ArmQueue"),
-    ("arm", 1, "ArmQueue"),
-    ("state", 2, "DiskCounters"),
-    ("counter", 2, "DiskCounters"),
+    ("writer", 0, "DbWriter"),
+    ("shard", 1, "Shard"),
+    ("pool", 1, "Shard"),
+    ("array", 2, "ArmQueue"),
+    ("arm", 2, "ArmQueue"),
+    ("state", 3, "DiskCounters"),
+    ("counter", 3, "DiskCounters"),
+    ("geom", 4, "Geometry"),
+    ("retired", 5, "Epoch"),
+    ("epoch", 5, "Epoch"),
 ];
 
 /// Classify a lock receiver expression (the text before `.lock()`).
@@ -555,7 +575,8 @@ fn check_lock_order(file: &str, lines: &[Line], in_test: &[bool], findings: &mut
                             rule: Rule::LockOrder,
                             message: format!(
                                 "acquires {class} (rank {rank}) after {} (rank {}, line {}) — \
-                                 contradicts the Shard → ArmQueue → DiskCounters hierarchy",
+                                 contradicts the DbWriter → Shard → ArmQueue → DiskCounters \
+                                 → Geometry → Epoch hierarchy",
                                 prior.class, prior.rank, prior.line
                             ),
                         });
@@ -567,6 +588,44 @@ fn check_lock_order(file: &str, lines: &[Line], in_test: &[bool], findings: &mut
                     class,
                 });
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 6: epoch-pin
+// ---------------------------------------------------------------------
+
+/// Receiver fragments that identify epoch-pin accounting state.
+const PIN_RECEIVERS: &[&str] = &["pin", "epoch"];
+
+fn check_epoch_pin(file: &str, lines: &[Line], in_test: &[bool], findings: &mut Vec<Finding>) {
+    for (i, line) in lines.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let code = line.code.as_str();
+        for pat in [".fetch_add(", ".fetch_sub("] {
+            let Some(pos) = code.find(pat) else { continue };
+            let recv = receiver_before(code, pos).to_lowercase();
+            if !PIN_RECEIVERS.iter().any(|n| recv.contains(n)) {
+                continue;
+            }
+            if waived(lines, i, Rule::EpochPin) {
+                continue;
+            }
+            findings.push(Finding {
+                file: file.to_string(),
+                line: i + 1,
+                rule: Rule::EpochPin,
+                message: format!(
+                    "raw `{}` on epoch-pin state `{recv}` outside crates/epoch — \
+                     pin counts must move through the collector's RAII guards; an \
+                     unpaired update either leaks a pin (reclamation stalls forever) \
+                     or drops one early (a snapshot frees under a live reader)",
+                    pat.trim_start_matches('.').trim_end_matches('('),
+                ),
+            });
         }
     }
 }

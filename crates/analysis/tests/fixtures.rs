@@ -82,6 +82,11 @@ fn lock_order_fixture() {
     assert_rule_fires("lock_order.rs", Rule::LockOrder);
 }
 
+#[test]
+fn epoch_pin_fixture() {
+    assert_rule_fires("epoch_pin.rs", Rule::EpochPin);
+}
+
 /// The CLI must exit 1 (findings) on the fixture tree and name every
 /// rule in its diagnostics.
 #[test]
@@ -98,6 +103,7 @@ fn cli_exits_nonzero_on_fixtures() {
         "float-sort",
         "raw-lock",
         "lock-order",
+        "epoch-pin",
     ] {
         assert!(
             stdout.contains(&format!("[{rule}]")),
@@ -115,6 +121,7 @@ fn cli_exits_nonzero_on_each_fixture() {
         "float_sort.rs",
         "raw_lock.rs",
         "lock_order.rs",
+        "epoch_pin.rs",
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_spatialdb-analysis"))
             .arg(fixture_path(name))

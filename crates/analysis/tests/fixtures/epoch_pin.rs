@@ -1,0 +1,31 @@
+//! Fixture: raw epoch-pin arithmetic outside the epoch crate.
+//! Lines marked BAD must be flagged; OK lines must not.
+//! Not compiled — cargo only builds top-level `tests/*.rs` files.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Reader {
+    pins: AtomicUsize,
+    epoch_count: AtomicUsize,
+    requests: AtomicUsize,
+}
+
+impl Reader {
+    pub fn enter(&self) {
+        self.pins.fetch_add(1, Ordering::SeqCst); // BAD: epoch-pin
+    }
+
+    pub fn leave(&self) {
+        self.epoch_count.fetch_sub(1, Ordering::SeqCst); // BAD: epoch-pin
+    }
+
+    pub fn tally(&self) {
+        // A non-pin atomic is none of this rule's business.
+        self.requests.fetch_add(1, Ordering::Relaxed); // OK: not pin state
+    }
+
+    pub fn audited(&self) {
+        // lint: epoch-pin-audited — fixture demonstrating the waiver.
+        self.pins.fetch_add(1, Ordering::SeqCst); // OK: waived
+    }
+}

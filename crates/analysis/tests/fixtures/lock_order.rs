@@ -1,6 +1,7 @@
-//! Fixture: nested acquisition contradicting Shard → ArmQueue →
-//! DiskCounters. Lines marked BAD must be flagged; OK lines
-//! must not. Not compiled — cargo only builds `tests/*.rs` files.
+//! Fixture: nested acquisition contradicting the DbWriter → Shard →
+//! ArmQueue → DiskCounters → Geometry → Epoch hierarchy. Lines marked
+//! BAD must be flagged; OK lines must not. Not compiled — cargo only
+//! builds `tests/*.rs` files.
 
 use std::sync::Mutex;
 
@@ -10,7 +11,7 @@ pub struct Pool {
 }
 
 impl Pool {
-    /// Counters (rank 2) taken first, then a blocking shard (rank 0)
+    /// Counters (rank 3) taken first, then a blocking shard (rank 1)
     /// acquisition underneath it — the inverted order that deadlocks
     /// against the flush path.
     pub fn drain_backwards(&self) {

@@ -13,14 +13,45 @@
 //! stack is `Send + Sync` with a `&self` read path, so queries and joins
 //! borrow the database immutably — any number of threads may query one
 //! database concurrently, and the parallel executor
-//! ([`crate::executor`]) fans batches across a scoped thread pool —
-//! while updates keep `&mut self`.
+//! ([`crate::executor`]) fans batches across a scoped thread pool.
+//!
+//! ## Concurrent writers: shadow paging + epochs
+//!
+//! Since the shadow-paging refactor, **updates take `&self` too**:
+//! [`SpatialDatabase::insert`] and [`SpatialDatabase::remove`] serialize
+//! writers on an internal gate, build a copy-on-write snapshot of the
+//! store (the R\*-tree's node table is `Arc`-shared, so the clone copies
+//! pointers, and only the pages a writer touches are shadow-copied),
+//! apply the update to the shadow, and publish it by atomically swapping
+//! the root pointer. **Readers never take the writer gate**: a query
+//! pins an epoch ([`spatialdb_epoch::Collector`]), loads the root, and
+//! traverses that consistent snapshot for as long as its cursor lives —
+//! a concurrent writer can neither block it nor mutate what it sees.
+//! Superseded snapshots are retired to the database's collector and
+//! freed once no pin can reach them (see the `spatialdb-epoch` docs);
+//! exact geometry lives outside the versioned root in a
+//! [`StableMap`](spatialdb_epoch::StableMap), whose tombstone-on-remove
+//! discipline keeps candidates from older snapshots refinable.
+//!
+//! The exclusive entry points that remain `&mut self`
+//! ([`bulk_load`](SpatialDatabase::bulk_load),
+//! [`finish_loading`](SpatialDatabase::finish_loading),
+//! [`store_mut`](SpatialDatabase::store_mut)) bypass versioning
+//! entirely — `&mut` proves no reader exists, so they mutate the
+//! current root in place, shadow nothing and retire nothing, exactly as
+//! before the refactor. The shared write path charges the **same
+//! simulated I/O** as the exclusive one: the snapshot clone is a pure
+//! memory operation, and the update applied to the shadow touches the
+//! same pages of the same shared buffer pool.
 
 use crate::config::{ConfigError, EngineConfig};
 use crate::executor::ExecPlan;
 use crate::query::{JoinQuery, Query};
 use spatialdb_disk::Routing;
-use spatialdb_disk::{Disk, DiskHandle, DiskParams, IoStats, StripePolicy, PAGE_SIZE};
+use spatialdb_disk::{
+    DepMutex, Disk, DiskHandle, DiskParams, IoStats, LockClass, StripePolicy, PAGE_SIZE,
+};
+use spatialdb_epoch::{Collector, Snapshot, SnapshotGuard, StableMap};
 use spatialdb_geom::{Geometry, HasMbr};
 use spatialdb_rtree::ObjectId;
 use spatialdb_storage::{
@@ -28,7 +59,6 @@ use spatialdb_storage::{
     OrganizationKind, PrimaryOrganization, SecondaryOrganization, SharedPool, SpatialStore,
     WindowTechnique,
 };
-use std::collections::HashMap;
 
 /// Options for creating a [`SpatialDatabase`] backed by one of the
 /// paper's organization models.
@@ -269,11 +299,7 @@ impl Workspace {
                 ))
             }
         };
-        SpatialDatabase {
-            store,
-            technique: options.technique,
-            geometry: HashMap::new(),
-        }
+        SpatialDatabase::from_parts(store, options.technique)
     }
 
     /// Every batch entry point shares this membership check: a query's
@@ -281,7 +307,7 @@ impl Workspace {
     fn assert_same_workspace(&self, queries: &[Query<'_>]) {
         for (i, q) in queries.iter().enumerate() {
             assert!(
-                std::sync::Arc::ptr_eq(&q.db.store.disk(), &self.disk),
+                std::sync::Arc::ptr_eq(&q.db.store().disk(), &self.disk),
                 "query {i} targets a database of another workspace"
             );
         }
@@ -396,12 +422,12 @@ impl Workspace {
         threads: usize,
     ) {
         assert!(
-            std::sync::Arc::ptr_eq(&db.store.disk(), &self.disk),
+            std::sync::Arc::ptr_eq(&db.store().disk(), &self.disk),
             "database belongs to another workspace"
         );
         let records = db.records_for_bulk(&objects);
-        crate::bulkload::bulk_load_records_par(db.store.as_mut(), &records, threads);
-        db.geometry.extend(objects);
+        crate::bulkload::bulk_load_records_par(db.store_mut(), &records, threads);
+        db.extend_geometry(objects);
     }
 
     /// Create a database on a caller-supplied [`SpatialStore`] backend —
@@ -413,7 +439,11 @@ impl Workspace {
     /// every backend embeds an R\*-tree over the object MBRs as its
     /// filter index (see the `spatialdb_storage::store` docs) — what a
     /// backend is free to reinvent is the layout of the exact
-    /// representations.
+    /// representations. A backend that wants the shared (`&self`) write
+    /// path must also override
+    /// [`SpatialStore::snapshot`](spatialdb_storage::SpatialStore::snapshot)
+    /// (typically `Box::new(self.clone())` on a `Clone` store, as below);
+    /// without it only the exclusive `&mut` entry points work.
     ///
     /// ```
     /// use spatialdb::storage::{
@@ -426,11 +456,15 @@ impl Workspace {
     ///
     /// /// A custom backend: here it simply wraps the in-memory baseline,
     /// /// but any from-scratch organization implements the same trait.
+    /// #[derive(Clone)]
     /// struct GridFileStore(MemoryStore);
     ///
     /// impl SpatialStore for GridFileStore {
     ///     fn name(&self) -> &'static str {
     ///         "grid file"
+    ///     }
+    ///     fn snapshot(&self) -> Box<dyn SpatialStore> {
+    ///         Box::new(self.clone())
     ///     }
     ///     fn insert(&mut self, rec: &ObjectRecord) {
     ///         self.0.insert(rec)
@@ -487,57 +521,140 @@ impl Workspace {
     /// assert_eq!(db.store_name(), "grid file");
     /// ```
     pub fn create_database_with(&self, store: Box<dyn SpatialStore>) -> SpatialDatabase {
-        SpatialDatabase {
-            store,
-            technique: WindowTechnique::Slm,
-            geometry: HashMap::new(),
-        }
+        SpatialDatabase::from_parts(store, WindowTechnique::Slm)
     }
 }
 
 /// A spatial database: a pluggable storage backend plus the exact
 /// geometry used for query refinement.
+///
+/// The backend lives behind a versioned root pointer
+/// ([`Snapshot`](spatialdb_epoch::Snapshot)): reads pin an epoch and
+/// traverse a consistent copy-on-write snapshot, writes serialize on an
+/// internal gate and publish shadow copies — see the [module
+/// docs](crate::db) for the full concurrency story.
 pub struct SpatialDatabase {
-    pub(crate) store: Box<dyn SpatialStore>,
+    /// The published store. Readers pin it through [`store`](Self::store);
+    /// `&self` writers clone-apply-swap it; `&mut` paths mutate it in
+    /// place through [`Snapshot::get_mut`].
+    pub(crate) root: Snapshot<Box<dyn SpatialStore>>,
+    /// Epoch manager deciding when superseded store snapshots are freed.
+    pub(crate) epochs: Collector,
+    /// The writer gate: at most one `&self` writer clones and publishes
+    /// at a time. First rank of the lock hierarchy; readers never touch
+    /// it.
+    pub(crate) writer: DepMutex<()>,
     pub(crate) technique: WindowTechnique,
-    pub(crate) geometry: HashMap<u64, Geometry>,
+    /// Exact geometry, outside the versioned root: stable addresses and
+    /// tombstone-on-remove keep candidates from older snapshots
+    /// refinable (see [`StableMap`]).
+    pub(crate) geoms: StableMap<Geometry>,
 }
 
 impl std::fmt::Debug for SpatialDatabase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // The store is a trait object; identify it by its backend name.
         f.debug_struct("SpatialDatabase")
-            .field("store", &self.store.name())
+            .field("store", &self.store().name())
             .field("technique", &self.technique)
-            .field("objects", &self.geometry.len())
+            .field("objects", &self.geoms.live_len())
+            .finish()
+    }
+}
+
+/// A pinned, read-only view of a database's store: the loaded root
+/// snapshot plus the epoch pin that keeps it alive. Obtained from
+/// [`SpatialDatabase::store`]; dereferences to
+/// [`dyn SpatialStore`](SpatialStore), so `db.store().window_query(..)`
+/// reads exactly like the pre-versioning accessor. While the guard
+/// lives, concurrent writers publish *around* it — the view never
+/// changes and is never freed under it.
+pub struct StoreRead<'a> {
+    guard: SnapshotGuard<'a, Box<dyn SpatialStore>>,
+}
+
+impl StoreRead<'_> {
+    /// The epoch this view is pinned at (diagnostics and the
+    /// snapshot-isolation tests).
+    pub fn pinned_epoch(&self) -> u64 {
+        self.guard.epoch()
+    }
+}
+
+impl std::ops::Deref for StoreRead<'_> {
+    type Target = dyn SpatialStore;
+    fn deref(&self) -> &(dyn SpatialStore + 'static) {
+        &**self.guard
+    }
+}
+
+impl std::fmt::Debug for StoreRead<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreRead")
+            .field("store", &self.name())
+            .field("epoch", &self.pinned_epoch())
             .finish()
     }
 }
 
 impl SpatialDatabase {
+    /// Assemble a database around a boxed backend (shared constructor of
+    /// the `Workspace` factory methods).
+    pub(crate) fn from_parts(
+        store: Box<dyn SpatialStore>,
+        technique: WindowTechnique,
+    ) -> SpatialDatabase {
+        SpatialDatabase {
+            root: Snapshot::new(store),
+            epochs: Collector::new(),
+            writer: DepMutex::new(LockClass::DbWriter, ()),
+            technique,
+            geoms: StableMap::new(LockClass::Geometry),
+        }
+    }
+
+    /// Register `objects`' exact geometry (bulk-load tail).
+    pub(crate) fn extend_geometry(&self, objects: Vec<(u64, Geometry)>) {
+        for (id, geometry) in objects {
+            self.geoms.insert(id, geometry);
+        }
+    }
     /// Insert an object under `id`. Accepts anything convertible into a
     /// [`Geometry`]: a `Point`, a `Polyline` (stored decomposed), or a
     /// `Polygon`.
     ///
+    /// Takes `&self`: the update is applied to a copy-on-write shadow of
+    /// the store and published atomically, so concurrent readers keep
+    /// traversing the snapshot they pinned and are never blocked.
+    /// Writers serialize on the database's writer gate. The charged
+    /// simulated I/O is identical to the pre-versioning exclusive path —
+    /// the shadow clone is a pure memory operation.
+    ///
     /// # Panics
     ///
     /// Panics if `id` is already present.
-    pub fn insert(&mut self, id: u64, geometry: impl Into<Geometry>) {
-        // Ask the store, not just the geometry map: ids bulk-loaded
-        // directly into the backend (filter-only records) must also be
-        // rejected, or the index would hold duplicate entries.
-        assert!(
-            !self.store.contains(ObjectId(id)),
-            "object {id} already stored"
-        );
+    pub fn insert(&self, id: u64, geometry: impl Into<Geometry>) {
         let geometry = geometry.into();
+        let _gate = self.writer.acquire();
+        let mut fresh = {
+            let cur = self.root.pin(&self.epochs);
+            // Ask the store, not just the geometry map: ids bulk-loaded
+            // directly into the backend (filter-only records) must also
+            // be rejected, or the index would hold duplicate entries.
+            assert!(!cur.contains(ObjectId(id)), "object {id} already stored");
+            cur.snapshot()
+        };
         let rec = ObjectRecord::new(
             ObjectId(id),
             geometry.mbr(),
             geometry.serialized_size() as u32,
         );
-        self.store.insert(&rec);
-        self.geometry.insert(id, geometry);
+        fresh.insert(&rec);
+        // Geometry goes in before the swap: a reader pinning the new
+        // root must be able to refine the new candidate. Readers of the
+        // old root never see `id`, so the early entry is unobservable.
+        self.geoms.insert(id, geometry);
+        self.root.swap(fresh, &self.epochs);
     }
 
     /// Bulk-load `objects` into this (empty) database with the
@@ -556,19 +673,22 @@ impl SpatialDatabase {
         let objects: Vec<(u64, Geometry)> =
             objects.into_iter().map(|(id, g)| (id, g.into())).collect();
         let records = self.records_for_bulk(&objects);
-        self.store.bulk_load_str(&records);
-        self.geometry.extend(objects);
+        // Exclusive path: `&mut self` proves no pinned reader exists, so
+        // the load mutates the current root in place — no shadow copy.
+        self.root.get_mut().bulk_load_str(&records);
+        self.extend_geometry(objects);
     }
 
     /// Shared precondition checks + record conversion for the bulk-load
     /// entry points.
     pub(crate) fn records_for_bulk(&self, objects: &[(u64, Geometry)]) -> Vec<ObjectRecord> {
+        let store = self.store();
         let mut seen = std::collections::HashSet::with_capacity(objects.len());
         objects
             .iter()
             .map(|(id, geometry)| {
                 assert!(
-                    !self.store.contains(ObjectId(*id)) && seen.insert(*id),
+                    !store.contains(ObjectId(*id)) && seen.insert(*id),
                     "object {id} already stored"
                 );
                 ObjectRecord::new(
@@ -583,17 +703,30 @@ impl SpatialDatabase {
     /// Delete an object. Returns `false` when `id` was not stored.
     /// Insertions and deletions can be intermixed with queries without
     /// any global reorganization (§4.1 of the paper).
-    pub fn remove(&mut self, id: u64) -> bool {
-        let removed = self.store.delete(ObjectId(id));
-        if removed {
-            self.geometry.remove(&id);
-        }
-        removed
+    ///
+    /// Takes `&self` and never blocks readers — shadow-paged like
+    /// [`insert`](SpatialDatabase::insert). The exact geometry is
+    /// tombstoned, not freed: a reader pinned to an older snapshot can
+    /// still refine the deleted candidate.
+    pub fn remove(&self, id: u64) -> bool {
+        let _gate = self.writer.acquire();
+        let mut fresh = {
+            let cur = self.root.pin(&self.epochs);
+            if !cur.contains(ObjectId(id)) {
+                return false;
+            }
+            cur.snapshot()
+        };
+        let removed = fresh.delete(ObjectId(id));
+        debug_assert!(removed, "gate held: contains() cannot go stale");
+        self.geoms.remove(id);
+        self.root.swap(fresh, &self.epochs);
+        true
     }
 
     /// Number of stored objects.
     pub fn len(&self) -> usize {
-        self.store.num_objects()
+        self.store().num_objects()
     }
 
     /// `true` if the database is empty.
@@ -638,12 +771,12 @@ impl SpatialDatabase {
     /// query is on its cursor
     /// ([`ResultCursor::io_stats`](crate::query::ResultCursor::io_stats)).
     pub fn io_stats(&self) -> IoStats {
-        self.store.disk().stats()
+        self.store().disk().stats()
     }
 
     /// Total pages occupied on the simulated disk.
     pub fn occupied_pages(&self) -> u64 {
-        self.store.occupied_pages()
+        self.store().occupied_pages()
     }
 
     /// Occupied storage in megabytes.
@@ -651,25 +784,64 @@ impl SpatialDatabase {
         (self.occupied_pages() * PAGE_SIZE as u64) as f64 / (1024.0 * 1024.0)
     }
 
-    /// Write back dirty pages and prepare for cold queries.
+    /// Write back dirty pages and prepare for cold queries. Also a
+    /// quiescent point: `&mut self` proves no reader is pinned, so
+    /// superseded store snapshots and tombstoned geometry are freed.
     pub fn finish_loading(&mut self) {
-        self.store.flush();
-        self.store.begin_query();
+        let store = self.root.get_mut();
+        store.flush();
+        store.begin_query();
+        self.quiesce();
     }
 
-    /// The storage backend (diagnostics, experiments).
-    pub fn store(&self) -> &dyn SpatialStore {
-        self.store.as_ref()
+    /// Free everything deferred for late readers. Safe exactly because
+    /// `&mut self` excludes outstanding pins and geometry borrows.
+    fn quiesce(&mut self) {
+        self.geoms.quiesce();
+        // Two epoch distances plus the advance itself drain the whole
+        // retired list when no pin is outstanding.
+        for _ in 0..3 {
+            self.epochs.advance_and_collect();
+        }
     }
 
-    /// Mutable access to the storage backend.
+    /// A pinned, read-only view of the storage backend (diagnostics,
+    /// experiments). The view is a consistent snapshot: writers that
+    /// publish while the guard lives do not change what it sees.
+    pub fn store(&self) -> StoreRead<'_> {
+        StoreRead {
+            guard: self.root.pin(&self.epochs),
+        }
+    }
+
+    /// Mutable access to the storage backend — the exclusive update
+    /// path, bypassing versioning (no shadow copy, nothing retired).
     pub fn store_mut(&mut self) -> &mut dyn SpatialStore {
-        self.store.as_mut()
+        self.root.get_mut().as_mut()
     }
 
     /// Short name of the storage backend ("cluster org.", "memory", …).
     pub fn store_name(&self) -> &'static str {
-        self.store.name()
+        self.store().name()
+    }
+
+    /// Number of readers currently pinned to a snapshot of this
+    /// database (diagnostics and the concurrency tests).
+    pub fn pinned_readers(&self) -> usize {
+        self.epochs.pinned_readers()
+    }
+
+    /// Store snapshots retired but not yet freed (diagnostics and the
+    /// reclamation tests).
+    pub fn retired_snapshots(&self) -> usize {
+        self.epochs.retired_len()
+    }
+
+    /// The ids of all live objects with exact geometry, sorted
+    /// ascending. The id universe mixed-workload drivers draw delete
+    /// targets from.
+    pub fn object_ids(&self) -> Vec<u64> {
+        self.geoms.live_keys()
     }
 
     /// The exact geometry of an object, if stored.
@@ -679,8 +851,8 @@ impl SpatialDatabase {
     /// [`remove`](SpatialDatabase::remove)) does not surface a stale
     /// geometry.
     pub fn geometry(&self, id: u64) -> Option<&Geometry> {
-        if self.store.contains(ObjectId(id)) {
-            self.geometry.get(&id)
+        if self.store().contains(ObjectId(id)) {
+            self.geoms.get_any(id)
         } else {
             None
         }
@@ -825,7 +997,7 @@ mod tests {
     #[should_panic(expected = "already stored")]
     fn duplicate_id_rejected() {
         let ws = Workspace::new(64);
-        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Secondary));
+        let db = ws.create_database(DbOptions::new(OrganizationKind::Secondary));
         db.insert(1, street(0.1, 0.1));
         db.insert(1, street(0.2, 0.2));
     }
@@ -905,6 +1077,173 @@ mod tests {
         assert!(s.write_requests > 0);
         assert!(db.occupied_pages() > 0);
         assert!(db.occupied_mb() > 0.0);
+    }
+
+    #[test]
+    fn readers_see_pinned_snapshots_not_later_writes() {
+        let ws = Workspace::new(256);
+        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+        for i in 0..40u64 {
+            db.insert(i, street((i % 8) as f64 / 8.0, (i / 8) as f64 / 8.0));
+        }
+        db.finish_loading();
+        let all = Rect::new(-1.0, -1.0, 2.0, 2.0);
+        // The cursor pins a snapshot at run(); everything it reads —
+        // candidates included — comes from that version.
+        let cursor = db.query().window(all).run();
+        assert_eq!(db.pinned_readers(), 1, "the cursor holds an epoch pin");
+        db.insert(100, street(0.5, 0.5));
+        assert!(db.remove(7));
+        let pinned_ids = cursor.ids();
+        assert_eq!(pinned_ids.len(), 40, "snapshot: no 100, still has 7");
+        assert!(pinned_ids.contains(&7));
+        assert!(!pinned_ids.contains(&100));
+        // A fresh query sees the published state.
+        let fresh_ids = db.query().window(all).run().ids();
+        assert_eq!(fresh_ids.len(), 40);
+        assert!(!fresh_ids.contains(&7));
+        assert!(fresh_ids.contains(&100));
+        assert_eq!(db.pinned_readers(), 0);
+    }
+
+    #[test]
+    fn readers_never_take_the_writer_gate() {
+        let ws = Workspace::new(256);
+        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+        for i in 0..30u64 {
+            db.insert(i, street((i % 6) as f64 / 6.0, (i / 6) as f64 / 6.0));
+        }
+        db.finish_loading();
+        // Hold the writer gate for the whole scope — a reader that
+        // needed it would deadlock this test instead of finishing.
+        let _gate = db.writer.acquire();
+        let ids = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    db.query()
+                        .window(Rect::new(-1.0, -1.0, 2.0, 2.0))
+                        .run()
+                        .ids()
+                })
+                .join()
+                .expect("reader panicked")
+        });
+        assert_eq!(ids.len(), 30, "reader completed under a held writer gate");
+    }
+
+    #[test]
+    fn superseded_snapshots_are_reclaimed_not_leaked() {
+        let ws = Workspace::new(256);
+        let db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+        for i in 0..10u64 {
+            db.insert(i, street((i % 5) as f64 / 5.0, (i / 5) as f64 / 5.0));
+        }
+        // With no pins outstanding, each publish's collection pass keeps
+        // the retired list within the two-epoch window.
+        assert!(
+            db.retired_snapshots() <= 2,
+            "{} retired snapshots linger without a pin",
+            db.retired_snapshots()
+        );
+        // A pinned reader blocks reclamation…
+        let cursor = db.query().window(Rect::new(-1.0, -1.0, 2.0, 2.0)).run();
+        for i in 10..20u64 {
+            db.insert(i, street((i % 5) as f64 / 5.0, (i / 5) as f64 / 5.0));
+        }
+        assert!(
+            db.retired_snapshots() >= 9,
+            "{} retired while a pin blocks the epoch",
+            db.retired_snapshots()
+        );
+        // …and releasing it lets later publishes drain the backlog.
+        drop(cursor);
+        for i in 20..24u64 {
+            db.insert(i, street((i % 5) as f64 / 5.0, (i / 5) as f64 / 5.0));
+        }
+        assert!(
+            db.retired_snapshots() <= 2,
+            "{} retired snapshots survive the drained pin",
+            db.retired_snapshots()
+        );
+    }
+
+    #[test]
+    fn shared_write_path_charges_identical_io_to_exclusive_path() {
+        // The determinism contract: a single writer with no readers
+        // charges byte-identical I/O through the shadow-paging (&self)
+        // path and through the in-place (&mut, store_mut) path.
+        let load = |shadow: bool| {
+            let ws = Workspace::new(256);
+            let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+            for i in 0..50u64 {
+                let g = street((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0);
+                if shadow {
+                    db.insert(i, g);
+                } else {
+                    let geometry: Geometry = g.into();
+                    let rec = ObjectRecord::new(
+                        ObjectId(i),
+                        geometry.mbr(),
+                        geometry.serialized_size() as u32,
+                    );
+                    db.store_mut().insert(&rec);
+                    db.extend_geometry(vec![(i, geometry)]);
+                }
+            }
+            for i in (0..50u64).step_by(3) {
+                if shadow {
+                    assert!(db.remove(i));
+                } else {
+                    assert!(db.store_mut().delete(ObjectId(i)));
+                }
+            }
+            db.finish_loading();
+            let w = Rect::new(0.1, 0.1, 0.7, 0.7);
+            let cursor = db.query().window(w).run();
+            (db.io_stats(), cursor.stats(), cursor.ids())
+        };
+        let (io_shadow, stats_shadow, ids_shadow) = load(true);
+        let (io_excl, stats_excl, ids_excl) = load(false);
+        assert_eq!(io_shadow, io_excl, "cumulative I/O must be byte-identical");
+        assert_eq!(stats_shadow, stats_excl);
+        assert_eq!(ids_shadow, ids_excl);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_conserve_objects() {
+        let ws = Workspace::from_config(EngineConfig::default().buffer_pages(512).shards(8));
+        let db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+        for i in 0..200u64 {
+            db.insert(i, street((i % 20) as f64 / 20.0, (i / 20) as f64 / 20.0));
+        }
+        let all = Rect::new(-1.0, -1.0, 2.0, 2.0);
+        std::thread::scope(|scope| {
+            // Two writers: one inserting fresh ids, one removing evens.
+            scope.spawn(|| {
+                for i in 200..260u64 {
+                    db.insert(i, street((i % 20) as f64 / 20.0, 0.95));
+                }
+            });
+            scope.spawn(|| {
+                for i in (0..120u64).step_by(2) {
+                    assert!(db.remove(i), "id {i} vanished without a remove");
+                }
+            });
+            // Four readers: every observed result set is a consistent
+            // snapshot — between 200-60 and 200+60 objects, never torn.
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..30 {
+                        let n = db.query().window(all).run().ids().len();
+                        assert!((140..=260).contains(&n), "torn read: {n} objects");
+                    }
+                });
+            }
+        });
+        assert_eq!(db.len(), 200 - 60 + 60);
+        let ids = db.query().window(all).run().ids();
+        assert_eq!(ids.len(), 200);
+        assert!(!ids.contains(&0) && ids.contains(&1) && ids.contains(&259));
     }
 
     #[test]

@@ -40,8 +40,8 @@ use crate::query::{
     candidate_ids, execute_filter, execute_filter_traced, refined_geometry, Query, Target,
 };
 use spatialdb_disk::{
-    simulate_queries_striped, ArmGeometry, ArmPolicy, ArmStats, ArrayConfig, IoStats, LatencyStats,
-    PageRequest, QueryTrace, RotationModel, StripePolicy,
+    simulate_queries_closed, simulate_queries_striped, ArmGeometry, ArmPolicy, ArmStats,
+    ArrayConfig, IoStats, LatencyStats, PageRequest, QueryTrace, RotationModel, StripePolicy,
 };
 use spatialdb_rtree::LeafEntry;
 use spatialdb_storage::QueryStats;
@@ -189,13 +189,17 @@ fn prepare_one<'a>(q: Query<'a>, scratch: &mut Vec<LeafEntry>, traced: bool) -> 
         .target
         .expect("Query::run() needs .window(..) or .point(..) first");
     let technique = q.technique.unwrap_or(db.technique);
+    // One pinned snapshot across the filter step and the candidate
+    // re-read: a writer publishing between the two cannot desynchronize
+    // the candidate set from the charged I/O.
+    let store = db.store();
     let (stats, io, trace) = if traced {
-        execute_filter_traced(db, &target, technique)
+        execute_filter_traced(&*store, &target, technique)
     } else {
-        let (stats, io) = execute_filter(db, &target, technique);
+        let (stats, io) = execute_filter(&*store, &target, technique);
         (stats, io, Vec::new())
     };
-    let candidates = candidate_ids(db, &target, scratch);
+    let candidates = candidate_ids(&*store, &target, scratch);
     Prepared {
         db,
         target,
@@ -242,6 +246,19 @@ pub enum Arrival {
     /// arm saturated on average; lower loads thin the queue. The factor
     /// must be positive.
     Open(f64),
+    /// A closed loop of `clients` concurrent clients, each issuing its
+    /// next query `think_ms` after its previous one **completes**:
+    /// arrivals self-throttle under load, producing the classic
+    /// response-time-vs-clients curve
+    /// ([`simulate_queries_closed`](spatialdb_disk::simulate_queries_closed)).
+    Closed {
+        /// Concurrent clients (0 is treated as 1). Client `c` issues
+        /// queries `c, c + clients, c + 2·clients, …` of the batch.
+        clients: usize,
+        /// Think time between a query's completion and the same
+        /// client's next arrival (simulated ms).
+        think_ms: f64,
+    },
 }
 
 impl Arrival {
@@ -257,11 +274,20 @@ impl Arrival {
         Arrival::Every(ms)
     }
 
+    /// A closed loop of `clients` clients with `think_ms` think time
+    /// (see [`Arrival::Closed`]).
+    pub fn closed(clients: usize, think_ms: f64) -> Self {
+        assert!(clients > 0, "a closed loop needs at least one client");
+        assert!(think_ms >= 0.0, "think time must be non-negative");
+        Arrival::Closed { clients, think_ms }
+    }
+
     /// The inter-arrival spacing in ms, given the batch's mean
-    /// synchronous service time.
+    /// synchronous service time. Closed loops have no fixed spacing
+    /// (arrivals chain off completions), so they report 0 like bursts.
     fn spacing_ms(&self, mean_service_ms: f64) -> f64 {
         match *self {
-            Arrival::Burst => 0.0,
+            Arrival::Burst | Arrival::Closed { .. } => 0.0,
             Arrival::Every(ms) => ms,
             Arrival::Open(load) => {
                 assert!(load > 0.0, "arrival load factor must be positive");
@@ -457,10 +483,10 @@ fn run_batch_overlapped_io(
     // The timed mode is the one mode with cross-query shared state (one
     // disk array, one set of DiskParams), so it must hold even when
     // called directly rather than through `Workspace::run_batch`.
-    let disk = queries[0].db.store.disk();
+    let disk = queries[0].db.store().disk();
     for (i, q) in queries.iter().enumerate() {
         assert!(
-            std::sync::Arc::ptr_eq(&q.db.store.disk(), &disk),
+            std::sync::Arc::ptr_eq(&q.db.store().disk(), &disk),
             "query {i} targets a database of another workspace; \
              a timed batch simulates one disk array"
         );
@@ -530,18 +556,30 @@ fn finish_batch(
         // grind exact-geometry tests while this thread schedules the
         // depth-k request windows on the array's arms.
         let timed = timing.map(|(params, cfg)| {
-            simulate_queries_striped(
-                params,
-                ArmGeometry::default(),
-                ArrayConfig {
-                    arms: cfg.arms,
-                    stripe: cfg.stripe,
-                    policy: cfg.policy,
-                    rotation: cfg.rotation,
-                },
-                cfg.depth,
-                &traces,
-            )
+            let array = ArrayConfig {
+                arms: cfg.arms,
+                stripe: cfg.stripe,
+                policy: cfg.policy,
+                rotation: cfg.rotation,
+            };
+            match cfg.arrival {
+                Arrival::Closed { clients, think_ms } => simulate_queries_closed(
+                    params,
+                    ArmGeometry::default(),
+                    array,
+                    cfg.depth,
+                    clients,
+                    think_ms,
+                    &traces,
+                ),
+                _ => simulate_queries_striped(
+                    params,
+                    ArmGeometry::default(),
+                    array,
+                    cfg.depth,
+                    &traces,
+                ),
+            }
         });
         let refined: Vec<Vec<u64>> = handles
             .into_iter()

@@ -66,6 +66,7 @@
 //! | [`data`] | synthetic TIGER-like maps & workloads (Table 1) |
 //! | [`query`] | the streaming `Query` builder and cursors |
 //! | [`executor`] | the parallel query executor (`run_par`, `run_batch`) |
+//! | [`stream`] | the mixed read/write stream executor (`run_stream`) |
 //! | [`experiments`] | drivers regenerating every table/figure of the paper |
 
 #![forbid(unsafe_code)]
@@ -78,12 +79,14 @@ pub mod executor;
 pub mod experiments;
 pub mod query;
 pub mod report;
+pub mod stream;
 
 pub use bulkload::bulk_load_records_par;
 pub use config::{ConfigError, EngineConfig};
-pub use db::{DbOptions, SpatialDatabase, Workspace};
+pub use db::{DbOptions, SpatialDatabase, StoreRead, Workspace};
 pub use executor::{Arrival, BatchOutcome, ExecPlan, FilterMode, OverlapConfig, QueryOutcome};
 pub use query::{JoinCursor, JoinQuery, Query, ResultCursor};
+pub use stream::{run_stream, OpOutcome, StreamOp, StreamOutcome};
 
 pub use spatialdb_data as data;
 pub use spatialdb_disk as disk;

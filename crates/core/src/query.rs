@@ -32,14 +32,14 @@
 //! assert!(geometry.as_polyline().is_some());
 //! ```
 
-use crate::db::SpatialDatabase;
+use crate::db::{SpatialDatabase, StoreRead};
 use spatialdb_disk::{
     simulate_queries, ArmGeometry, ArmPolicy, IoStats, LatencyStats, PageRequest, QueryTrace,
 };
 use spatialdb_geom::Geometry;
 use spatialdb_geom::{Point, Rect};
 use spatialdb_join::{JoinConfig, JoinStats, SpatialJoin};
-use spatialdb_storage::{QueryStats, TransferTechnique, WindowTechnique};
+use spatialdb_storage::{QueryStats, SpatialStore, TransferTechnique, WindowTechnique};
 
 /// What a [`Query`] searches for.
 #[derive(Clone, Copy, Debug)]
@@ -56,15 +56,15 @@ pub(crate) enum Target {
 /// concurrently. One implementation shared by the sequential cursor
 /// ([`Query::run`]) and the parallel executor.
 pub(crate) fn execute_filter(
-    db: &SpatialDatabase,
+    store: &dyn SpatialStore,
     target: &Target,
     technique: WindowTechnique,
 ) -> (QueryStats, IoStats) {
-    let disk = db.store.disk();
+    let disk = store.disk();
     let io_before = disk.local_stats();
     let stats = match target {
-        Target::Window(w) => db.store.window_query(w, technique),
-        Target::Point(p) => db.store.point_query(p),
+        Target::Window(w) => store.window_query(w, technique),
+        Target::Point(p) => store.point_query(p),
     };
     let io = disk.local_stats().since(&io_before);
     (stats, io)
@@ -75,15 +75,15 @@ pub(crate) fn execute_filter(
 /// same synchronous execution and deltas, plus the captured
 /// [`PageRequest`] trace for the arm scheduler.
 pub(crate) fn execute_filter_traced(
-    db: &SpatialDatabase,
+    store: &dyn SpatialStore,
     target: &Target,
     technique: WindowTechnique,
 ) -> (QueryStats, IoStats, Vec<PageRequest>) {
-    let disk = db.store.disk();
+    let disk = store.disk();
     let io_before = disk.local_stats();
     let (stats, trace) = match target {
-        Target::Window(w) => db.store.window_query_traced(w, technique),
-        Target::Point(p) => db.store.point_query_traced(p),
+        Target::Window(w) => store.window_query_traced(w, technique),
+        Target::Point(p) => store.point_query_traced(p),
     };
     let io = disk.local_stats().since(&io_before);
     (stats, io, trace)
@@ -105,7 +105,10 @@ pub(crate) fn refined_geometry<'g>(
     target: &Target,
     id: u64,
 ) -> Option<&'g Geometry> {
-    let Some(geometry) = db.geometry.get(&id) else {
+    // `get_any`: the candidate may come from a pinned snapshot older
+    // than a concurrent delete — the tombstoned geometry must still
+    // refine it.
+    let Some(geometry) = db.geoms.get_any(id) else {
         panic!(
             "candidate {id} has no exact geometry; records bulk-loaded \
              via store_mut() are filter-only — read the query's stats() \
@@ -119,16 +122,42 @@ pub(crate) fn refined_geometry<'g>(
     hit.then_some(geometry)
 }
 
+/// The join refinement predicate: whether the candidate pair `(a, b)`
+/// really intersects on exact geometry. Shared by [`JoinCursor`] and
+/// the mixed-stream executor so the two paths cannot drift.
+///
+/// # Panics
+///
+/// Panics when either side lacks exact geometry (records bulk-loaded
+/// directly into the store are filter-only).
+pub(crate) fn refine_pair(
+    left: &SpatialDatabase,
+    right: &SpatialDatabase,
+    a: spatialdb_rtree::ObjectId,
+    b: spatialdb_rtree::ObjectId,
+) -> bool {
+    // `get_any`: tombstoned geometry still refines pairs drawn from an
+    // older pinned snapshot (see `refined_geometry`).
+    let (Some(ga), Some(gb)) = (left.geoms.get_any(a.0), right.geoms.get_any(b.0)) else {
+        panic!(
+            "join candidate ({}, {}) lacks exact geometry; read stats() \
+             instead of iterating, or insert through SpatialDatabase::insert",
+            a.0, b.0
+        );
+    };
+    ga.intersects(gb)
+}
+
 /// Sorted candidate ids of `target`, re-read from the warm directory
 /// without charging I/O, using `scratch` as the entry buffer.
 pub(crate) fn candidate_ids(
-    db: &SpatialDatabase,
+    store: &dyn SpatialStore,
     target: &Target,
     scratch: &mut Vec<spatialdb_rtree::LeafEntry>,
 ) -> Vec<u64> {
     match target {
-        Target::Window(w) => db.store.window_candidates_into(w, scratch),
-        Target::Point(p) => db.store.point_candidates_into(p, scratch),
+        Target::Window(w) => store.window_candidates_into(w, scratch),
+        Target::Point(p) => store.point_candidates_into(p, scratch),
     }
     let mut ids: Vec<u64> = scratch.iter().map(|e| e.oid.0).collect();
     ids.sort_unstable();
@@ -189,9 +218,14 @@ impl<'a> Query<'a> {
         } = self;
         let target = target.expect("Query::run() needs .window(..) or .point(..) first");
         let technique = technique.unwrap_or(db.technique);
-        let (stats, io) = execute_filter(db, &target, technique);
+        // One pinned snapshot for the whole cursor: the filter step and
+        // the lazy candidate re-read see the same store version even if
+        // writers publish in between.
+        let store = db.store();
+        let (stats, io) = execute_filter(&*store, &target, technique);
         ResultCursor {
             db,
+            store,
             target,
             // Materialized on first iteration: a stats-only caller never
             // pays for the candidate re-read.
@@ -231,6 +265,10 @@ impl<'a> Query<'a> {
 #[derive(Debug)]
 pub struct ResultCursor<'a> {
     db: &'a SpatialDatabase,
+    /// The pinned store snapshot this cursor reads. Held for the
+    /// cursor's whole lifetime: concurrent writers publish around it,
+    /// and the epoch pin keeps the snapshot from being reclaimed.
+    store: StoreRead<'a>,
     target: Target,
     /// Sorted candidate ids, re-read lazily from the warm directory (no
     /// I/O charged) when iteration starts.
@@ -264,10 +302,16 @@ impl<'a> ResultCursor<'a> {
         self.map(|(id, _)| id).collect()
     }
 
+    /// The epoch this cursor's snapshot is pinned at (diagnostics and
+    /// the snapshot-isolation tests).
+    pub fn pinned_epoch(&self) -> u64 {
+        self.store.pinned_epoch()
+    }
+
     fn candidates(&mut self) -> &[u64] {
-        let (db, target) = (self.db, &self.target);
+        let (store, target) = (&self.store, &self.target);
         self.candidates
-            .get_or_insert_with(|| candidate_ids(db, target, &mut Vec::new()))
+            .get_or_insert_with(|| candidate_ids(&**store, target, &mut Vec::new()))
     }
 }
 
@@ -345,8 +389,10 @@ impl<'a> JoinQuery<'a> {
             right,
             config,
         } = self;
-        let (pairs, stats) =
-            SpatialJoin::new(left.store.as_ref(), right.store.as_ref()).run_with_pairs(config);
+        let (pairs, stats) = {
+            let (ls, rs) = (left.store(), right.store());
+            SpatialJoin::new(&*ls, &*rs).run_with_pairs(config)
+        };
         JoinCursor {
             left,
             right,
@@ -377,9 +423,11 @@ impl<'a> JoinQuery<'a> {
             right,
             config,
         } = self;
-        let disk = left.store.disk();
-        let (pairs, stats, trace) = SpatialJoin::new(left.store.as_ref(), right.store.as_ref())
-            .run_with_pairs_traced(config);
+        let disk = left.store().disk();
+        let (pairs, stats, trace) = {
+            let (ls, rs) = (left.store(), right.store());
+            SpatialJoin::new(&*ls, &*rs).run_with_pairs_traced(config)
+        };
         let latency = simulate_queries(
             disk.params(),
             ArmGeometry::default(),
@@ -419,8 +467,10 @@ impl<'a> JoinQuery<'a> {
             right,
             config,
         } = self;
-        let (pairs, stats) = SpatialJoin::new(left.store.as_ref(), right.store.as_ref())
-            .run_par_with_pairs(config, n_threads);
+        let (pairs, stats) = {
+            let (ls, rs) = (left.store(), right.store());
+            SpatialJoin::new(&*ls, &*rs).run_par_with_pairs(config, n_threads)
+        };
         JoinCursor {
             left,
             right,
@@ -476,18 +526,7 @@ impl<'a> Iterator for JoinCursor<'a> {
         while self.next < self.pairs.len() {
             let (a, b) = self.pairs[self.next];
             self.next += 1;
-            let (Some(ga), Some(gb)) =
-                (self.left.geometry.get(&a.0), self.right.geometry.get(&b.0))
-            else {
-                // Filter-only records (bulk-loaded via store_mut()) cannot
-                // be refined.
-                panic!(
-                    "join candidate ({}, {}) lacks exact geometry; read stats() \
-                     instead of iterating, or insert through SpatialDatabase::insert",
-                    a.0, b.0
-                );
-            };
-            if ga.intersects(gb) {
+            if refine_pair(self.left, self.right, a, b) {
                 return Some((a.0, b.0));
             }
         }

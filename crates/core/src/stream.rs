@@ -1,0 +1,535 @@
+//! The mixed-stream executor mode: one interleaved stream of reads
+//! **and writes**, executed without serial barriers.
+//!
+//! [`run_stream`] consumes a [`StreamOp`] sequence — window queries,
+//! point queries, spatial joins, inserts and deletes, possibly against
+//! several databases of one workspace — and executes it under the
+//! shadow-paging concurrency model of
+//! [`SpatialDatabase`](crate::db::SpatialDatabase):
+//!
+//! * **Phase A (stream order, calling thread):** every operation's
+//!   I/O-charging half runs here, in logical commit order. A query op
+//!   pins a snapshot, runs its filter step and re-reads its candidate
+//!   ids; a join op pins both operands and runs the MBR join; an
+//!   insert/delete commits through the `&self` shadow-paging write path
+//!   and publishes a new root. Per-op [`IoStats`] deltas are measured
+//!   against the calling thread's local tally, so they are exact and
+//!   independent of the worker count.
+//! * **Refinement (worker pool, concurrent):** the CPU-bound
+//!   exact-geometry tests of each query/join are handed to a shared
+//!   work queue the moment its phase-A half completes, and scoped
+//!   workers drain the queue **while phase A keeps committing** — a
+//!   writer never waits for a reader's refinement, and a reader's
+//!   candidates stay consistent because they were fixed under an epoch
+//!   pin and deletes only tombstone exact geometry
+//!   ([`StableMap`](spatialdb_epoch::StableMap) keeps it addressable).
+//!
+//! Results are merged back by stream index, so the full
+//! [`StreamOutcome`] — answers, per-op stats, per-op I/O — is
+//! **byte-identical at any thread count**: determinism comes from
+//! phase A's fixed order, not from barriers.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use crate::db::SpatialDatabase;
+use crate::query::{candidate_ids, execute_filter, refine_pair, refined_geometry, Target};
+use spatialdb_disk::IoStats;
+use spatialdb_geom::{Geometry, Point, Rect};
+use spatialdb_join::{JoinConfig, SpatialJoin};
+use spatialdb_rtree::{LeafEntry, ObjectId};
+use spatialdb_storage::QueryStats;
+
+/// One operation of a mixed read/write stream.
+#[derive(Debug)]
+pub enum StreamOp<'a> {
+    /// A window query: all objects sharing a point with the rectangle.
+    Window {
+        /// Database to query.
+        db: &'a SpatialDatabase,
+        /// The query window.
+        window: Rect,
+    },
+    /// A point query: all objects containing the point.
+    Point {
+        /// Database to query.
+        db: &'a SpatialDatabase,
+        /// The query point.
+        point: Point,
+    },
+    /// A spatial join between two databases of one workspace (the
+    /// default [`JoinConfig`]).
+    Join {
+        /// Left operand.
+        left: &'a SpatialDatabase,
+        /// Right operand.
+        right: &'a SpatialDatabase,
+    },
+    /// Insert an object (commits through the `&self` shadow-paging
+    /// write path).
+    Insert {
+        /// Database to insert into.
+        db: &'a SpatialDatabase,
+        /// New object id (must not be stored yet).
+        id: u64,
+        /// Exact geometry of the object.
+        geometry: Geometry,
+    },
+    /// Delete an object by id (a miss is recorded, not an error).
+    Delete {
+        /// Database to delete from.
+        db: &'a SpatialDatabase,
+        /// Object id to delete.
+        id: u64,
+    },
+}
+
+/// The materialized result of one [`StreamOp`].
+#[derive(Clone, Debug)]
+pub enum OpOutcome {
+    /// A window/point query: refined ids (ascending), filter stats and
+    /// this op's exact I/O delta.
+    Query {
+        /// Exact answers, sorted ascending.
+        ids: Vec<u64>,
+        /// Filter-step statistics of this query alone.
+        stats: QueryStats,
+        /// I/O charged by this query alone.
+        io: IoStats,
+    },
+    /// A join: number of exactly-intersecting pairs and the I/O delta
+    /// of the MBR join + object transfer.
+    Join {
+        /// Pairs surviving exact refinement.
+        pairs: u64,
+        /// I/O charged by this join alone.
+        io: IoStats,
+    },
+    /// An insert commit.
+    Insert {
+        /// I/O charged by this insert alone.
+        io: IoStats,
+    },
+    /// A delete commit.
+    Delete {
+        /// Whether the object existed (and was removed).
+        existed: bool,
+        /// I/O charged by this delete alone.
+        io: IoStats,
+    },
+}
+
+impl OpOutcome {
+    /// This operation's exact I/O delta.
+    pub fn io_stats(&self) -> IoStats {
+        match self {
+            OpOutcome::Query { io, .. }
+            | OpOutcome::Join { io, .. }
+            | OpOutcome::Insert { io }
+            | OpOutcome::Delete { io, .. } => *io,
+        }
+    }
+
+    /// Exact answers this operation produced: refined ids for a query,
+    /// refined pairs for a join, 0 for writes.
+    pub fn results(&self) -> u64 {
+        match self {
+            OpOutcome::Query { ids, .. } => ids.len() as u64,
+            OpOutcome::Join { pairs, .. } => *pairs,
+            OpOutcome::Insert { .. } | OpOutcome::Delete { .. } => 0,
+        }
+    }
+}
+
+/// Results of a mixed stream, one [`OpOutcome`] per op in stream order.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    outcomes: Vec<OpOutcome>,
+}
+
+impl StreamOutcome {
+    /// Per-op outcomes in stream order.
+    pub fn outcomes(&self) -> &[OpOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of operations executed.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// `true` if the stream was empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Total exact answers across the stream (query ids + join pairs).
+    pub fn results(&self) -> u64 {
+        self.outcomes.iter().map(OpOutcome::results).sum()
+    }
+
+    /// Aggregate I/O, summed in stream order — identical to a
+    /// sequential loop's accumulation.
+    pub fn aggregate_io(&self) -> IoStats {
+        let mut total = IoStats::new();
+        for o in &self.outcomes {
+            total = total.plus(&o.io_stats());
+        }
+        total
+    }
+}
+
+/// A refinement unit: the pure-CPU half of a query or join, detached
+/// from phase A the moment its candidates are fixed.
+enum RefineJob<'a> {
+    Query {
+        index: usize,
+        db: &'a SpatialDatabase,
+        target: Target,
+        candidates: Vec<u64>,
+    },
+    Join {
+        index: usize,
+        left: &'a SpatialDatabase,
+        right: &'a SpatialDatabase,
+        pairs: Vec<(ObjectId, ObjectId)>,
+    },
+}
+
+/// What a worker hands back for a job, keyed by stream index.
+enum Refined {
+    Ids(Vec<u64>),
+    Pairs(u64),
+}
+
+/// The shared refinement queue: phase A pushes, workers pop; closing
+/// wakes everyone to drain and exit.
+struct RefineQueue<'a> {
+    state: Mutex<QueueState<'a>>,
+    ready: Condvar,
+}
+
+struct QueueState<'a> {
+    jobs: VecDeque<RefineJob<'a>>,
+    closed: bool,
+}
+
+impl<'a> RefineQueue<'a> {
+    fn new() -> Self {
+        RefineQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn locked(&self) -> MutexGuard<'_, QueueState<'a>> {
+        // lint: raw-lock-audited — Condvar::wait needs the std guard, which
+        // DepMutex does not expose. The queue is strictly leaf-level: no
+        // other lock is ever held while pushing, popping, or waiting here
+        // (phase A pushes only after its commit/pin released everything).
+        self.state.lock().expect("refinement queue poisoned")
+    }
+
+    fn push(&self, job: RefineJob<'a>) {
+        self.locked().jobs.push_back(job);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        self.locked().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocking pop; `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<RefineJob<'a>> {
+        let mut state = self.locked();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .expect("refinement queue poisoned while waiting");
+        }
+    }
+}
+
+/// Execute a mixed read/write stream on `threads` refinement workers.
+///
+/// See the [module docs](self) for the execution model. The returned
+/// [`StreamOutcome`] is byte-identical at any `threads` value; all
+/// databases referenced by the ops should share one workspace (their
+/// per-op I/O is measured on the calling thread's tally).
+pub fn run_stream(ops: Vec<StreamOp<'_>>, threads: usize) -> StreamOutcome {
+    if ops.is_empty() {
+        return StreamOutcome {
+            outcomes: Vec::new(),
+        };
+    }
+    let workers = threads.max(1);
+    let queue = RefineQueue::new();
+    let mut outcomes: Vec<OpOutcome> = Vec::with_capacity(ops.len());
+    let refined: Vec<(usize, Refined)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    while let Some(job) = queue.pop() {
+                        match job {
+                            RefineJob::Query {
+                                index,
+                                db,
+                                target,
+                                candidates,
+                            } => {
+                                let ids = candidates
+                                    .iter()
+                                    .copied()
+                                    .filter(|&id| refined_geometry(db, &target, id).is_some())
+                                    .collect();
+                                done.push((index, Refined::Ids(ids)));
+                            }
+                            RefineJob::Join {
+                                index,
+                                left,
+                                right,
+                                pairs,
+                            } => {
+                                let n = pairs
+                                    .iter()
+                                    .filter(|&&(a, b)| refine_pair(left, right, a, b))
+                                    .count();
+                                done.push((index, Refined::Pairs(n as u64)));
+                            }
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+
+        // Phase A: stream order on this thread. Every disk charge and
+        // every commit happens here, so the per-op deltas cannot depend
+        // on the worker count — and every refinement job is live on the
+        // queue before the next commit runs, never after a barrier.
+        let mut scratch: Vec<LeafEntry> = Vec::new();
+        for (index, op) in ops.into_iter().enumerate() {
+            match op {
+                StreamOp::Window { db, window } => {
+                    let o = prepare_query(db, Target::Window(window), index, &mut scratch, &queue);
+                    outcomes.push(o);
+                }
+                StreamOp::Point { db, point } => {
+                    let o = prepare_query(db, Target::Point(point), index, &mut scratch, &queue);
+                    outcomes.push(o);
+                }
+                StreamOp::Join { left, right } => {
+                    let disk = left.store().disk();
+                    let before = disk.local_stats();
+                    let pairs = {
+                        let (ls, rs) = (left.store(), right.store());
+                        SpatialJoin::new(&*ls, &*rs)
+                            .run_with_pairs(JoinConfig::default())
+                            .0
+                    };
+                    let io = disk.local_stats().since(&before);
+                    outcomes.push(OpOutcome::Join { pairs: 0, io });
+                    queue.push(RefineJob::Join {
+                        index,
+                        left,
+                        right,
+                        pairs,
+                    });
+                }
+                StreamOp::Insert { db, id, geometry } => {
+                    let disk = db.store().disk();
+                    let before = disk.local_stats();
+                    db.insert(id, geometry);
+                    outcomes.push(OpOutcome::Insert {
+                        io: disk.local_stats().since(&before),
+                    });
+                }
+                StreamOp::Delete { db, id } => {
+                    let disk = db.store().disk();
+                    let before = disk.local_stats();
+                    let existed = db.remove(id);
+                    outcomes.push(OpOutcome::Delete {
+                        existed,
+                        io: disk.local_stats().since(&before),
+                    });
+                }
+            }
+        }
+        queue.close();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("stream refinement worker panicked"))
+            .collect()
+    });
+    // Merge the detached refinements back by stream index.
+    for (index, result) in refined {
+        match (&mut outcomes[index], result) {
+            (OpOutcome::Query { ids, .. }, Refined::Ids(v)) => *ids = v,
+            (OpOutcome::Join { pairs, .. }, Refined::Pairs(n)) => *pairs = n,
+            _ => unreachable!("refinement result kind mismatches its stream op"),
+        }
+    }
+    StreamOutcome { outcomes }
+}
+
+/// Phase A of one query op: pin a snapshot, run the filter step, fix
+/// the candidate ids, and detach the refinement. Returns the outcome
+/// placeholder (ids filled in at merge time).
+fn prepare_query<'a>(
+    db: &'a SpatialDatabase,
+    target: Target,
+    index: usize,
+    scratch: &mut Vec<LeafEntry>,
+    queue: &RefineQueue<'a>,
+) -> OpOutcome {
+    // One pinned snapshot for the filter step and the candidate re-read;
+    // dropped before the next commit so reclamation is never held up by
+    // an op that already detached its refinement.
+    let store = db.store();
+    let (stats, io) = execute_filter(&*store, &target, db.technique);
+    let candidates = candidate_ids(&*store, &target, scratch);
+    drop(store);
+    queue.push(RefineJob::Query {
+        index,
+        db,
+        target,
+        candidates,
+    });
+    OpOutcome::Query {
+        ids: Vec::new(),
+        stats,
+        io,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{DbOptions, Workspace};
+    use spatialdb_geom::Polyline;
+    use spatialdb_storage::OrganizationKind;
+
+    fn street(x: f64, y: f64) -> Geometry {
+        Polyline::new(vec![
+            Point::new(x, y),
+            Point::new((x + 0.01).min(1.0), (y + 0.005).min(1.0)),
+        ])
+        .into()
+    }
+
+    fn loaded_db(ws: &Workspace, n: u64) -> SpatialDatabase {
+        let mut db = ws.create_database(DbOptions::new(OrganizationKind::Cluster));
+        for i in 0..n {
+            let f = i as f64 / n as f64;
+            db.insert(i, street(f * 0.9, (f * 7.0) % 0.9));
+        }
+        db.finish_loading();
+        db
+    }
+
+    fn mixed_ops<'a>(db: &'a SpatialDatabase, other: &'a SpatialDatabase) -> Vec<StreamOp<'a>> {
+        vec![
+            StreamOp::Window {
+                db,
+                window: Rect::new(0.0, 0.0, 0.6, 0.6),
+            },
+            StreamOp::Insert {
+                db,
+                id: 10_000,
+                geometry: street(0.5, 0.5),
+            },
+            StreamOp::Point {
+                db,
+                point: Point::new(0.305, 0.135),
+            },
+            StreamOp::Join {
+                left: db,
+                right: other,
+            },
+            StreamOp::Delete { db, id: 3 },
+            StreamOp::Window {
+                db,
+                window: Rect::new(0.4, 0.4, 1.0, 1.0),
+            },
+            StreamOp::Delete { db, id: 999_999 },
+        ]
+    }
+
+    #[test]
+    fn stream_outcome_is_identical_at_any_thread_count() {
+        let run = |threads: usize| {
+            let ws = Workspace::new(256);
+            let a = loaded_db(&ws, 40);
+            let b = loaded_db(&ws, 25);
+            let out = run_stream(mixed_ops(&a, &b), threads);
+            (format!("{out:?}"), out.results(), out.aggregate_io())
+        };
+        let one = run(1);
+        for threads in [2, 8] {
+            assert_eq!(one, run(threads), "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn writes_take_effect_in_stream_order() {
+        let ws = Workspace::new(256);
+        let a = loaded_db(&ws, 40);
+        let b = loaded_db(&ws, 25);
+        let out = run_stream(mixed_ops(&a, &b), 4);
+        assert_eq!(out.len(), 7);
+        // The insert landed before the second window; the delete of id 3
+        // happened after the first window (which still saw it).
+        let OpOutcome::Query { ids: first, .. } = &out.outcomes()[0] else {
+            panic!("op 0 is a window");
+        };
+        assert!(first.contains(&3), "op 0 predates the delete");
+        let OpOutcome::Query { ids: last, .. } = &out.outcomes()[5] else {
+            panic!("op 5 is a window");
+        };
+        assert!(last.contains(&10_000), "op 5 follows the insert");
+        assert!(!last.contains(&3), "op 5 follows the delete");
+        let OpOutcome::Delete { existed, .. } = out.outcomes()[4] else {
+            panic!("op 4 is a delete");
+        };
+        assert!(existed);
+        let OpOutcome::Delete { existed: miss, .. } = out.outcomes()[6] else {
+            panic!("op 6 is a delete");
+        };
+        assert!(!miss, "deleting an unknown id reports a miss");
+        assert!(a.geometry(3).is_none());
+        assert!(a.geometry(10_000).is_some());
+    }
+
+    #[test]
+    fn per_op_io_sums_to_the_global_delta() {
+        let ws = Workspace::new(256);
+        let a = loaded_db(&ws, 40);
+        let b = loaded_db(&ws, 25);
+        let before = ws.disk().stats();
+        let out = run_stream(mixed_ops(&a, &b), 3);
+        let global = ws.disk().stats().since(&before);
+        let attributed = out.aggregate_io();
+        // Integer counters exactly; io_ms within float-summation
+        // tolerance (the global counter accumulates in a different
+        // association order than the per-op deltas).
+        assert_eq!(attributed.read_requests, global.read_requests);
+        assert_eq!(attributed.pages_read, global.pages_read);
+        assert_eq!(attributed.write_requests, global.write_requests);
+        assert_eq!(attributed.pages_written, global.pages_written);
+        assert_eq!(attributed.seeks, global.seeks);
+        assert_eq!(attributed.latencies, global.latencies);
+        assert!((attributed.io_ms - global.io_ms).abs() <= 1e-6 * global.io_ms.abs().max(1.0));
+    }
+}

@@ -17,7 +17,7 @@ use crate::model::{PageId, PageRun, RegionId};
 use std::collections::BTreeMap;
 
 /// Append-only allocator: models a sequential file.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SequentialAllocator {
     region: RegionId,
     next: u64,
@@ -61,7 +61,7 @@ impl SequentialAllocator {
 }
 
 /// First-fit extent allocator with free-list coalescing.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ExtentAllocator {
     region: RegionId,
     next: u64,

@@ -331,6 +331,81 @@ pub fn simulate_queries_striped(
     (stats, array.arm_stats())
 }
 
+/// Replay per-query request traces through a [`DiskArray`] under a
+/// **closed-loop** workload of `clients` concurrent clients with a
+/// fixed think time, returning one [`LatencyStats`] per query (same
+/// order) plus the final per-arm [`ArmStats`].
+///
+/// Client `c` issues queries `c, c + clients, c + 2·clients, …` in
+/// order: the first `clients` queries arrive at time 0, and each
+/// query's **completion** (its last request finishing) activates the
+/// same client's next query `think_ms` later — the arrival process is
+/// driven by the system's own response times, which is what produces
+/// the classic response-time-vs-clients curve (arrivals self-throttle
+/// under load instead of piling up like [`simulate_queries_striped`]'s
+/// open process). The traces' own `arrival_ms` stamps are ignored.
+///
+/// Within a query the submission window is the usual depth-`depth`
+/// discipline. A query with an empty trace completes instantly at its
+/// arrival. Deterministic: no wall clock, no randomness.
+pub fn simulate_queries_closed(
+    params: DiskParams,
+    geometry: ArmGeometry,
+    config: ArrayConfig,
+    depth: usize,
+    clients: usize,
+    think_ms: f64,
+    queries: &[QueryTrace],
+) -> (Vec<LatencyStats>, Vec<ArmStats>) {
+    let depth = depth.max(1);
+    let clients = clients.max(1);
+    let mut array = DiskArray::new(params, geometry, config);
+    let n = queries.len();
+    let mut stats: Vec<LatencyStats> = queries
+        .iter()
+        .map(|_| LatencyStats::arriving_at(0.0))
+        .collect();
+    let mut next_req: Vec<usize> = vec![0; n];
+    let mut outstanding: Vec<usize> = vec![0; n];
+    let mut owner: HashMap<u64, usize> = HashMap::new();
+    // Queries whose client just became ready: (query, arrival time).
+    let mut activations: std::collections::VecDeque<(usize, f64)> =
+        (0..clients.min(n)).map(|q| (q, 0.0)).collect();
+    loop {
+        while let Some((qi, at)) = activations.pop_front() {
+            stats[qi] = LatencyStats::arriving_at(at);
+            if queries[qi].requests.is_empty() {
+                // Nothing to serve: the query completes at arrival and
+                // its client immediately starts thinking.
+                if qi + clients < n {
+                    activations.push_back((qi + clients, at + think_ms));
+                }
+                continue;
+            }
+            for _ in 0..depth.min(queries[qi].requests.len()) {
+                let r = queries[qi].requests[next_req[qi]];
+                next_req[qi] += 1;
+                outstanding[qi] += 1;
+                owner.insert(array.submit_at(r, at), qi);
+            }
+        }
+        let Some(c) = array.service_next() else { break };
+        let qi = owner.remove(&c.id).expect("completion for unknown request");
+        stats[qi].absorb(&c);
+        outstanding[qi] -= 1;
+        if next_req[qi] < queries[qi].requests.len() {
+            let r = queries[qi].requests[next_req[qi]];
+            next_req[qi] += 1;
+            outstanding[qi] += 1;
+            owner.insert(array.submit_at(r, c.finished_ms), qi);
+        } else if outstanding[qi] == 0 && qi + clients < n {
+            // Query complete: its client thinks, then issues its next.
+            activations.push_back((qi + clients, c.finished_ms + think_ms));
+        }
+    }
+    (stats, array.arm_stats())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,6 +615,117 @@ mod tests {
             assert_eq!(arms.len(), 1);
             assert_eq!(arms[0].serviced, 5);
         }
+    }
+
+    #[test]
+    fn closed_loop_with_enough_clients_is_the_open_burst() {
+        // With one client per query and zero think time every query
+        // arrives at 0 — exactly the open burst, byte for byte.
+        let traces: Vec<QueryTrace> = (0..6u16)
+            .map(|q| QueryTrace {
+                arrival_ms: 0.0,
+                requests: vec![read1(q % 4, 32 * u64::from(q) * 3), read1(q % 4, 0)],
+            })
+            .collect();
+        let config = ArrayConfig {
+            arms: 2,
+            stripe: StripePolicy::RoundRobin,
+            policy: ArmPolicy::Elevator,
+            rotation: RotationModel::FlatAverage,
+        };
+        let (open, open_arms) = simulate_queries_striped(
+            DiskParams::default(),
+            ArmGeometry::default(),
+            config,
+            3,
+            &traces,
+        );
+        let (closed, closed_arms) = simulate_queries_closed(
+            DiskParams::default(),
+            ArmGeometry::default(),
+            config,
+            3,
+            traces.len(),
+            0.0,
+            &traces,
+        );
+        assert_eq!(open, closed);
+        assert_eq!(open_arms, closed_arms);
+    }
+
+    #[test]
+    fn one_client_serializes_the_stream() {
+        // A single client issues query q+1 only after q completes (plus
+        // think): arrivals chain off completions, and no query ever
+        // queues behind another.
+        let traces: Vec<QueryTrace> = (0..5u16)
+            .map(|q| QueryTrace {
+                arrival_ms: 0.0,
+                requests: vec![read1(q % 2, 32 * u64::from(q) * 5)],
+            })
+            .collect();
+        let think = 2.5;
+        let (stats, _) = simulate_queries_closed(
+            DiskParams::default(),
+            ArmGeometry::default(),
+            ArrayConfig::default(),
+            4,
+            1,
+            think,
+            &traces,
+        );
+        for w in stats.windows(2) {
+            assert_eq!(
+                w[1].arrival_ms,
+                w[0].completed_ms + think,
+                "next arrival must be previous completion plus think time"
+            );
+            assert_eq!(w[1].queue_ms, 0.0, "a lone client never queues");
+        }
+    }
+
+    #[test]
+    fn fewer_clients_never_worsen_latency() {
+        // The same stream under 1, 2, 4 and 8 clients: per-query mean
+        // latency is monotonically non-decreasing in the client count
+        // (more concurrency = more queueing), while an empty trace
+        // still completes instantly and keeps its client's chain alive.
+        let mut traces: Vec<QueryTrace> = (0..16u16)
+            .map(|q| QueryTrace {
+                arrival_ms: 0.0,
+                requests: vec![
+                    read1(q % 4, 32 * u64::from(q) * 2),
+                    read1(q % 4, 32 * u64::from(q % 3) * 7),
+                ],
+            })
+            .collect();
+        traces[5].requests.clear(); // a buffer-hit query: no I/O at all
+        let mean = |clients: usize| {
+            let (stats, _) = simulate_queries_closed(
+                DiskParams::default(),
+                ArmGeometry::default(),
+                ArrayConfig::default(),
+                4,
+                clients,
+                1.0,
+                &traces,
+            );
+            assert_eq!(stats.len(), traces.len());
+            assert_eq!(stats[5].requests, 0);
+            assert_eq!(stats[5].completed_ms, stats[5].arrival_ms);
+            stats.iter().map(|s| s.latency_ms()).sum::<f64>() / stats.len() as f64
+        };
+        let curve: Vec<f64> = [1, 2, 4, 8].into_iter().map(mean).collect();
+        for w in curve.windows(2) {
+            assert!(
+                w[1] >= w[0],
+                "mean latency must not improve with more clients: {curve:?}"
+            );
+        }
+        assert!(
+            curve[3] > curve[0],
+            "saturation must show between 1 and 8 clients: {curve:?}"
+        );
     }
 
     #[test]

@@ -103,7 +103,7 @@ impl BuddyConfig {
 }
 
 /// Allocator handing out physical units of the configured sizes.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct BuddyAllocator {
     config: BuddyConfig,
     inner: ExtentAllocator,

@@ -96,11 +96,13 @@ pub use arm::{
     simulate_queries, ArmGeometry, ArmPolicy, ArmStats, Completion, DiskArm, LatencyStats,
     PageRequest, QueryTrace, RotationModel, SeekCurve,
 };
-pub use array::{simulate_queries_striped, ArrayConfig, DiskArray, StripePolicy};
+pub use array::{
+    simulate_queries_closed, simulate_queries_striped, ArrayConfig, DiskArray, StripePolicy,
+};
 pub use buddy::{BuddyAllocator, BuddyConfig};
 pub use buffer::{BufferPool, LruBuffer, ReadMode, SeekPolicy};
 pub use disk::{Disk, DiskHandle, ScratchTally};
-pub use lockdep::{DepGuard, DepMutex, LockClass};
+pub use lockdep::{wait_graph, DepGuard, DepMutex, LockClass};
 pub use model::{DiskParams, PageId, PageRun, RegionId, PAGE_SIZE};
 pub use schedule::{slm_gap_limit, slm_schedule, ScheduledRun};
 pub use shard::{Routing, ShardedPool};

@@ -1,13 +1,23 @@
 //! Debug-build lock-order checking ("lockdep") for the disk crate.
 //!
-//! The crate's deadlock-freedom argument is a documented hierarchy:
+//! The crate's deadlock-freedom argument is a documented hierarchy
+//! (which also covers the engine layers built on top of this crate —
+//! they register their locks here so one checker sees every class):
 //!
-//! 1. [`LockClass::Shard`]`(i)` — the sharded pool's per-shard buffer
+//! 1. [`LockClass::DbWriter`] — a database's writer gate (the
+//!    commit serialization lock of the shadow-paging write path in
+//!    `spatialdb-core`); held across whole commits, so it must rank
+//!    before every lock a store operation can take;
+//! 2. [`LockClass::Shard`]`(i)` — the sharded pool's per-shard buffer
 //!    locks, ordered **ascending by index** within the class (the
 //!    stop-the-world `lock_all` takes them 0, 1, 2, …);
-//! 2. [`LockClass::ArmQueue`] — the disk's array mutex (arm request
+//! 3. [`LockClass::ArmQueue`] — the disk's array mutex (arm request
 //!    queues and timelines);
-//! 3. [`LockClass::DiskCounters`] — the disk's statistics/region state.
+//! 4. [`LockClass::DiskCounters`] — the disk's statistics/region state;
+//! 5. [`LockClass::Geometry`] — a database's exact-geometry arena
+//!    (leaf lock: nothing else is acquired while it is held);
+//! 6. [`LockClass::Epoch`] — the epoch collector's retired-garbage
+//!    list (`spatialdb-epoch`; leaf lock).
 //!
 //! A *blocking* acquisition must never take a class that ranks at or
 //! below something already held (equal rank is allowed only for a
@@ -21,32 +31,45 @@
 //!
 //! In debug builds every [`DepMutex::acquire`] checks the calling
 //! thread's held-stack against the hierarchy and records the cross-class
-//! acquisition edge in a global graph; the first hierarchy violation or
-//! graph cycle panics with both classes named. In release builds the
-//! whole checker compiles away: [`DepMutex`] is a plain [`Mutex`] plus a
-//! unit class tag, and [`DepGuard`] is a plain guard.
+//! acquisition edge — together with the source location that first
+//! created it — in a global wait graph; the first hierarchy violation
+//! or graph cycle panics with both classes named **and the accumulated
+//! wait graph dumped**, so the report shows not just the bad pair but
+//! every nesting the run had established and where ([`wait_graph`]).
+//! In release builds the whole checker compiles away: [`DepMutex`] is a
+//! plain [`Mutex`] plus a unit class tag, and [`DepGuard`] is a plain
+//! guard.
 
 use std::fmt;
 use std::sync::{Mutex, MutexGuard, TryLockError};
 
-/// The lock classes of the disk crate, in hierarchy order.
+/// The lock classes of the engine, in hierarchy order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LockClass {
+    /// A database's writer gate (shadow-paging commit serialization).
+    DbWriter,
     /// A sharded-pool buffer shard (intra-class order: ascending index).
     Shard(usize),
     /// The disk's arm-array mutex (request queues, timelines).
     ArmQueue,
     /// The disk's counter/region state mutex.
     DiskCounters,
+    /// A database's exact-geometry arena (leaf lock).
+    Geometry,
+    /// The epoch collector's retired-garbage list (leaf lock).
+    Epoch,
 }
 
 impl LockClass {
     /// Rank in the hierarchy (lower acquires first).
     pub fn rank(self) -> u8 {
         match self {
-            LockClass::Shard(_) => 0,
-            LockClass::ArmQueue => 1,
-            LockClass::DiskCounters => 2,
+            LockClass::DbWriter => 0,
+            LockClass::Shard(_) => 1,
+            LockClass::ArmQueue => 2,
+            LockClass::DiskCounters => 3,
+            LockClass::Geometry => 4,
+            LockClass::Epoch => 5,
         }
     }
 
@@ -65,9 +88,12 @@ impl LockClass {
 impl fmt::Display for LockClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            LockClass::DbWriter => f.write_str("DbWriter"),
             LockClass::Shard(i) => write!(f, "Shard({i})"),
             LockClass::ArmQueue => f.write_str("ArmQueue"),
             LockClass::DiskCounters => f.write_str("DiskCounters"),
+            LockClass::Geometry => f.write_str("Geometry"),
+            LockClass::Epoch => f.write_str("Epoch"),
         }
     }
 }
@@ -76,7 +102,11 @@ impl fmt::Display for LockClass {
 mod checker {
     use super::LockClass;
     use std::cell::RefCell;
+    use std::panic::Location;
     use std::sync::Mutex;
+
+    /// Number of lock-class kinds (one per hierarchy rank).
+    const KINDS: usize = 6;
 
     /// One lock the current thread holds.
     struct Held {
@@ -92,54 +122,101 @@ mod checker {
 
     /// Cross-class *blocking* acquisition graph: `edges[a][b]` records
     /// that some thread blocking-acquired rank-kind `b` while holding
-    /// rank-kind `a`. Three kinds (shard, arm queue, counters), so the
+    /// rank-kind `a`, stamped with the source location of the
+    /// acquisition that first created the edge. Six kinds, so the
     /// graph is a tiny adjacency matrix; a cycle in it means the
     /// documented hierarchy itself is inconsistent with the code.
-    static GRAPH: Mutex<[[bool; 3]; 3]> = Mutex::new([[false; 3]; 3]);
+    static GRAPH: Mutex<[[Option<&'static Location<'static>>; KINDS]; KINDS]> =
+        Mutex::new([[None; KINDS]; KINDS]);
 
     fn kind(class: LockClass) -> usize {
         class.rank() as usize
     }
 
+    fn kind_name(kind: usize) -> &'static str {
+        [
+            "DbWriter",
+            "Shard",
+            "ArmQueue",
+            "DiskCounters",
+            "Geometry",
+            "Epoch",
+        ][kind]
+    }
+
+    /// Render the accumulated wait graph: one `A -> B @ site` line per
+    /// recorded edge, in rank order. Empty when no cross-class nesting
+    /// happened yet.
+    pub(super) fn wait_graph_dump() -> String {
+        let graph = GRAPH.lock().expect("lockdep graph poisoned");
+        let mut out = String::new();
+        for (a, row) in graph.iter().enumerate() {
+            for (b, site) in row.iter().enumerate() {
+                if let Some(site) = site {
+                    out.push_str(&format!(
+                        "  {} -> {} @ {}:{}\n",
+                        kind_name(a),
+                        kind_name(b),
+                        site.file(),
+                        site.line()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
     /// Depth-first reachability of `to` from `from` over recorded edges.
-    fn reaches(edges: &[[bool; 3]; 3], from: usize, to: usize, seen: &mut [bool; 3]) -> bool {
+    fn reaches(
+        edges: &[[Option<&'static Location<'static>>; KINDS]; KINDS],
+        from: usize,
+        to: usize,
+        seen: &mut [bool; KINDS],
+    ) -> bool {
         if from == to {
             return true;
         }
         seen[from] = true;
-        (0..3).any(|n| edges[from][n] && !seen[n] && reaches(edges, n, to, seen))
+        (0..KINDS).any(|n| edges[from][n].is_some() && !seen[n] && reaches(edges, n, to, seen))
     }
 
     /// Check a **blocking** acquisition of `class` against everything
     /// the thread holds, record the acquisition edges, and push the
     /// lock onto the held-stack. Panics (debug builds only — the whole
     /// module is compiled out in release) on the first hierarchy
-    /// violation or acquisition-graph cycle.
-    pub(super) fn acquire_blocking(class: LockClass) -> u64 {
+    /// violation or acquisition-graph cycle, dumping the accumulated
+    /// wait graph with the site that created each edge.
+    pub(super) fn acquire_blocking(class: LockClass, site: &'static Location<'static>) -> u64 {
         HELD.with(|held| {
             let held = held.borrow();
             for h in held.iter() {
-                assert!(
-                    !class.conflicts_with(h.class),
-                    "lock hierarchy violation: blocking acquisition of {class} \
-                     while holding {held} (declared order: Shard(asc) -> ArmQueue -> \
-                     DiskCounters; see crates/disk/src/lockdep.rs)",
-                    held = h.class,
-                );
+                if class.conflicts_with(h.class) {
+                    panic!(
+                        "lock hierarchy violation: blocking acquisition of {class} at {site} \
+                         while holding {held} (declared order: DbWriter -> Shard(asc) -> \
+                         ArmQueue -> DiskCounters -> Geometry -> Epoch; see \
+                         crates/disk/src/lockdep.rs)\nwait graph so far:\n{dump}",
+                        held = h.class,
+                        dump = wait_graph_dump(),
+                    );
+                }
             }
             let mut graph = GRAPH.lock().expect("lockdep graph poisoned");
             for h in held.iter() {
                 let (a, b) = (kind(h.class), kind(class));
-                if a == b || graph[a][b] {
+                if a == b || graph[a][b].is_some() {
                     continue;
                 }
-                graph[a][b] = true;
-                let mut seen = [false; 3];
-                assert!(
-                    !reaches(&graph, b, a, &mut seen),
-                    "lock acquisition graph cycle: {held} -> {class} closes a cycle",
-                    held = h.class,
-                );
+                graph[a][b] = Some(site);
+                let mut seen = [false; KINDS];
+                if reaches(&graph, b, a, &mut seen) {
+                    let dump = wait_graph_dump();
+                    panic!(
+                        "lock acquisition graph cycle: {held} -> {class} at {site} closes \
+                         a cycle\nwait graph so far:\n{dump}",
+                        held = h.class,
+                    );
+                }
             }
         });
         push(class)
@@ -177,6 +254,22 @@ mod checker {
     }
 }
 
+/// The accumulated cross-class wait graph as text: one
+/// `Holder -> Acquired @ file:line` line per blocking-acquisition edge
+/// recorded so far, in rank order. Debug builds only — in release the
+/// checker is compiled out and this returns an empty string. The same
+/// dump is appended to every hierarchy-violation panic.
+pub fn wait_graph() -> String {
+    #[cfg(debug_assertions)]
+    {
+        checker::wait_graph_dump()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        String::new()
+    }
+}
+
 /// A [`Mutex`] tagged with a [`LockClass`], hierarchy-checked in debug
 /// builds (see the [module docs](self)); a plain mutex in release.
 pub struct DepMutex<T> {
@@ -199,11 +292,13 @@ impl<T> DepMutex<T> {
     }
 
     /// Blocking acquisition, checked against the hierarchy in debug
-    /// builds. Panics if a holder panicked (poisoning), like the
-    /// `expect` calls it replaces.
+    /// builds (the caller's source location is recorded as the wait
+    /// graph edge site). Panics if a holder panicked (poisoning), like
+    /// the `expect` calls it replaces.
+    #[track_caller]
     pub fn acquire(&self) -> DepGuard<'_, T> {
         #[cfg(debug_assertions)]
-        let token = checker::acquire_blocking(self.class);
+        let token = checker::acquire_blocking(self.class, std::panic::Location::caller());
         let guard = self
             .inner
             .lock()
@@ -213,6 +308,16 @@ impl<T> DepMutex<T> {
             #[cfg(debug_assertions)]
             token,
         }
+    }
+
+    /// Direct access to the data under exclusive borrow — no locking
+    /// and no hierarchy check (an exclusive borrow can never wait, so
+    /// it can never deadlock).
+    pub fn get_mut(&mut self) -> &mut T {
+        let class = self.class;
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|_| panic!("lock poisoned: {class}"))
     }
 
     /// Non-blocking acquisition: `None` if the lock is held elsewhere.
@@ -429,7 +534,75 @@ mod tests {
         assert_eq!(LockClass::Shard(3).to_string(), "Shard(3)");
         assert_eq!(LockClass::ArmQueue.to_string(), "ArmQueue");
         assert_eq!(LockClass::DiskCounters.to_string(), "DiskCounters");
+        assert_eq!(LockClass::DbWriter.to_string(), "DbWriter");
+        assert_eq!(LockClass::Geometry.to_string(), "Geometry");
+        assert_eq!(LockClass::Epoch.to_string(), "Epoch");
+        assert!(LockClass::DbWriter.rank() < LockClass::Shard(0).rank());
         assert!(LockClass::Shard(9).rank() < LockClass::ArmQueue.rank());
         assert!(LockClass::ArmQueue.rank() < LockClass::DiskCounters.rank());
+        assert!(LockClass::DiskCounters.rank() < LockClass::Geometry.rank());
+        assert!(LockClass::Geometry.rank() < LockClass::Epoch.rank());
+    }
+
+    #[test]
+    fn engine_order_writer_first_epoch_last() {
+        let w = DepMutex::new(LockClass::DbWriter, ());
+        let s = DepMutex::new(LockClass::Shard(0), ());
+        let g = DepMutex::new(LockClass::Geometry, ());
+        let e = DepMutex::new(LockClass::Epoch, ());
+        let _gw = w.acquire();
+        let _gs = s.acquire();
+        let _gg = g.acquire();
+        let _ge = e.acquire();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn epoch_is_a_leaf_class() {
+        assert!(panics(|| {
+            let e = DepMutex::new(LockClass::Epoch, ());
+            let g = DepMutex::new(LockClass::Geometry, ());
+            let _ge = e.acquire();
+            let _gg = g.acquire(); // epoch -> geometry: inversion
+        }));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn wait_graph_records_sites_and_epoch_class() {
+        // Record a DbWriter -> Epoch edge, then check the dump names
+        // both classes and the acquisition site that created the edge.
+        let w = DepMutex::new(LockClass::DbWriter, ());
+        let e = DepMutex::new(LockClass::Epoch, ());
+        let _gw = w.acquire();
+        let _ge = e.acquire();
+        let dump = super::wait_graph();
+        assert!(
+            dump.contains("DbWriter -> Epoch @ "),
+            "missing edge in dump:\n{dump}"
+        );
+        assert!(
+            dump.contains("lockdep.rs"),
+            "edge site should point at the acquisition: \n{dump}"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn violation_panic_carries_the_wait_graph() {
+        let err = std::thread::spawn(|| {
+            let d = DepMutex::new(LockClass::DiskCounters, ());
+            let s = DepMutex::new(LockClass::Shard(3), ());
+            let _gd = d.acquire();
+            let _gs = s.acquire();
+        })
+        .join()
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(msg.contains("lock hierarchy violation"), "{msg}");
+        assert!(msg.contains("wait graph so far"), "{msg}");
     }
 }

@@ -107,9 +107,20 @@ impl Node {
 }
 
 /// Slab of nodes with stable ids and O(1) reuse of freed slots.
-#[derive(Debug, Default)]
+///
+/// Each slot holds its [`Node`] behind an [`Arc`], which makes the
+/// store **copy-on-write**: [`Clone`] duplicates only the pointer
+/// table (one refcount bump per live node), and the first
+/// [`get_mut`](NodeStore::get_mut) on a shared node shadow-copies
+/// exactly that node ([`Arc::make_mut`]). A cloned tree is therefore a
+/// cheap consistent snapshot, and a writer working on the clone
+/// materializes shadow pages only for the nodes it actually touches —
+/// the mechanism behind the engine's non-blocking concurrent writers.
+/// An unshared store pays one pointer indirection and no copies, so
+/// the exclusive (`&mut`) update path behaves exactly as before.
+#[derive(Clone, Debug, Default)]
 pub struct NodeStore {
-    nodes: Vec<Option<Node>>,
+    nodes: Vec<Option<std::sync::Arc<Node>>>,
     free: Vec<u32>,
 }
 
@@ -121,6 +132,7 @@ impl NodeStore {
 
     /// Insert a node, returning its id.
     pub fn insert(&mut self, node: Node) -> NodeId {
+        let node = std::sync::Arc::new(node);
         match self.free.pop() {
             Some(i) => {
                 self.nodes[i as usize] = Some(node);
@@ -133,13 +145,14 @@ impl NodeStore {
         }
     }
 
-    /// Remove a node, returning it.
+    /// Remove a node, returning it (shadow-copied if a snapshot still
+    /// shares it).
     pub fn remove(&mut self, id: NodeId) -> Node {
         let n = self.nodes[id.0 as usize]
             .take()
             .expect("node already removed");
         self.free.push(id.0);
-        n
+        std::sync::Arc::try_unwrap(n).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Borrow a node.
@@ -155,9 +168,10 @@ impl NodeStore {
             .unwrap_or(false)
     }
 
-    /// Borrow a node mutably.
+    /// Borrow a node mutably, shadow-copying it first if a snapshot
+    /// still shares it (copy-on-write; no copy when unshared).
     pub fn get_mut(&mut self, id: NodeId) -> &mut Node {
-        self.nodes[id.0 as usize].as_mut().expect("node removed")
+        std::sync::Arc::make_mut(self.nodes[id.0 as usize].as_mut().expect("node removed"))
     }
 
     /// Number of live nodes.
@@ -175,7 +189,18 @@ impl NodeStore {
         self.nodes
             .iter()
             .enumerate()
-            .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId(i as u32), n)))
+            .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId(i as u32), &**n)))
+    }
+
+    /// Number of live nodes whose storage is shared with another
+    /// (cloned) store — i.e. not yet shadow-copied. Diagnostics for
+    /// the copy-on-write tests.
+    pub fn shared_nodes(&self) -> usize {
+        self.nodes
+            .iter()
+            .flatten()
+            .filter(|n| std::sync::Arc::strong_count(n) > 1)
+            .count()
     }
 }
 
@@ -226,6 +251,27 @@ mod tests {
         let c = s.insert(leaf(vec![e(2.0, 1)]));
         assert_eq!(c, a); // slot reused
         assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut s = NodeStore::new();
+        let a = s.insert(leaf(vec![e(0.0, 1)]));
+        let b = s.insert(leaf(vec![e(1.0, 1)]));
+        let snapshot = s.clone();
+        assert_eq!(s.shared_nodes(), 2, "clone shares every node");
+
+        // Mutating one node shadow-copies exactly that node.
+        s.get_mut(a).leaf_entries_mut().push(e(2.0, 7));
+        assert_eq!(s.shared_nodes(), 1);
+        assert_eq!(snapshot.get(a).len(), 1, "snapshot unchanged");
+        assert_eq!(s.get(a).len(), 2);
+        assert_eq!(s.get(b).len(), snapshot.get(b).len());
+
+        // Removing a shared node hands back a private copy.
+        let removed = s.remove(b);
+        assert_eq!(removed.len(), 1);
+        assert!(snapshot.contains(b), "snapshot keeps its version");
     }
 
     #[test]

@@ -87,7 +87,13 @@ impl AnyEntry {
 
 /// The R\*-tree. See the crate documentation for the algorithmic
 /// provenance.
-#[derive(Debug)]
+///
+/// Cloning a tree is cheap: the node store is copy-on-write (see
+/// [`NodeStore`]), so a clone shares every node with the original and
+/// either side shadow-copies a node only when it first mutates it.
+/// This is how the storage organizations take consistent snapshots
+/// for the non-blocking read path.
+#[derive(Clone, Debug)]
 pub struct RStarTree {
     config: RTreeConfig,
     store: NodeStore,

@@ -76,7 +76,7 @@ impl ClusterConfig {
 
 /// One cluster unit: the physical extent (its buddy) plus the byte-packed
 /// object placements.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct ClusterUnit {
     /// The buddy currently backing the unit.
     extent: PageRun,
@@ -111,7 +111,7 @@ impl ClusterUnit {
 }
 
 /// The cluster organization.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ClusterOrganization {
     disk: DiskHandle,
     pool: SharedPool,
@@ -524,6 +524,10 @@ impl ClusterOrganization {
 impl SpatialStore for ClusterOrganization {
     fn name(&self) -> &'static str {
         "cluster org."
+    }
+
+    fn snapshot(&self) -> Box<dyn SpatialStore> {
+        Box::new(self.clone())
     }
 
     fn insert(&mut self, rec: &ObjectRecord) {

@@ -18,7 +18,7 @@ use spatialdb_rtree::{
 use std::collections::HashMap;
 
 /// A purely in-memory spatial store (no simulated I/O).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MemoryStore {
     disk: DiskHandle,
     pool: SharedPool,
@@ -48,6 +48,10 @@ impl MemoryStore {
 impl SpatialStore for MemoryStore {
     fn name(&self) -> &'static str {
         "memory"
+    }
+
+    fn snapshot(&self) -> Box<dyn SpatialStore> {
+        Box::new(self.clone())
     }
 
     fn insert(&mut self, rec: &ObjectRecord) {

@@ -171,7 +171,7 @@ impl std::fmt::Display for OrganizationKind {
 
 /// An organization model chosen at run time (the experiment harness
 /// iterates over all three).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum Organization {
     /// Secondary organization.
     Secondary(SecondaryOrganization),
@@ -213,6 +213,10 @@ impl Organization {
 impl SpatialStore for Organization {
     fn name(&self) -> &'static str {
         delegate!(self, o => o.name())
+    }
+
+    fn snapshot(&self) -> Box<dyn SpatialStore> {
+        Box::new(self.clone())
     }
 
     fn insert(&mut self, rec: &ObjectRecord) {

@@ -22,7 +22,7 @@ use spatialdb_rtree::{
 use std::collections::HashMap;
 
 /// The primary organization.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct PrimaryOrganization {
     disk: DiskHandle,
     pool: SharedPool,
@@ -88,6 +88,10 @@ impl PrimaryOrganization {
 impl SpatialStore for PrimaryOrganization {
     fn name(&self) -> &'static str {
         "prim. org."
+    }
+
+    fn snapshot(&self) -> Box<dyn SpatialStore> {
+        Box::new(self.clone())
     }
 
     fn insert(&mut self, rec: &ObjectRecord) {

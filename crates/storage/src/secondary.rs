@@ -18,7 +18,7 @@ use spatialdb_rtree::{bulk, LeafEntry, ObjectId, RStarTree, RTreeConfig, Tile, T
 use std::collections::HashMap;
 
 /// The secondary organization.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SecondaryOrganization {
     disk: DiskHandle,
     pool: SharedPool,
@@ -82,6 +82,10 @@ impl SecondaryOrganization {
 impl SpatialStore for SecondaryOrganization {
     fn name(&self) -> &'static str {
         "sec. org."
+    }
+
+    fn snapshot(&self) -> Box<dyn SpatialStore> {
+        Box::new(self.clone())
     }
 
     fn insert(&mut self, rec: &ObjectRecord) {

@@ -220,6 +220,32 @@ pub trait SpatialStore: Send + Sync {
         self.fetch_object(oid);
     }
 
+    /// A shadow copy of this store for the copy-on-write write path:
+    /// an independent `SpatialStore` observing the same simulated disk
+    /// and buffer pool, sharing all unmodified R\*-tree nodes with
+    /// `self` (the tree's node table is copy-on-write, so the copy is
+    /// a pointer-table clone and a writer materializes shadow pages
+    /// only for the nodes it touches).
+    ///
+    /// The engine's concurrent writers (`SpatialDatabase`'s `&self`
+    /// update path) build every commit on a snapshot and publish it
+    /// atomically; readers keep traversing the superseded copy until
+    /// epoch reclamation frees it. Taking the snapshot itself charges
+    /// no I/O — the commit's page traffic is charged by the update
+    /// applied to it, identically to the exclusive (`&mut`) path.
+    ///
+    /// The default panics: a foreign backend without an override
+    /// still supports the full exclusive API, just not `&self`
+    /// writers.
+    fn snapshot(&self) -> Box<dyn SpatialStore> {
+        unimplemented!(
+            "SpatialStore backend {:?} has no snapshot() override; \
+             concurrent (&self) writers need one — the exclusive (&mut) \
+             update path works without it",
+            self.name()
+        )
+    }
+
     /// Total pages occupied (Figure 6's storage-utilization measure).
     fn occupied_pages(&self) -> u64;
 

@@ -43,9 +43,7 @@ pub fn field<'a>(row: &'a str, name: &str) -> Option<&'a str> {
         let end = stripped.find('"')?;
         Some(&stripped[..end])
     } else {
-        let end = rest
-            .find([',', '}'])
-            .unwrap_or(rest.len());
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
         Some(rest[..end].trim())
     }
 }

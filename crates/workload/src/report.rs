@@ -173,6 +173,9 @@ pub struct MixOutcome {
     pub joins: usize,
     /// Inserts executed.
     pub inserts: usize,
+    /// Deletes executed (including deliberate misses on an empty
+    /// live-id set).
+    pub deletes: usize,
     /// Total exact answers across all queries of the stream.
     pub results: u64,
     /// Sum of the per-operation I/O deltas.
@@ -281,13 +284,15 @@ impl ScenarioReport {
                 .map(|m| {
                     format!(
                         "    {{\"org\": \"{}\", \"windows\": {}, \"points\": {}, \
-                         \"joins\": {}, \"inserts\": {}, \"results\": {}, \
+                         \"joins\": {}, \"inserts\": {}, \"deletes\": {}, \
+                         \"results\": {}, \
                          \"read_requests\": {}, \"pages_read\": {}}}",
                         m.org.map_or("?", org_label),
                         m.windows,
                         m.points,
                         m.joins,
                         m.inserts,
+                        m.deletes,
                         m.results,
                         m.io.read_requests,
                         m.io.pages_read,

@@ -21,7 +21,14 @@ fn scenario(threads: usize) -> Scenario {
         .sweep_policies(&[ArmPolicy::Fcfs, ArmPolicy::Elevator])
         .sweep_arms(&[1, 2])
         .sweep_stripes(&[StripePolicy::RoundRobin])
-        .mix(Mix::new().window(0.5).point(0.2).join(0.1).insert(0.2))
+        .mix(
+            Mix::new()
+                .window(0.4)
+                .point(0.2)
+                .join(0.1)
+                .insert(0.15)
+                .delete(0.15),
+        )
         .operations(32)
         .seed(7)
         .threads(threads)
@@ -43,7 +50,9 @@ fn report_is_byte_identical_across_thread_counts() {
     assert!(serial
         .mixes
         .iter()
-        .all(|m| { m.windows + m.points + m.joins + m.inserts == 32 }));
+        .all(|m| { m.windows + m.points + m.joins + m.inserts + m.deletes == 32 }));
+    // The full op algebra is exercised: deletes actually ran.
+    assert!(serial.mixes.iter().all(|m| m.deletes > 0));
 }
 
 #[test]

@@ -221,7 +221,8 @@ fn str_leaf_level_is_packed() {
     const N: u64 = 10_000;
     let ws = Workspace::new(256);
     let db = load_str(&ws, OrganizationKind::Secondary, N);
-    let tree = db.store().tree();
+    let store = db.store();
+    let tree = store.tree();
     let leaf_cap = (tree.config().max_entries as f64 * 0.9).floor() as usize;
     let minimal = (N as usize).div_ceil(leaf_cap);
     assert!(
@@ -244,7 +245,7 @@ fn memory_store_bulk_load_matches_insertion() {
     let mut a = ws_a.create_database_with(Box::new(MemoryStore::new(ws_a.disk(), ws_a.pool())));
     ws_a.bulk_load_par(&mut a, objects(N), 4);
     let ws_b = Workspace::new(64);
-    let mut b = ws_b.create_database_with(Box::new(MemoryStore::new(ws_b.disk(), ws_b.pool())));
+    let b = ws_b.create_database_with(Box::new(MemoryStore::new(ws_b.disk(), ws_b.pool())));
     for (id, g) in objects(N) {
         b.insert(id, g);
     }
